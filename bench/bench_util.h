@@ -1,0 +1,38 @@
+// Shared helpers for the figure/table regeneration harnesses.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/util/string_util.h"
+#include "src/util/table_printer.h"
+
+namespace ddr {
+
+inline std::string FormatDouble(double value, int decimals = 2) {
+  return StrPrintf("%.*f", decimals, value);
+}
+
+inline std::vector<std::string> RowCells(const ExperimentRow& row) {
+  return {
+      row.model_name,
+      FormatDouble(row.overhead_multiplier) + "x",
+      StrPrintf("%llu", static_cast<unsigned long long>(row.log_bytes)),
+      FormatDouble(row.fidelity),
+      FormatDouble(row.efficiency, 3),
+      FormatDouble(row.utility, 3),
+      row.failure_reproduced ? "yes" : "no",
+      row.diagnosed_cause.value_or("-"),
+  };
+}
+
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ddr
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Regenerates Figure 2: recording overhead vs. debugging fidelity for the
+// Hypertable data-corruption bug (issue 63), comparing value determinism
+// (Friday-class), failure determinism (ESD-class), and RCSE based on
+// control-plane code selection.
+//
+// Paper reference points: value determinism ~3.5x overhead / fidelity 1;
+// failure determinism ~1x / fidelity 1/3; RCSE slightly above the
+// ultra-relaxed models / fidelity 1 ("escaping the relaxation trend").
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/apps/scenarios.h"
+#include "src/util/logging.h"
+
+namespace ddr {
+namespace {
+
+void RunFig2() {
+  PrintBanner("Figure 2: Hypertable bug - runtime overhead vs. debugging fidelity");
+
+  ExperimentHarness harness(MakeHypertableScenario());
+  const Status status = harness.Prepare();
+  CHECK(status.ok()) << status;
+  std::printf("production run: sched seed %llu, %llu events, failure: %s\n",
+              static_cast<unsigned long long>(harness.production_sched_seed()),
+              static_cast<unsigned long long>(
+                  harness.production_outcome().stats.events),
+              harness.production_outcome().primary_failure()->message.c_str());
+
+  struct Point {
+    DeterminismModel model;
+    const char* paper_overhead;
+    const char* paper_fidelity;
+  };
+  const Point points[] = {
+      {DeterminismModel::kValue, "~3.5x", "1"},
+      {DeterminismModel::kFailure, "~1.0x", "1/3"},
+      {DeterminismModel::kDebugRcse, "slightly >1x", "1"},
+  };
+
+  TablePrinter table({"model (system)", "overhead", "paper overhead", "fidelity",
+                      "paper fidelity", "log bytes", "diagnosed root cause"});
+  for (const Point& point : points) {
+    ExperimentRow row = harness.RunModel(point.model);
+    table.AddRow({std::string(DeterminismModelName(point.model)) + " (" +
+                      std::string(DeterminismModelSystem(point.model)) + ")",
+                  FormatDouble(row.overhead_multiplier) + "x", point.paper_overhead,
+                  FormatDouble(row.fidelity), point.paper_fidelity,
+                  StrPrintf("%llu", static_cast<unsigned long long>(row.log_bytes)),
+                  row.diagnosed_cause.value_or("-")});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check: RCSE achieves fidelity 1 at overhead well below value\n"
+      "determinism; failure determinism is free to record but lands on a\n"
+      "different root cause (fidelity 1/n with n=3 candidate causes).\n");
+}
+
+}  // namespace
+}  // namespace ddr
+
+int main() {
+  ddr::RunFig2();
+  return 0;
+}

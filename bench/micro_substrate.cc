@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the deterministic substrate and the
+// analysis hot paths: fiber context switches, instrumented memory access,
+// channel transfer, race-detector event processing, and vector clocks.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/race_detector.h"
+#include "src/sim/channel.h"
+#include "src/sim/environment.h"
+#include "src/sim/shared_var.h"
+#include "src/util/vector_clock.h"
+
+namespace ddr {
+namespace {
+
+void BM_FiberPingPong(benchmark::State& state) {
+  // Measures a full yield round-trip between two fibers (two baton handoffs
+  // + scheduler pick each way).
+  const uint64_t switches_per_run = 2000;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Environment::Options options;
+    options.scheduling.preempt_probability = 0.0;
+    Environment env(options);
+    env.Run("pingpong", [&](Environment& e) {
+      FiberId other = e.Spawn("other", [&] {
+        for (uint64_t i = 0; i < switches_per_run / 2; ++i) {
+          e.Yield();
+        }
+      });
+      for (uint64_t i = 0; i < switches_per_run / 2; ++i) {
+        e.Yield();
+      }
+      e.Join(other);
+    });
+    total += switches_per_run;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_FiberPingPong)->Unit(benchmark::kMillisecond);
+
+void BM_SharedVarAccess(benchmark::State& state) {
+  const uint64_t accesses_per_run = 20000;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Environment::Options options;
+    options.scheduling.preempt_probability = 0.0;
+    Environment env(options);
+    env.Run("cells", [&](Environment& e) {
+      SharedVar<uint64_t> cell(e, "cell", 0);
+      for (uint64_t i = 0; i < accesses_per_run / 2; ++i) {
+        cell.Store(cell.Load() + 1);
+      }
+    });
+    total += accesses_per_run;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_SharedVarAccess)->Unit(benchmark::kMillisecond);
+
+void BM_ChannelTransfer(benchmark::State& state) {
+  const uint64_t messages_per_run = 5000;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Environment::Options options;
+    options.scheduling.preempt_probability = 0.0;
+    Environment env(options);
+    env.Run("channel", [&](Environment& e) {
+      Channel<uint64_t> chan(e, "chan");
+      FiberId producer = e.Spawn("producer", [&] {
+        for (uint64_t i = 0; i < messages_per_run; ++i) {
+          chan.Send(i);
+        }
+      });
+      for (uint64_t i = 0; i < messages_per_run; ++i) {
+        benchmark::DoNotOptimize(chan.Recv());
+      }
+      e.Join(producer);
+    });
+    total += messages_per_run;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_ChannelTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_RaceDetectorOnEvent(benchmark::State& state) {
+  RaceDetector detector(/*report_once_per_cell=*/true);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    Event event;
+    event.seq = seq;
+    event.fiber = static_cast<FiberId>(seq % 4);
+    event.type = (seq % 3 == 0) ? EventType::kSharedWrite : EventType::kSharedRead;
+    event.obj = 7 + (seq % 16);
+    event.value = seq;
+    detector.OnEvent(event);
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(seq));
+}
+BENCHMARK(BM_RaceDetectorOnEvent);
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  VectorClock a(16);
+  VectorClock b(16);
+  for (uint32_t i = 0; i < 16; ++i) {
+    a.Set(i, i * 3);
+    b.Set(i, 50 - i);
+  }
+  for (auto _ : state) {
+    VectorClock c = a;
+    c.Join(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockJoin);
+
+void BM_VectorClockHappensBefore(benchmark::State& state) {
+  VectorClock a(16);
+  VectorClock b(16);
+  for (uint32_t i = 0; i < 16; ++i) {
+    a.Set(i, i);
+    b.Set(i, i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.HappensBeforeOrEqual(b));
+  }
+}
+BENCHMARK(BM_VectorClockHappensBefore);
+
+}  // namespace
+}  // namespace ddr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// The §2 message-drop server: how a failure-deterministic debugger deceives
+// the developer, and how an RCSE race trigger fixes the diagnosis.
+//
+//   $ ./msgdrop_triage
+
+#include <cstdio>
+
+#include "src/apps/scenarios.h"
+#include "src/util/logging.h"
+
+int main() {
+  using namespace ddr;  // NOLINT: example brevity
+
+  ExperimentHarness harness(MakeMsgDropScenario());
+  CHECK(harness.Prepare().ok());
+  std::printf("production failure: %s\n\n",
+              harness.production_outcome().primary_failure()->message.c_str());
+
+  ExperimentRow failure = harness.RunModel(DeterminismModel::kFailure);
+  std::printf("failure determinism (records nothing):\n");
+  std::printf("  inference reproduced the failure in %llu attempts by "
+              "hypothesizing '%s'.\n",
+              static_cast<unsigned long long>(failure.inference.attempts),
+              failure.diagnosed_cause.value_or("-").c_str());
+  std::printf("  DF = %.2f: the developer concludes the network was congested\n"
+              "  and that nothing can be done -- the race stays in the code.\n\n",
+              failure.fidelity);
+
+  ExperimentRow rcse = harness.RunModel(DeterminismModel::kDebugRcse);
+  std::printf("debug determinism (combined RCSE, online race trigger):\n");
+  std::printf("  overhead %.2fx; replay diagnosed '%s'; DF = %.2f.\n",
+              rcse.overhead_multiplier, rcse.diagnosed_cause.value_or("-").c_str(),
+              rcse.fidelity);
+  std::printf("  The race detector fired during production recording and dialed\n"
+              "  fidelity up from the point of detection (Section 3.1.3).\n");
+  return 0;
+}

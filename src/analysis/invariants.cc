@@ -1,0 +1,101 @@
+#include "src/analysis/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ddr {
+
+std::string CellInvariant::ToString() const {
+  std::ostringstream os;
+  os << "cell " << cell << ": ";
+  if (constant) {
+    os << "== " << min_value;
+  } else {
+    os << "in [" << min_value << ", " << max_value << "]";
+  }
+  if (never_zero) {
+    os << ", != 0";
+  }
+  os << " (" << observations << " obs)";
+  return os.str();
+}
+
+std::optional<CellInvariant> InvariantSet::ForCell(ObjectId cell) const {
+  auto it = invariants_.find(cell);
+  if (it == invariants_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool InvariantSet::Admits(ObjectId cell, uint64_t value) const {
+  auto it = invariants_.find(cell);
+  if (it == invariants_.end()) {
+    return true;  // unconstrained
+  }
+  return it->second.Admits(value);
+}
+
+void InvariantInference::ObserveWrite(ObjectId cell, uint64_t value) {
+  auto [it, inserted] = cells_.try_emplace(cell);
+  Accumulator& acc = it->second;
+  if (inserted) {
+    acc.min_value = value;
+    acc.max_value = value;
+    acc.first_value = value;
+  } else {
+    acc.min_value = std::min(acc.min_value, value);
+    acc.max_value = std::max(acc.max_value, value);
+    if (value != acc.first_value) {
+      acc.constant = false;
+    }
+  }
+  if (value == 0) {
+    acc.saw_zero = true;
+  }
+  ++acc.observations;
+}
+
+void InvariantInference::ObserveTrace(const std::vector<Event>& events) {
+  for (const Event& event : events) {
+    if (event.type == EventType::kSharedWrite || event.type == EventType::kSharedRmw) {
+      ObserveWrite(event.obj, event.value);
+    }
+  }
+}
+
+InvariantSet InvariantInference::Infer() const {
+  InvariantSet set;
+  for (const auto& [cell, acc] : cells_) {
+    CellInvariant invariant;
+    invariant.cell = cell;
+    invariant.observations = acc.observations;
+    invariant.constant = acc.constant && acc.observations >= 3;
+    invariant.never_zero = !acc.saw_zero && acc.observations >= 3;
+    const double span = static_cast<double>(acc.max_value - acc.min_value);
+    const uint64_t widen = static_cast<uint64_t>(std::ceil(span * slack_));
+    invariant.min_value = acc.min_value > widen ? acc.min_value - widen : 0;
+    invariant.max_value = acc.max_value + widen;
+    set.Insert(invariant);
+  }
+  return set;
+}
+
+void InvariantMonitor::OnEvent(const Event& event) {
+  if (event.type != EventType::kSharedWrite && event.type != EventType::kSharedRmw) {
+    return;
+  }
+  if (invariants_.Admits(event.obj, event.value)) {
+    return;
+  }
+  Violation violation;
+  violation.cell = event.obj;
+  violation.value = event.value;
+  violation.seq = event.seq;
+  violations_.push_back(violation);
+  if (callback_) {
+    callback_(violation);
+  }
+}
+
+}  // namespace ddr

@@ -1,0 +1,115 @@
+// Dynamic invariant inference and runtime monitoring (§3.1.2).
+//
+// Daikon-style likely invariants over instrumented shared cells, learned
+// from training runs before release: value ranges, constancy, non-zero.
+// In production, an InvariantMonitor checks every write; a violation is the
+// data-based RCSE signal that the execution is "likely on an error path",
+// dialing recording fidelity up.
+
+#ifndef SRC_ANALYSIS_INVARIANTS_H_
+#define SRC_ANALYSIS_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.h"
+
+namespace ddr {
+
+struct CellInvariant {
+  ObjectId cell = kInvalidObject;
+  uint64_t min_value = 0;
+  uint64_t max_value = 0;
+  bool constant = false;     // only one distinct value observed
+  bool never_zero = false;
+  uint64_t observations = 0;
+
+  bool Admits(uint64_t value) const {
+    if (constant && value != min_value) {
+      return false;
+    }
+    if (never_zero && value == 0) {
+      return false;
+    }
+    return value >= min_value && value <= max_value;
+  }
+
+  std::string ToString() const;
+};
+
+class InvariantSet {
+ public:
+  void Insert(CellInvariant invariant) { invariants_[invariant.cell] = invariant; }
+
+  // nullopt if the cell has no learned invariant (unconstrained).
+  std::optional<CellInvariant> ForCell(ObjectId cell) const;
+
+  bool Admits(ObjectId cell, uint64_t value) const;
+
+  size_t size() const { return invariants_.size(); }
+  const std::map<ObjectId, CellInvariant>& invariants() const { return invariants_; }
+
+ private:
+  std::map<ObjectId, CellInvariant> invariants_;
+};
+
+// Learns invariants from one or more training traces.
+class InvariantInference {
+ public:
+  // Widens learned ranges by this fraction on each side to reduce false
+  // positives from under-sampled training (0.0 = exact observed range).
+  explicit InvariantInference(double range_slack = 0.0) : slack_(range_slack) {}
+
+  void ObserveTrace(const std::vector<Event>& events);
+  void ObserveWrite(ObjectId cell, uint64_t value);
+
+  InvariantSet Infer() const;
+
+ private:
+  struct Accumulator {
+    uint64_t min_value = 0;
+    uint64_t max_value = 0;
+    uint64_t first_value = 0;
+    bool constant = true;
+    bool saw_zero = false;
+    uint64_t observations = 0;
+  };
+
+  double slack_;
+  std::map<ObjectId, Accumulator> cells_;
+};
+
+// Online monitor: checks writes against an InvariantSet and reports
+// violations (the data-based RCSE trigger signal).
+class InvariantMonitor : public TraceSink {
+ public:
+  struct Violation {
+    ObjectId cell = kInvalidObject;
+    uint64_t value = 0;
+    uint64_t seq = 0;
+  };
+
+  explicit InvariantMonitor(InvariantSet invariants)
+      : invariants_(std::move(invariants)) {}
+
+  void OnEvent(const Event& event) override;
+
+  void SetViolationCallback(std::function<void(const Violation&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  InvariantSet invariants_;
+  std::vector<Violation> violations_;
+  std::function<void(const Violation&)> callback_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_ANALYSIS_INVARIANTS_H_

@@ -1,0 +1,265 @@
+#include "src/analysis/race_detector.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+std::string RaceReport::ToString() const {
+  std::ostringstream os;
+  os << "race on cell " << cell << ": f" << first << " vs f" << second << " at #"
+     << seq << " (";
+  switch (kind) {
+    case Kind::kWriteWrite:
+      os << "write-write";
+      break;
+    case Kind::kReadWrite:
+      os << "read-write";
+      break;
+    case Kind::kWriteRead:
+      os << "write-read";
+      break;
+  }
+  os << ")";
+  return os.str();
+}
+
+VectorClock& RaceDetector::FiberClock(FiberId fiber) {
+  if (fiber_clocks_.size() <= fiber) {
+    fiber_clocks_.resize(fiber + 1);
+  }
+  VectorClock& vc = fiber_clocks_[fiber];
+  if (vc.Get(fiber) == 0) {
+    vc.Tick(fiber);  // every fiber starts with its own component at 1
+  }
+  return vc;
+}
+
+void RaceDetector::Report(ObjectId cell, FiberId first, FiberId second,
+                          uint64_t seq, RaceReport::Kind kind) {
+  if (report_once_per_cell_ && reported_cells_.count(cell) > 0) {
+    return;
+  }
+  reported_cells_.insert(cell);
+  RaceReport report;
+  report.cell = cell;
+  report.first = first;
+  report.second = second;
+  report.seq = seq;
+  report.kind = kind;
+  races_.push_back(report);
+  if (callback_) {
+    callback_(report);
+  }
+}
+
+void RaceDetector::AcquireFrom(FiberId fiber, const VectorClock& source) {
+  FiberClock(fiber).Join(source);
+}
+
+void RaceDetector::ReleaseTo(FiberId fiber, VectorClock* target) {
+  VectorClock& vc = FiberClock(fiber);
+  target->Join(vc);
+  vc.Tick(fiber);
+}
+
+void RaceDetector::OnEvent(const Event& event) {
+  const FiberId fiber = event.fiber;
+  switch (event.type) {
+    case EventType::kFiberCreate: {
+      // Parent's clock is the child's starting knowledge.
+      const FiberId child = static_cast<FiberId>(event.value);
+      if (fiber != kInvalidFiber) {
+        VectorClock& child_vc = FiberClock(child);
+        child_vc.Join(FiberClock(fiber));
+        FiberClock(fiber).Tick(fiber);
+      } else {
+        FiberClock(child);
+      }
+      break;
+    }
+    case EventType::kMutexLock:
+    case EventType::kSemAcquire:
+      if (fiber != kInvalidFiber) {
+        AcquireFrom(fiber, sync_clocks_[event.obj]);
+      }
+      break;
+    case EventType::kMutexUnlock:
+    case EventType::kSemRelease:
+    case EventType::kCondSignal:
+    case EventType::kCondBroadcast:
+      if (fiber != kInvalidFiber) {
+        ReleaseTo(fiber, &sync_clocks_[event.obj]);
+      }
+      break;
+    case EventType::kFiberExit:
+      // Exiting fibers release into their join object so that joiners that
+      // never block (fast-path Join) still see the edge.
+      if (fiber != kInvalidFiber) {
+        ReleaseTo(fiber, &sync_clocks_[event.obj]);
+      }
+      break;
+    case EventType::kFiberUnblock: {
+      // Waker (event.fiber, possibly scheduler) -> woken fiber (event.value).
+      const FiberId woken = static_cast<FiberId>(event.value);
+      if (fiber == woken) {
+        // Fast-path join: the "waker" is the joiner itself; acquire from the
+        // join object the target released into at exit.
+        AcquireFrom(woken, sync_clocks_[event.obj]);
+      } else if (fiber != kInvalidFiber) {
+        VectorClock& woken_vc = FiberClock(woken);
+        woken_vc.Join(FiberClock(fiber));
+        FiberClock(fiber).Tick(fiber);
+      }
+      break;
+    }
+    case EventType::kChannelSend:
+      if (fiber != kInvalidFiber) {
+        ReleaseTo(fiber, &sync_clocks_[event.obj]);
+      }
+      break;
+    case EventType::kChannelRecv:
+      if (fiber != kInvalidFiber) {
+        AcquireFrom(fiber, sync_clocks_[event.obj]);
+      }
+      break;
+    case EventType::kNetSend:
+      if (fiber != kInvalidFiber) {
+        VectorClock& msg_vc = message_clocks_[event.value];
+        msg_vc.Join(FiberClock(fiber));
+        FiberClock(fiber).Tick(fiber);
+      }
+      break;
+    case EventType::kNetRecv: {
+      auto it = message_clocks_.find(event.value);
+      if (it != message_clocks_.end() && fiber != kInvalidFiber) {
+        AcquireFrom(fiber, it->second);
+        message_clocks_.erase(it);
+      }
+      break;
+    }
+    case EventType::kSharedRead: {
+      if (fiber == kInvalidFiber) {
+        break;
+      }
+      VectorClock& vc = FiberClock(fiber);
+      CellState& cell = cells_[event.obj];
+      if (!cell.last_write.IsZero() && !cell.last_write.LeqClock(vc)) {
+        Report(event.obj, cell.last_write.tid(), fiber, event.seq,
+               RaceReport::Kind::kWriteRead);
+      }
+      cell.reads.Set(fiber, vc.Get(fiber));
+      cell.has_reads = true;
+      break;
+    }
+    case EventType::kSharedWrite:
+    case EventType::kSharedRmw: {
+      if (fiber == kInvalidFiber) {
+        break;
+      }
+      VectorClock& vc = FiberClock(fiber);
+      CellState& cell = cells_[event.obj];
+      // An atomic RMW is a synchronization operation: it acquires the cell's
+      // sync clock *before* the race check (RMWs ordered by atomicity do not
+      // race each other) and releases into it afterwards.
+      if (event.type == EventType::kSharedRmw) {
+        vc.Join(sync_clocks_[event.obj]);
+      }
+      if (!cell.last_write.IsZero() && !cell.last_write.LeqClock(vc)) {
+        Report(event.obj, cell.last_write.tid(), fiber, event.seq,
+               RaceReport::Kind::kWriteWrite);
+      }
+      if (cell.has_reads && !cell.reads.HappensBeforeOrEqual(vc)) {
+        // Some read is concurrent with this write.
+        FiberId reader = kInvalidFiber;
+        for (uint32_t i = 0; i < cell.reads.size(); ++i) {
+          if (cell.reads.Get(i) > vc.Get(i)) {
+            reader = i;
+            break;
+          }
+        }
+        Report(event.obj, reader, fiber, event.seq, RaceReport::Kind::kReadWrite);
+      }
+      cell.last_write = Epoch(fiber, vc.Get(fiber));
+      cell.reads = VectorClock();
+      cell.has_reads = false;
+      if (event.type == EventType::kSharedRmw) {
+        VectorClock& cell_sync = sync_clocks_[event.obj];
+        cell_sync.Join(vc);
+        vc.Tick(fiber);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool RaceDetector::HasRaceOnCell(ObjectId cell) const {
+  for (const RaceReport& race : races_) {
+    if (race.cell == cell) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RaceReport> RaceDetector::Analyze(const std::vector<Event>& events) {
+  RaceDetector detector(/*report_once_per_cell=*/true);
+  for (const Event& event : events) {
+    detector.OnEvent(event);
+  }
+  return detector.races_;
+}
+
+// ------------------------------------------------------------------ lockset
+
+void LocksetDetector::OnEvent(const Event& event) {
+  const FiberId fiber = event.fiber;
+  switch (event.type) {
+    case EventType::kMutexLock:
+      held_[fiber].insert(event.obj);
+      break;
+    case EventType::kMutexUnlock:
+      held_[fiber].erase(event.obj);
+      break;
+    case EventType::kSharedRead:
+    case EventType::kSharedWrite: {
+      if (fiber == kInvalidFiber) {
+        break;
+      }
+      CellState& cell = cells_[event.obj];
+      cell.accessors.insert(fiber);
+      const std::set<ObjectId>& locks = held_[fiber];
+      if (!cell.initialized) {
+        cell.initialized = true;
+        cell.candidate_locks = locks;
+      } else {
+        std::set<ObjectId> intersection;
+        for (ObjectId lock : cell.candidate_locks) {
+          if (locks.count(lock) > 0) {
+            intersection.insert(lock);
+          }
+        }
+        cell.candidate_locks = std::move(intersection);
+      }
+      if (cell.accessors.size() > 1 && cell.candidate_locks.empty()) {
+        flagged_.insert(event.obj);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::set<ObjectId> LocksetDetector::Analyze(const std::vector<Event>& events) {
+  LocksetDetector detector;
+  for (const Event& event : events) {
+    detector.OnEvent(event);
+  }
+  return detector.flagged_;
+}
+
+}  // namespace ddr

@@ -1,0 +1,106 @@
+// Happens-before data-race detection (FastTrack-style) over the event
+// stream, plus an Eraser-style lockset variant.
+//
+// Roles in the toolkit (§3.1.3): as an *online* low-overhead potential-bug
+// detector that triggers RCSE fidelity dial-up the moment a race is
+// observed, and as an *offline* analysis that decides whether a (replayed)
+// execution contains the racy root cause.
+//
+// Happens-before edges tracked: program order, fiber create/join, mutex
+// release->acquire, semaphore release->acquire, condvar signal->wakeup
+// (via kFiberUnblock), channel send->recv, network send->recv.
+
+#ifndef SRC_ANALYSIS_RACE_DETECTOR_H_
+#define SRC_ANALYSIS_RACE_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/util/vector_clock.h"
+
+namespace ddr {
+
+struct RaceReport {
+  enum class Kind : uint8_t { kWriteWrite, kReadWrite, kWriteRead };
+
+  ObjectId cell = kInvalidObject;
+  FiberId first = kInvalidFiber;   // earlier access
+  FiberId second = kInvalidFiber;  // racing access
+  uint64_t seq = 0;                // event seq of the racing access
+  Kind kind = Kind::kWriteWrite;
+
+  std::string ToString() const;
+};
+
+class RaceDetector : public TraceSink {
+ public:
+  // report_once_per_cell: deduplicate reports per cell (online trigger use).
+  explicit RaceDetector(bool report_once_per_cell = true)
+      : report_once_per_cell_(report_once_per_cell) {}
+
+  void OnEvent(const Event& event) override;
+
+  const std::vector<RaceReport>& races() const { return races_; }
+  bool HasRaceOnCell(ObjectId cell) const;
+
+  // Invoked synchronously when a race is found (online trigger hook).
+  void SetRaceCallback(std::function<void(const RaceReport&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  // Offline convenience: run the detector over a full trace.
+  static std::vector<RaceReport> Analyze(const std::vector<Event>& events);
+
+ private:
+  struct CellState {
+    Epoch last_write;
+    VectorClock reads;   // last read per fiber
+    bool has_reads = false;
+  };
+
+  VectorClock& FiberClock(FiberId fiber);
+  void Report(ObjectId cell, FiberId first, FiberId second, uint64_t seq,
+              RaceReport::Kind kind);
+  void AcquireFrom(FiberId fiber, const VectorClock& source);
+  void ReleaseTo(FiberId fiber, VectorClock* target);
+
+  bool report_once_per_cell_;
+  std::vector<VectorClock> fiber_clocks_;
+  std::map<ObjectId, VectorClock> sync_clocks_;   // locks, sems, channels, queues
+  std::map<uint64_t, VectorClock> message_clocks_;  // in-flight network messages
+  std::map<ObjectId, CellState> cells_;
+  std::set<ObjectId> reported_cells_;
+  std::vector<RaceReport> races_;
+  std::function<void(const RaceReport&)> callback_;
+};
+
+// Eraser-style lockset discipline checker: a cell accessed by more than one
+// fiber whose candidate lockset becomes empty is flagged. Coarser than
+// happens-before (false positives possible); used for the detector ablation.
+class LocksetDetector : public TraceSink {
+ public:
+  void OnEvent(const Event& event) override;
+
+  const std::set<ObjectId>& flagged_cells() const { return flagged_; }
+
+  static std::set<ObjectId> Analyze(const std::vector<Event>& events);
+
+ private:
+  struct CellState {
+    bool initialized = false;
+    std::set<ObjectId> candidate_locks;
+    std::set<FiberId> accessors;
+  };
+
+  std::map<FiberId, std::set<ObjectId>> held_;
+  std::map<ObjectId, CellState> cells_;
+  std::set<ObjectId> flagged_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_ANALYSIS_RACE_DETECTOR_H_

@@ -1,0 +1,35 @@
+#include "src/analysis/root_cause.h"
+
+namespace ddr {
+
+std::vector<std::string> RootCauseCatalog::PresentCauses(
+    const ExecutionView& view) const {
+  std::vector<std::string> present;
+  for (const RootCauseSpec& spec : specs_) {
+    if (spec.present(view)) {
+      present.push_back(spec.id);
+    }
+  }
+  return present;
+}
+
+std::optional<std::string> RootCauseCatalog::DiagnosedCause(
+    const ExecutionView& view) const {
+  for (const RootCauseSpec& spec : specs_) {
+    if (spec.present(view)) {
+      return spec.id;
+    }
+  }
+  return std::nullopt;
+}
+
+bool RootCauseCatalog::ActualCausePresent(const ExecutionView& view) const {
+  for (const RootCauseSpec& spec : specs_) {
+    if (spec.id == actual_id_) {
+      return spec.present(view);
+    }
+  }
+  return false;
+}
+
+}  // namespace ddr

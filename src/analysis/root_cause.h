@@ -1,0 +1,63 @@
+// Root causes as checkable predicates (§3).
+//
+// The paper defines a root cause as the negation of the predicate P that a
+// fix would enforce. Operationally, a RootCauseSpec is a predicate over a
+// (replayed) execution that decides whether that candidate root cause is
+// exercised in the execution and causally precedes the failure. A scenario's
+// catalog lists all candidate root causes for a failure (the "n" in the
+// paper's DF = 1/n) and names the actual one.
+
+#ifndef SRC_ANALYSIS_ROOT_CAUSE_H_
+#define SRC_ANALYSIS_ROOT_CAUSE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/sim/outcome.h"
+
+namespace ddr {
+
+// A finished execution under analysis: the full event trace + its outcome.
+struct ExecutionView {
+  const std::vector<Event>& events;
+  const Outcome& outcome;
+};
+
+struct RootCauseSpec {
+  std::string id;
+  std::string description;
+  // True if this root cause is present in (and plausibly caused) the
+  // execution's failure.
+  std::function<bool(const ExecutionView&)> present;
+};
+
+class RootCauseCatalog {
+ public:
+  RootCauseCatalog() = default;
+  RootCauseCatalog(std::vector<RootCauseSpec> specs, std::string actual_id)
+      : specs_(std::move(specs)), actual_id_(std::move(actual_id)) {}
+
+  const std::vector<RootCauseSpec>& specs() const { return specs_; }
+  const std::string& actual_id() const { return actual_id_; }
+  size_t size() const { return specs_.size(); }
+
+  // Ids of all root causes present in the execution.
+  std::vector<std::string> PresentCauses(const ExecutionView& view) const;
+
+  // The cause "reported to the developer": the first present cause in
+  // catalog order (deterministic), or nullopt if none matched.
+  std::optional<std::string> DiagnosedCause(const ExecutionView& view) const;
+
+  bool ActualCausePresent(const ExecutionView& view) const;
+
+ private:
+  std::vector<RootCauseSpec> specs_;
+  std::string actual_id_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_ANALYSIS_ROOT_CAUSE_H_

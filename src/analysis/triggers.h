@@ -1,0 +1,168 @@
+// Dynamic triggers for combined code/data selection (§3.1.3).
+//
+// A trigger is a predicate over the live event stream that detects deviant
+// behavior — a potential root cause — and asks the RCSE machinery to dial
+// recording fidelity up. Provided potential-bug detectors:
+//   RaceTrigger       — fires when the online race detector reports a race
+//   InvariantTrigger  — fires on a learned-invariant violation
+//   LargeInputTrigger — data-based selection on request size (§3.1.2)
+//   AnnotationTrigger — fires on program-emitted deviance annotations
+//                       (e.g. "ignored syscall error" bug fingerprints)
+
+#ifndef SRC_ANALYSIS_TRIGGERS_H_
+#define SRC_ANALYSIS_TRIGGERS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/invariants.h"
+#include "src/analysis/race_detector.h"
+#include "src/sim/event.h"
+
+namespace ddr {
+
+class Trigger {
+ public:
+  explicit Trigger(std::string name) : name_(std::move(name)) {}
+  virtual ~Trigger() = default;
+
+  virtual void Observe(const Event& event) = 0;
+
+  const std::string& name() const { return name_; }
+  uint64_t fire_count() const { return fire_count_; }
+  uint64_t last_fire_seq() const { return last_fire_seq_; }
+
+  using FireCallback = std::function<void(const Trigger& trigger, const Event& event)>;
+  void SetFireCallback(FireCallback callback) { callback_ = std::move(callback); }
+
+ protected:
+  void Fire(const Event& event) {
+    ++fire_count_;
+    last_fire_seq_ = event.seq;
+    if (callback_) {
+      callback_(*this, event);
+    }
+  }
+
+ private:
+  std::string name_;
+  uint64_t fire_count_ = 0;
+  uint64_t last_fire_seq_ = 0;
+  FireCallback callback_;
+};
+
+class RaceTrigger : public Trigger {
+ public:
+  RaceTrigger() : Trigger("race") {
+    detector_.SetRaceCallback([this](const RaceReport& report) {
+      pending_ = true;
+      (void)report;
+    });
+  }
+
+  void Observe(const Event& event) override {
+    pending_ = false;
+    detector_.OnEvent(event);
+    if (pending_) {
+      Fire(event);
+    }
+  }
+
+  const RaceDetector& detector() const { return detector_; }
+
+ private:
+  RaceDetector detector_{/*report_once_per_cell=*/true};
+  bool pending_ = false;
+};
+
+class InvariantTrigger : public Trigger {
+ public:
+  explicit InvariantTrigger(InvariantSet invariants)
+      : Trigger("invariant"), monitor_(std::move(invariants)) {
+    monitor_.SetViolationCallback(
+        [this](const InvariantMonitor::Violation&) { pending_ = true; });
+  }
+
+  void Observe(const Event& event) override {
+    pending_ = false;
+    monitor_.OnEvent(event);
+    if (pending_) {
+      Fire(event);
+    }
+  }
+
+ private:
+  InvariantMonitor monitor_;
+  bool pending_ = false;
+};
+
+// Fires when an input event moves at least `threshold_bytes` (the paper's
+// "record with high determinism when request sizes exceed a threshold").
+class LargeInputTrigger : public Trigger {
+ public:
+  explicit LargeInputTrigger(uint32_t threshold_bytes)
+      : Trigger("large-input"), threshold_(threshold_bytes) {}
+
+  void Observe(const Event& event) override {
+    if (event.type == EventType::kInput && event.bytes >= threshold_) {
+      Fire(event);
+    }
+  }
+
+ private:
+  uint32_t threshold_;
+};
+
+// Fires on kAnnotation events carrying a matching deviance tag.
+class AnnotationTrigger : public Trigger {
+ public:
+  explicit AnnotationTrigger(uint64_t tag)
+      : Trigger("annotation"), tag_(tag) {}
+
+  void Observe(const Event& event) override {
+    if (event.type == EventType::kAnnotation && event.obj == tag_) {
+      Fire(event);
+    }
+  }
+
+ private:
+  uint64_t tag_;
+};
+
+// Owns a set of triggers and dispatches events to all of them.
+class TriggerSet {
+ public:
+  void Add(std::unique_ptr<Trigger> trigger) { triggers_.push_back(std::move(trigger)); }
+
+  void Observe(const Event& event) {
+    for (auto& trigger : triggers_) {
+      trigger->Observe(event);
+    }
+  }
+
+  void SetFireCallback(const Trigger::FireCallback& callback) {
+    for (auto& trigger : triggers_) {
+      trigger->SetFireCallback(callback);
+    }
+  }
+
+  uint64_t TotalFires() const {
+    uint64_t total = 0;
+    for (const auto& trigger : triggers_) {
+      total += trigger->fire_count();
+    }
+    return total;
+  }
+
+  size_t size() const { return triggers_.size(); }
+  const std::vector<std::unique_ptr<Trigger>>& triggers() const { return triggers_; }
+
+ private:
+  std::vector<std::unique_ptr<Trigger>> triggers_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_ANALYSIS_TRIGGERS_H_

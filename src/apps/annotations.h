@@ -1,0 +1,35 @@
+// Annotation tags shared between the buggy apps and their root-cause specs.
+//
+// Programs mark ground-truth facts (e.g. "the corrupted table entry was
+// actually used") as kAnnotation events; root-cause predicates look these
+// up in replayed traces. Tags are FNV hashes of stable names.
+
+#ifndef SRC_APPS_ANNOTATIONS_H_
+#define SRC_APPS_ANNOTATIONS_H_
+
+#include "src/util/hash.h"
+
+namespace ddr {
+
+// sum app: the corrupted carry-table entry was consulted.
+inline constexpr uint64_t kTagSumCorruptEntryUsed = FnvHash("sum.corrupt-entry-used");
+
+// msgdrop app: the id of the racy tail-index cell.
+inline constexpr uint64_t kTagMsgdropTailCell = FnvHash("msgdrop.tail-cell");
+// msgdrop app: a buffer slot was overwritten before being drained.
+inline constexpr uint64_t kTagMsgdropLostSlot = FnvHash("msgdrop.lost-slot");
+
+// overflow app: copy executed without a length check.
+inline constexpr uint64_t kTagOverflowUncheckedCopy = FnvHash("overflow.unchecked-copy");
+
+// Hypertable-lite: a row was committed to a server that no longer owns the
+// row's range (the issue-63 data-loss race actually firing).
+inline constexpr uint64_t kTagHtLostRowCommit = FnvHash("ht.lost-row-commit");
+// Hypertable-lite: the dump client's allocation failed and was swallowed.
+inline constexpr uint64_t kTagHtOomDuringDump = FnvHash("ht.oom-during-dump");
+// Hypertable-lite: ids of the per-range ownership cells.
+inline constexpr uint64_t kTagHtOwnershipCell = FnvHash("ht.ownership-cell");
+
+}  // namespace ddr
+
+#endif  // SRC_APPS_ANNOTATIONS_H_

@@ -1,0 +1,138 @@
+#include "src/apps/msgdrop_app.h"
+
+#include <memory>
+
+#include "src/apps/annotations.h"
+#include "src/sim/channel.h"
+#include "src/sim/network.h"
+#include "src/sim/shared_var.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+MsgDropProgram::MsgDropProgram(MsgDropOptions options)
+    : options_(options), world_rng_(options.world_seed) {}
+
+void MsgDropProgram::Configure(Environment& env) {
+  env.RegisterInputSource("msgdrop.payload", [this] { return world_rng_.Next(); });
+  env.SetIoSpec([this](const Outcome& outcome) -> std::optional<FailureInfo> {
+    // Output: one record per message the server managed to deliver.
+    const double delivered = static_cast<double>(outcome.outputs.size());
+    const double threshold =
+        options_.min_delivery_fraction * static_cast<double>(options_.num_messages);
+    if (delivered >= threshold) {
+      return std::nullopt;
+    }
+    FailureInfo failure;
+    failure.kind = FailureKind::kPerformance;
+    failure.message = "message drop rate above SLO";
+    failure.node = 0;
+    return failure;
+  });
+}
+
+void MsgDropProgram::Main(Environment& env) {
+  const RegionId rx_region = env.RegisterRegion("msgdrop.rx");       // data plane
+  const RegionId enqueue_region = env.RegisterRegion("msgdrop.enqueue");  // control
+  const RegionId client_region = env.RegisterRegion("msgdrop.client");    // data plane
+
+  const NodeId server_node = env.AddNode("server");
+  NetworkOptions net_options;
+  net_options.base_latency = 30 * kMicrosecond;
+  net_options.jitter_mean = 10 * kMicrosecond;
+  Network net(env, net_options);
+  const ObjectId client_ep = net.CreateEndpoint(0, "msgdrop.client.ep");
+  const ObjectId server_ep = net.CreateEndpoint(server_node, "msgdrop.server.ep");
+
+  // Ring buffer shared by the NIC workers. Slots hold message ids (1-based;
+  // 0 = empty). The tail index is the racy cell.
+  const uint32_t capacity = options_.num_messages * 2;
+  std::vector<uint64_t> slots(capacity, 0);
+  SharedVar<uint64_t> tail(env, "msgdrop.tail", 0);
+  env.Annotate(kTagMsgdropTailCell, tail.id());
+
+  // Demultiplex: one dispatcher pulls from the endpoint and hands packets to
+  // worker fibers over a channel (channel edges keep HB exact).
+  Channel<uint64_t> packets(env, "msgdrop.packets");
+
+  std::vector<FiberId> workers;
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers.push_back(env.SpawnOnNode(server_node, "worker" + std::to_string(w), [&] {
+      for (;;) {
+        const uint64_t msg_id = packets.Recv(options_.payload_bytes);
+        if (msg_id == 0) {
+          return;  // poison pill
+        }
+        RegionScope scope(env, enqueue_region);
+        if (options_.bug_enabled) {
+          // BUG: load + store of the tail index is not atomic; two workers
+          // can claim the same slot and one message is overwritten.
+          const uint64_t t = tail.Load();
+          slots[t % capacity] = msg_id;
+          tail.Store(t + 1);
+        } else {
+          const uint64_t t = tail.FetchAdd(1);
+          slots[t % capacity] = msg_id;
+        }
+      }
+    }));
+  }
+
+  const FiberId dispatcher = env.SpawnOnNode(server_node, "dispatcher", [&] {
+    RegionScope scope(env, rx_region);
+    uint64_t received = 0;
+    while (received < options_.num_messages) {
+      auto msg = net.Recv(server_ep, /*timeout=*/200 * kMillisecond);
+      if (!msg.has_value()) {
+        break;  // sender gave up (congestion drops)
+      }
+      ++received;
+      packets.Send(msg->tag, options_.payload_bytes);
+    }
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      packets.Send(0, 1);  // poison pills
+    }
+  });
+
+  // Client: fires num_messages packets at the server.
+  const FiberId client = env.Spawn("client", [&] {
+    RegionScope scope(env, client_region);
+    const ObjectId payload_src = [&] {
+      for (ObjectId id = 0; id < env.num_objects(); ++id) {
+        if (env.object_info(id).name == "msgdrop.payload") {
+          return id;
+        }
+      }
+      return kInvalidObject;
+    }();
+    for (uint32_t i = 1; i <= options_.num_messages; ++i) {
+      const uint64_t payload = env.ReadInput(payload_src, options_.payload_bytes);
+      net.Send(client_ep, server_ep, /*tag=*/i,
+               std::string(options_.payload_bytes, static_cast<char>('a' + payload % 26)));
+    }
+  });
+
+  env.Join(client);
+  env.Join(dispatcher);
+  for (FiberId worker : workers) {
+    env.Join(worker);
+  }
+
+  // Drain: emit one output per message that survived in the buffer; mark
+  // lost slots (ground truth for the root-cause predicate).
+  const uint64_t final_tail = tail.Peek();
+  messages_accepted_ = final_tail;
+  uint64_t delivered = 0;
+  for (uint64_t i = 0; i < final_tail && i < capacity; ++i) {
+    if (slots[i] != 0) {
+      env.EmitOutput(slots[i], options_.payload_bytes);
+      ++delivered;
+    }
+  }
+  const uint64_t arrived = net.messages_delivered();
+  if (delivered < arrived) {
+    env.Annotate(kTagMsgdropLostSlot, arrived - delivered);
+  }
+}
+
+}  // namespace ddr

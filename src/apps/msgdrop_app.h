@@ -1,0 +1,53 @@
+// The §2 message-drop server: a server drops messages at higher than
+// expected rates. The true root cause is a lost-update race on the shared
+// ring-buffer tail index between two NIC worker fibers; a plausible — and
+// wrong — alternative explanation is network congestion.
+//
+// A failure-deterministic replay debugger that hypothesizes congestion
+// reproduces the same failure (high drop rate) through the wrong root
+// cause, "deceiving the developer into thinking there isn't a problem at
+// all" — debugging fidelity 1/2.
+
+#ifndef SRC_APPS_MSGDROP_APP_H_
+#define SRC_APPS_MSGDROP_APP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/environment.h"
+#include "src/sim/program.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+
+struct MsgDropOptions {
+  uint64_t world_seed = 1;
+  bool bug_enabled = true;   // racy tail update vs. atomic FetchAdd
+  uint32_t num_messages = 120;
+  uint32_t num_workers = 3;
+  uint32_t payload_bytes = 64;
+  // Failure threshold: delivering less than this fraction is out of spec
+  // (a *performance* failure — the paper includes performance in output).
+  double min_delivery_fraction = 0.97;
+};
+
+class MsgDropProgram : public SimProgram {
+ public:
+  explicit MsgDropProgram(MsgDropOptions options);
+
+  std::string name() const override { return "msgdrop"; }
+  void Configure(Environment& env) override;
+  void Main(Environment& env) override;
+
+  uint64_t messages_accepted() const { return messages_accepted_; }
+
+ private:
+  MsgDropOptions options_;
+  Rng world_rng_;
+  uint64_t messages_accepted_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_APPS_MSGDROP_APP_H_

@@ -1,0 +1,45 @@
+#include "src/apps/overflow_app.h"
+
+#include "src/apps/annotations.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+OverflowProgram::OverflowProgram(OverflowOptions options)
+    : options_(options), world_rng_(options.world_seed) {}
+
+void OverflowProgram::Configure(Environment& env) {
+  env.RegisterInputSource(kInputLen, [this] {
+    return static_cast<uint64_t>(
+        world_rng_.NextInRange(options_.min_len, options_.max_len));
+  });
+}
+
+void OverflowProgram::Main(Environment& env) {
+  ObjectId len_src = kInvalidObject;
+  for (ObjectId id = 0; id < env.num_objects(); ++id) {
+    if (env.object_info(id).name == kInputLen) {
+      len_src = id;
+    }
+  }
+  for (uint32_t i = 0; i < options_.num_requests; ++i) {
+    const uint64_t len = env.ReadInput(len_src, static_cast<uint32_t>(
+                                                     options_.max_len));
+    if (!options_.bug_enabled) {
+      // The fix: predicate P — reject requests longer than the buffer.
+      if (len > static_cast<uint64_t>(options_.buffer_capacity)) {
+        env.EmitOutput(0);  // rejected
+        continue;
+      }
+    } else {
+      env.Annotate(kTagOverflowUncheckedCopy, len);
+    }
+    // The copy. With the bug, an oversized request smashes the stack.
+    if (len > static_cast<uint64_t>(options_.buffer_capacity)) {
+      env.Abort(FailureKind::kCrash, "buffer overflow in request handler");
+    }
+    env.EmitOutput(len);
+  }
+}
+
+}  // namespace ddr

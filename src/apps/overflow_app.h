@@ -1,0 +1,49 @@
+// The §3 buffer-overflow example: a request handler copies each request
+// into a fixed-size buffer. The fixed program checks the request length
+// first; the buggy program does not, and crashes on oversized requests.
+//
+// The fix predicate P is "len <= capacity checked before the copy"; the
+// root cause is its negation (the unchecked copy). This program grounds the
+// paper's definition of root causes as fix predicates, and its solver-backed
+// symbolic model lets output-deterministic inference reconstruct the crash
+// from recorded outputs alone.
+
+#ifndef SRC_APPS_OVERFLOW_APP_H_
+#define SRC_APPS_OVERFLOW_APP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/environment.h"
+#include "src/sim/program.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+
+struct OverflowOptions {
+  uint64_t world_seed = 1;
+  bool bug_enabled = true;  // skip the length check (negation of P)
+  uint32_t num_requests = 3;
+  int64_t min_len = 1;
+  int64_t max_len = 64;
+  int64_t buffer_capacity = 48;
+};
+
+class OverflowProgram : public SimProgram {
+ public:
+  explicit OverflowProgram(OverflowOptions options);
+
+  std::string name() const override { return "overflow"; }
+  void Configure(Environment& env) override;
+  void Main(Environment& env) override;
+
+  static constexpr const char* kInputLen = "overflow.len";
+
+ private:
+  OverflowOptions options_;
+  Rng world_rng_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_APPS_OVERFLOW_APP_H_

@@ -1,0 +1,65 @@
+#include "src/apps/sum_app.h"
+
+#include "src/apps/annotations.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+SumProgram::SumProgram(SumOptions options)
+    : options_(options), world_rng_(options.world_seed) {}
+
+void SumProgram::Configure(Environment& env) {
+  env.RegisterInputSource(kInputA, [this] {
+    return static_cast<uint64_t>(
+        world_rng_.NextInRange(options_.input_lo, options_.input_hi));
+  });
+  env.RegisterInputSource(kInputB, [this] {
+    return static_cast<uint64_t>(
+        world_rng_.NextInRange(options_.input_lo, options_.input_hi));
+  });
+  env.SetIoSpec([this](const Outcome& outcome) -> std::optional<FailureInfo> {
+    if (outcome.outputs.size() != 1) {
+      return std::nullopt;  // crashed earlier; not this spec's business
+    }
+    const uint64_t got = outcome.outputs[0].value;
+    if (got == last_a_ + last_b_) {
+      return std::nullopt;
+    }
+    FailureInfo failure;
+    failure.kind = FailureKind::kSpecViolation;
+    failure.message = StrPrintf("sum mismatch: got %llu",
+                                static_cast<unsigned long long>(got));
+    failure.node = 0;
+    return failure;
+  });
+}
+
+uint64_t SumProgram::AddViaTable(Environment& env, uint64_t a, uint64_t b) const {
+  // Models the array-indexing bug: the carry table row for (2, 2) mod 4 was
+  // corrupted by an off-by-one write elsewhere, so lookups through it add 1.
+  uint64_t result = a + b;
+  if (options_.bug_enabled && (a & 3) == 2 && (b & 3) == 2) {
+    env.Annotate(kTagSumCorruptEntryUsed, (a << 8) | b);
+    result += 1;
+  }
+  return result;
+}
+
+void SumProgram::Main(Environment& env) {
+  // Input source ids are deterministic: the first two registered objects.
+  ObjectId src_a = kInvalidObject;
+  ObjectId src_b = kInvalidObject;
+  for (ObjectId id = 0; id < env.num_objects(); ++id) {
+    const ObjectInfo& info = env.object_info(id);
+    if (info.name == kInputA) {
+      src_a = id;
+    } else if (info.name == kInputB) {
+      src_b = id;
+    }
+  }
+  last_a_ = env.ReadInput(src_a);
+  last_b_ = env.ReadInput(src_b);
+  env.EmitOutput(AddViaTable(env, last_a_, last_b_));
+}
+
+}  // namespace ddr

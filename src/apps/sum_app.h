@@ -1,0 +1,53 @@
+// The §2 sum bug: a program that outputs the sum of two numbers but, due to
+// an array-indexing defect in its lookup-table adder, outputs 5 for inputs
+// (2, 2).
+//
+// Under output determinism, inference only has to reproduce the output "5";
+// the lexicographically first solution of x + y == 5 is (0, 5) — a correct,
+// non-failing execution — so the failure is not reproduced and debugging
+// fidelity is 0. This program exists to demonstrate exactly that.
+
+#ifndef SRC_APPS_SUM_APP_H_
+#define SRC_APPS_SUM_APP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/environment.h"
+#include "src/sim/program.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+
+struct SumOptions {
+  uint64_t world_seed = 1;
+  bool bug_enabled = true;
+  int64_t input_lo = 0;
+  int64_t input_hi = 10;
+};
+
+class SumProgram : public SimProgram {
+ public:
+  explicit SumProgram(SumOptions options);
+
+  std::string name() const override { return "sum"; }
+  void Configure(Environment& env) override;
+  void Main(Environment& env) override;
+
+  // The defective adder: correct except that the corrupted carry-table entry
+  // at index (2, 2) (mod 4) adds an extra 1.
+  uint64_t AddViaTable(Environment& env, uint64_t a, uint64_t b) const;
+
+  static constexpr const char* kInputA = "sum.a";
+  static constexpr const char* kInputB = "sum.b";
+
+ private:
+  SumOptions options_;
+  Rng world_rng_;
+  uint64_t last_a_ = 0;
+  uint64_t last_b_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_APPS_SUM_APP_H_

@@ -1,0 +1,68 @@
+#include "src/core/determinism_model.h"
+
+namespace ddr {
+
+std::string_view DeterminismModelName(DeterminismModel model) {
+  switch (model) {
+    case DeterminismModel::kPerfect:
+      return "perfect";
+    case DeterminismModel::kValue:
+      return "value";
+    case DeterminismModel::kOutputHeavy:
+      return "output-heavy";
+    case DeterminismModel::kOutputOnly:
+      return "output";
+    case DeterminismModel::kFailure:
+      return "failure";
+    case DeterminismModel::kDebugRcse:
+      return "debug (RCSE)";
+  }
+  return "unknown";
+}
+
+std::string_view DeterminismModelSystem(DeterminismModel model) {
+  switch (model) {
+    case DeterminismModel::kPerfect:
+      return "SMP-ReVirt-class";
+    case DeterminismModel::kValue:
+      return "iDNA / Friday";
+    case DeterminismModel::kOutputHeavy:
+      return "ODR (heavy)";
+    case DeterminismModel::kOutputOnly:
+      return "ODR (light)";
+    case DeterminismModel::kFailure:
+      return "ESD";
+    case DeterminismModel::kDebugRcse:
+      return "RCSE";
+  }
+  return "unknown";
+}
+
+ReplayMode ReplayModeFor(DeterminismModel model) {
+  switch (model) {
+    case DeterminismModel::kPerfect:
+      return ReplayMode::kPerfect;
+    case DeterminismModel::kValue:
+      return ReplayMode::kValue;
+    case DeterminismModel::kOutputHeavy:
+      return ReplayMode::kOutputHeavy;
+    case DeterminismModel::kOutputOnly:
+      return ReplayMode::kOutputOnly;
+    case DeterminismModel::kFailure:
+      return ReplayMode::kFailure;
+    case DeterminismModel::kDebugRcse:
+      return ReplayMode::kRcse;
+  }
+  return ReplayMode::kPerfect;
+}
+
+const std::vector<DeterminismModel>& AllDeterminismModels() {
+  static const std::vector<DeterminismModel> kModels = {
+      DeterminismModel::kPerfect,     DeterminismModel::kValue,
+      DeterminismModel::kOutputHeavy, DeterminismModel::kOutputOnly,
+      DeterminismModel::kFailure,     DeterminismModel::kDebugRcse,
+  };
+  return kModels;
+}
+
+}  // namespace ddr

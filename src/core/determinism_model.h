@@ -1,0 +1,38 @@
+// The determinism-model lattice of §2, as first-class values.
+//
+// Chronological relaxation order (Fig. 1): perfect -> value (iDNA) ->
+// output (ODR) -> failure (ESD), with debug determinism (RCSE) off the
+// curve: near-failure-determinism overhead at near-perfect utility.
+
+#ifndef SRC_CORE_DETERMINISM_MODEL_H_
+#define SRC_CORE_DETERMINISM_MODEL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/replay/replayer.h"
+
+namespace ddr {
+
+enum class DeterminismModel {
+  kPerfect = 0,      // record every nondeterministic event
+  kValue = 1,        // iDNA/Friday: values at every access + interleavings
+  kOutputHeavy = 2,  // ODR's heavier scheme: outputs + inputs + sync order
+  kOutputOnly = 3,   // ODR's lightest scheme: outputs only
+  kFailure = 4,      // ESD: failure snapshot only, inference does the rest
+  kDebugRcse = 5,    // debug determinism via root-cause-driven selectivity
+};
+
+std::string_view DeterminismModelName(DeterminismModel model);
+std::string_view DeterminismModelSystem(DeterminismModel model);  // e.g. "iDNA"
+
+// The replay strategy implied by each model.
+ReplayMode ReplayModeFor(DeterminismModel model);
+
+// All models in Fig. 1's chronological relaxation order, ending with debug
+// determinism.
+const std::vector<DeterminismModel>& AllDeterminismModels();
+
+}  // namespace ddr
+
+#endif  // SRC_CORE_DETERMINISM_MODEL_H_

@@ -1,0 +1,217 @@
+#include "src/core/experiment.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+ExperimentHarness::ExperimentHarness(BugScenario scenario)
+    : scenario_(std::move(scenario)) {
+  CHECK(scenario_.make_program != nullptr) << "scenario needs make_program";
+}
+
+Status ExperimentHarness::Prepare() {
+  if (prepared_) {
+    return OkStatus();
+  }
+  uint64_t first_seed = scenario_.production_sched_seed;
+  uint64_t last_seed = scenario_.production_sched_seed;
+  if (scenario_.production_sched_seed == 0) {
+    first_seed = BugScenario::kProductionSeedBase + 1;
+    last_seed = BugScenario::kProductionSeedBase + scenario_.max_seed_search;
+  }
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    Environment::Options options = scenario_.env_options;
+    options.seed = seed;
+    Environment env(options);
+    CollectingSink sink;
+    env.AddTraceSink(&sink);
+    std::unique_ptr<SimProgram> program =
+        scenario_.make_program(scenario_.production_world_seed);
+    Outcome outcome = env.Run(*program);
+    if (outcome.Failed()) {
+      production_sched_seed_ = seed;
+      production_outcome_ = std::move(outcome);
+      production_trace_ = sink.events();
+      production_wall_seconds_ = production_outcome_.stats.wall_seconds;
+      prepared_ = true;
+      return OkStatus();
+    }
+  }
+  return NotFoundError("no failing production execution found for scenario '" +
+                       scenario_.name + "'");
+}
+
+ExperimentHarness::ProductionRun ExperimentHarness::RunProduction(
+    Recorder* recorder, CollectingSink* sink) {
+  CHECK(prepared_) << "call Prepare() first";
+  Environment::Options options = scenario_.env_options;
+  options.seed = production_sched_seed_;
+  Environment env(options);
+  if (recorder != nullptr) {
+    recorder->AttachEnvironment(&env);
+    env.AddTraceSink(recorder);
+  }
+  if (sink != nullptr) {
+    env.AddTraceSink(sink);
+  }
+  std::unique_ptr<SimProgram> program =
+      scenario_.make_program(scenario_.production_world_seed);
+  ProductionRun run;
+  run.outcome = env.Run(*program);
+  run.cpu_nanos = env.cpu_nanos();
+  run.overhead_nanos = env.recording_overhead_nanos();
+  run.recorded_bytes = env.recorded_bytes();
+  run.wall_seconds = run.outcome.stats.wall_seconds;
+  // Recording must never perturb the execution.
+  CHECK_EQ(run.outcome.trace_fingerprint, production_outcome_.trace_fingerprint)
+      << "recorder perturbed the production execution";
+  return run;
+}
+
+void ExperimentHarness::RunTrainingIfNeeded() {
+  if (trained_) {
+    return;
+  }
+  trained_ = true;
+
+  Environment::Options options = scenario_.env_options;
+  options.seed = scenario_.training_sched_seed;
+  Environment env(options);
+  PlaneProfiler profiler;
+  CollectingSink sink;
+  env.AddTraceSink(&profiler);
+  env.AddTraceSink(&sink);
+  std::unique_ptr<SimProgram> program =
+      scenario_.make_program(scenario_.training_world_seed);
+  (void)env.Run(*program);
+
+  region_names_.clear();
+  for (size_t i = 0; i < env.num_regions(); ++i) {
+    region_names_.push_back(env.region_name(static_cast<RegionId>(i)));
+  }
+
+  control_regions_.clear();
+  if (!scenario_.control_region_names.empty()) {
+    for (size_t i = 0; i < region_names_.size(); ++i) {
+      for (const std::string& name : scenario_.control_region_names) {
+        if (region_names_[i] == name) {
+          control_regions_.insert(static_cast<RegionId>(i));
+        }
+      }
+    }
+  } else {
+    for (RegionId region : PlaneClassifier::ControlRegions(
+             profiler.profiles(), scenario_.classifier_options)) {
+      control_regions_.insert(region);
+    }
+  }
+
+  InvariantInference inference(/*range_slack=*/0.1);
+  inference.ObserveTrace(sink.events());
+  trained_invariants_ = inference.Infer();
+}
+
+std::unique_ptr<Recorder> ExperimentHarness::MakeRecorder(DeterminismModel model) {
+  switch (model) {
+    case DeterminismModel::kPerfect:
+      return std::make_unique<PerfectRecorder>();
+    case DeterminismModel::kValue:
+      return std::make_unique<ValueRecorder>();
+    case DeterminismModel::kOutputHeavy:
+      return std::make_unique<OutputRecorder>(OutputRecorder::Mode::kOdrHeavy);
+    case DeterminismModel::kOutputOnly:
+      return std::make_unique<OutputRecorder>(OutputRecorder::Mode::kOutputsOnly);
+    case DeterminismModel::kFailure:
+      return std::make_unique<FailureRecorder>();
+    case DeterminismModel::kDebugRcse: {
+      RunTrainingIfNeeded();
+      RcseOptions options;
+      options.mode = scenario_.rcse_mode;
+      options.control_regions = control_regions_;
+      options.dial_down_after = scenario_.rcse_dial_down_after;
+      auto triggers = std::make_unique<TriggerSet>();
+      if (scenario_.rcse_mode != RcseMode::kCodeBased) {
+        triggers->Add(std::make_unique<RaceTrigger>());
+        if (scenario_.configure_triggers) {
+          scenario_.configure_triggers(triggers.get(), trained_invariants_);
+        }
+      }
+      return std::make_unique<RcseRecorder>(options, std::move(triggers));
+    }
+  }
+  LOG(FATAL) << "unreachable";
+  return nullptr;
+}
+
+ReplayTarget ExperimentHarness::MakeReplayTarget() const {
+  ReplayTarget target;
+  target.make_program = scenario_.make_program;
+  target.env_options = scenario_.env_options;
+  target.candidate_fault_plans = scenario_.candidate_fault_plans;
+  target.input_domains = scenario_.input_domains;
+  target.symbolic_model = scenario_.symbolic_model;
+  target.world_seeds_to_try = scenario_.world_seeds_to_try;
+  target.sched_seeds_to_try = scenario_.sched_seeds_to_try;
+  return target;
+}
+
+ExperimentRow ExperimentHarness::RunModel(DeterminismModel model) {
+  CHECK(prepared_) << "call Prepare() first";
+  ExperimentRow row;
+  row.model = model;
+  row.model_name = std::string(DeterminismModelName(model));
+
+  // 1. Record the production execution.
+  std::unique_ptr<Recorder> recorder = MakeRecorder(model);
+  ProductionRun recorded = RunProduction(recorder.get(), nullptr);
+
+  RecordedExecution recording;
+  recording.model = recorder->model_name();
+  recording.log = recorder->TakeLog();
+  recording.snapshot = FailureSnapshot::FromOutcome(recorded.outcome);
+  recording.recorded_bytes = recorded.recorded_bytes;
+  recording.overhead_nanos = recorded.overhead_nanos;
+  recording.cpu_nanos = recorded.cpu_nanos;
+  recording.intercepted_events = recorder->intercepted_events();
+  recording.recorded_events = recorder->recorded_events();
+  recording.original_outcome = recorded.outcome;
+
+  row.overhead_multiplier = recording.OverheadMultiplier();
+  row.log_bytes = recording.TotalLogBytes();
+  row.recorded_events = recording.recorded_events;
+  row.original_wall_seconds = recorded.wall_seconds;
+
+  // 2. Replay from the recording alone.
+  Replayer replayer(MakeReplayTarget(), scenario_.inference_budget);
+  ReplayResult replay = replayer.Replay(recording, ReplayModeFor(model));
+  row.failure_reproduced = replay.failure_reproduced;
+  row.divergences = replay.divergences;
+  row.inference = replay.inference;
+  row.input_assignment = replay.input_assignment;
+  row.replay_wall_seconds = replay.wall_seconds;
+
+  // 3. Score.
+  const FidelityResult fidelity = EvaluateFidelity(scenario_.catalog, replay);
+  row.diagnosed_cause = fidelity.diagnosed_cause;
+  row.fidelity = fidelity.value();
+  row.efficiency = DebuggingEfficiency(row.original_wall_seconds, replay.wall_seconds);
+  row.utility = DebuggingUtility(row.fidelity, row.efficiency);
+
+  if (model == DeterminismModel::kDebugRcse) {
+    last_rcse_row_ = row;
+  }
+  return row;
+}
+
+std::vector<ExperimentRow> ExperimentHarness::RunAllModels() {
+  std::vector<ExperimentRow> rows;
+  for (DeterminismModel model : AllDeterminismModels()) {
+    rows.push_back(RunModel(model));
+  }
+  return rows;
+}
+
+}  // namespace ddr

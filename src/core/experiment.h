@@ -1,0 +1,169 @@
+// ExperimentHarness: the end-to-end record -> replay -> score pipeline.
+//
+// Given a BugScenario (a program with a known defect, its root-cause
+// catalog, and inference hints), the harness:
+//   1. finds a failing "production" execution (seed search over schedules
+//      with the production world seed — the nondeterministic failure
+//      manifesting in production);
+//   2. for each determinism model: re-runs the identical production
+//      execution with that model's recorder attached (recording observes,
+//      never perturbs — the harness verifies the trace fingerprint is
+//      unchanged), producing a RecordedExecution and its overhead;
+//   3. replays/infers from the recording alone (production seeds withheld);
+//   4. scores debugging fidelity / efficiency / utility against the
+//      scenario's root-cause catalog.
+//
+// This is the API the paper's figures are generated through, and the main
+// entry point for library users.
+
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/invariants.h"
+#include "src/analysis/plane_classifier.h"
+#include "src/analysis/root_cause.h"
+#include "src/core/determinism_model.h"
+#include "src/core/metrics.h"
+#include "src/core/rcse.h"
+#include "src/record/model_recorders.h"
+#include "src/record/recorded_execution.h"
+#include "src/replay/replayer.h"
+
+namespace ddr {
+
+struct BugScenario {
+  std::string name;
+
+  // Builds a fresh program whose external input generators are seeded with
+  // `world_seed`. Programs must create objects deterministically (see
+  // src/sim/program.h).
+  std::function<std::unique_ptr<SimProgram>(uint64_t world_seed)> make_program;
+
+  // Template environment options (seed is overridden per run).
+  Environment::Options env_options;
+
+  // The "real world" of the production run.
+  uint64_t production_world_seed = 2024;
+  // If nonzero, use this schedule seed directly; otherwise search
+  // [kProductionSeedBase + 1, kProductionSeedBase + max_seed_search] for the
+  // first failing schedule. The base keeps the production schedule space
+  // disjoint from the small seed range inference is allowed to search —
+  // a replayer must not be able to "guess" the production schedule.
+  static constexpr uint64_t kProductionSeedBase = 1000;
+  uint64_t production_sched_seed = 0;
+  uint64_t max_seed_search = 400;
+
+  // Ground truth for fidelity scoring.
+  RootCauseCatalog catalog;
+
+  // Inference hints (see ReplayTarget).
+  std::vector<FaultPlan> candidate_fault_plans;
+  std::vector<ReplayTarget::InputDomain> input_domains;
+  std::function<std::unique_ptr<CspProblem>(const std::vector<uint64_t>&)> symbolic_model;
+  uint64_t world_seeds_to_try = 3;
+  uint64_t sched_seeds_to_try = 10;
+  InferenceBudget inference_budget;
+
+  // RCSE configuration.
+  RcseMode rcse_mode = RcseMode::kCodeBased;
+  // Region names to treat as control plane; empty = auto-classify with the
+  // plane profiler on a training run.
+  std::vector<std::string> control_region_names;
+  PlaneClassifierOptions classifier_options;
+  SimDuration rcse_dial_down_after = 10 * kMillisecond;
+  // Optional extra triggers for data-based/combined RCSE. Receives the
+  // invariants learned from the training run.
+  std::function<void(TriggerSet*, const InvariantSet&)> configure_triggers;
+  // World/schedule seeds for the pre-release training run.
+  uint64_t training_world_seed = 77;
+  uint64_t training_sched_seed = 7;
+};
+
+struct ExperimentRow {
+  DeterminismModel model = DeterminismModel::kPerfect;
+  std::string model_name;
+
+  // Recording side.
+  double overhead_multiplier = 1.0;
+  uint64_t log_bytes = 0;
+  uint64_t recorded_events = 0;
+
+  // Replay side.
+  bool failure_reproduced = false;
+  std::optional<std::string> diagnosed_cause;
+  uint64_t divergences = 0;
+  InferenceStats inference;
+  // Inputs chosen by output-deterministic inference (if any).
+  std::vector<int64_t> input_assignment;
+
+  // Metrics (§3.2).
+  double fidelity = 0.0;
+  double efficiency = 0.0;
+  double utility = 0.0;
+
+  // Timing.
+  double original_wall_seconds = 0.0;
+  double replay_wall_seconds = 0.0;
+};
+
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(BugScenario scenario);
+
+  // Locates the failing production execution. Must succeed before RunModel.
+  Status Prepare();
+
+  ExperimentRow RunModel(DeterminismModel model);
+  std::vector<ExperimentRow> RunAllModels();
+
+  // Accessors (valid after Prepare()).
+  uint64_t production_sched_seed() const { return production_sched_seed_; }
+  const Outcome& production_outcome() const { return production_outcome_; }
+  const std::vector<Event>& production_trace() const { return production_trace_; }
+  double production_wall_seconds() const { return production_wall_seconds_; }
+  const std::set<RegionId>& control_regions() const { return control_regions_; }
+  const BugScenario& scenario() const { return scenario_; }
+  // Stats of the most recent RCSE recording (valid after RunModel(kDebugRcse)).
+  const std::optional<ExperimentRow>& last_rcse_row() const { return last_rcse_row_; }
+
+ private:
+  struct ProductionRun {
+    Outcome outcome;
+    SimDuration cpu_nanos = 0;
+    SimDuration overhead_nanos = 0;
+    uint64_t recorded_bytes = 0;
+    double wall_seconds = 0.0;
+  };
+
+  // Re-runs the production execution (same seeds), optionally with a
+  // recorder and/or extra sink attached.
+  ProductionRun RunProduction(Recorder* recorder, CollectingSink* sink);
+  // Pre-release training run used for plane classification and invariants.
+  void RunTrainingIfNeeded();
+  std::unique_ptr<Recorder> MakeRecorder(DeterminismModel model);
+  ReplayTarget MakeReplayTarget() const;
+
+  BugScenario scenario_;
+  bool prepared_ = false;
+  uint64_t production_sched_seed_ = 0;
+  Outcome production_outcome_;
+  std::vector<Event> production_trace_;
+  double production_wall_seconds_ = 0.0;
+
+  bool trained_ = false;
+  std::set<RegionId> control_regions_;
+  InvariantSet trained_invariants_;
+  std::vector<std::string> region_names_;  // index = RegionId
+
+  std::optional<ExperimentRow> last_rcse_row_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,30 @@
+#include "src/core/metrics.h"
+
+namespace ddr {
+
+FidelityResult EvaluateFidelity(const RootCauseCatalog& catalog,
+                                const ReplayResult& replay) {
+  FidelityResult result;
+  result.num_possible_causes = catalog.size() == 0 ? 1 : catalog.size();
+  result.failure_reproduced = replay.failure_reproduced;
+  if (!result.failure_reproduced) {
+    return result;
+  }
+  const ExecutionView view{replay.trace, replay.outcome};
+  result.actual_cause_present = catalog.ActualCausePresent(view);
+  result.diagnosed_cause = catalog.DiagnosedCause(view);
+  return result;
+}
+
+double DebuggingEfficiency(double original_seconds, double reproduce_seconds) {
+  constexpr double kFloorSeconds = 1e-9;
+  if (reproduce_seconds < kFloorSeconds) {
+    reproduce_seconds = kFloorSeconds;
+  }
+  if (original_seconds < kFloorSeconds) {
+    original_seconds = kFloorSeconds;
+  }
+  return original_seconds / reproduce_seconds;
+}
+
+}  // namespace ddr

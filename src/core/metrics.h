@@ -1,0 +1,57 @@
+// Debugging-utility metrics (§3.2).
+//
+//   Debugging fidelity (DF): 1 if the replayed execution reproduces the
+//     original failure AND the original root cause; 1/n if it reproduces the
+//     failure via a different root cause (n = number of possible root causes
+//     for the observed failure); 0 if the failure is not reproduced.
+//   Debugging efficiency (DE): duration of the original execution divided by
+//     the time the tool takes to reproduce the failure, including analysis
+//     time. Can exceed 1 when a synthesized execution is shorter than the
+//     original.
+//   Debugging utility (DU): DF x DE.
+
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/analysis/root_cause.h"
+#include "src/record/recorded_execution.h"
+#include "src/replay/replayer.h"
+
+namespace ddr {
+
+struct FidelityResult {
+  bool failure_reproduced = false;
+  bool actual_cause_present = false;
+  size_t num_possible_causes = 1;
+  std::optional<std::string> diagnosed_cause;
+
+  double value() const {
+    if (!failure_reproduced) {
+      return 0.0;
+    }
+    if (actual_cause_present) {
+      return 1.0;
+    }
+    return 1.0 / static_cast<double>(num_possible_causes == 0 ? 1 : num_possible_causes);
+  }
+};
+
+// Scores a replayed execution against the catalog of possible root causes.
+FidelityResult EvaluateFidelity(const RootCauseCatalog& catalog,
+                                const ReplayResult& replay);
+
+// original_seconds: wall duration of the original (production) execution.
+// reproduce_seconds: total tool time to produce the replayed execution,
+// including inference and analysis.
+double DebuggingEfficiency(double original_seconds, double reproduce_seconds);
+
+inline double DebuggingUtility(double fidelity, double efficiency) {
+  return fidelity * efficiency;
+}
+
+}  // namespace ddr
+
+#endif  // SRC_CORE_METRICS_H_

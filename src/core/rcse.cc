@@ -1,0 +1,82 @@
+#include "src/core/rcse.h"
+
+namespace ddr {
+namespace {
+
+// The selection predicate applied at relaxed fidelity: code-based variants
+// record any event attributed to a control-plane region ("the data on
+// control-plane channels", §4); the skeleton is handled by AlwaysRecord.
+bool ControlPlanePredicate(const std::set<RegionId>& control_regions,
+                           const Event& event) {
+  return control_regions.count(event.region) > 0;
+}
+
+}  // namespace
+
+std::string_view RcseModeName(RcseMode mode) {
+  switch (mode) {
+    case RcseMode::kCodeBased:
+      return "code-based";
+    case RcseMode::kDataBased:
+      return "data-based";
+    case RcseMode::kCombined:
+      return "combined";
+  }
+  return "unknown";
+}
+
+RcseRecorder::RcseRecorder(RcseOptions options, std::unique_ptr<TriggerSet> triggers)
+    : SelectiveRecorder(
+          std::string("rcse-") + std::string(RcseModeName(options.mode)),
+          options.mode == RcseMode::kDataBased
+              ? SelectionPredicate(nullptr)
+              : SelectionPredicate([regions = options.control_regions](const Event& e) {
+                  return ControlPlanePredicate(regions, e);
+                })),
+      options_(options),
+      triggers_(std::move(triggers)) {
+  if (triggers_ != nullptr) {
+    triggers_->SetFireCallback(
+        [this](const Trigger&, const Event&) { trigger_pending_ = true; });
+  }
+}
+
+void RcseRecorder::DialUp(const Event& event) {
+  ++trigger_fires_;
+  last_fire_time_ = event.time;
+  if (level() == FidelityLevel::kRelaxed) {
+    ++dial_ups_;
+    full_since_ = event.time;
+    SetLevel(FidelityLevel::kFull);
+  }
+}
+
+void RcseRecorder::MaybeDialDown(const Event& event) {
+  if (level() != FidelityLevel::kFull || options_.dial_down_after <= 0) {
+    return;
+  }
+  if (event.time > last_fire_time_ &&
+      event.time - last_fire_time_ >
+          static_cast<SimTime>(options_.dial_down_after)) {
+    ++dial_downs_;
+    time_at_full_ += static_cast<SimDuration>(event.time - full_since_);
+    SetLevel(FidelityLevel::kRelaxed);
+  }
+}
+
+bool RcseRecorder::ShouldRecord(const Event& event) {
+  // Dynamic triggers run on every intercepted event (data-based/combined);
+  // fidelity increases from the point of detection onward (§3.1.3).
+  if (triggers_ != nullptr && options_.mode != RcseMode::kCodeBased) {
+    trigger_pending_ = false;
+    triggers_->Observe(event);
+    if (trigger_pending_) {
+      DialUp(event);
+    } else {
+      MaybeDialDown(event);
+    }
+  }
+  return SelectiveRecorder::ShouldRecord(event);
+}
+
+}  // namespace ddr

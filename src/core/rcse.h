@@ -1,0 +1,74 @@
+// Root-cause-driven selectivity (§3.1): the debug-determinism recorder.
+//
+// Variants:
+//   kCodeBased  (§3.1.1) — record control-plane regions at full fidelity
+//                          (plus the global skeleton: schedule, sync, RNG),
+//                          relax data-plane regions;
+//   kDataBased  (§3.1.2) — record only the skeleton until a data condition
+//                          fires (invariant violation, oversized request),
+//                          then dial fidelity up;
+//   kCombined   (§3.1.3) — both: code-based selection plus dynamic triggers
+//                          (race detector, invariant monitor) that dial up,
+//                          with dial-down after a quiet period (§3.1 end).
+
+#ifndef SRC_CORE_RCSE_H_
+#define SRC_CORE_RCSE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/analysis/triggers.h"
+#include "src/record/selective_recorder.h"
+
+namespace ddr {
+
+enum class RcseMode : uint8_t {
+  kCodeBased = 0,
+  kDataBased = 1,
+  kCombined = 2,
+};
+
+std::string_view RcseModeName(RcseMode mode);
+
+struct RcseOptions {
+  RcseMode mode = RcseMode::kCodeBased;
+  // Regions recorded at full fidelity while relaxed (code-based selection).
+  std::set<RegionId> control_regions;
+  // Return to relaxed fidelity after this long without a trigger firing;
+  // <= 0 disables dial-down (stay at full once triggered).
+  SimDuration dial_down_after = 10 * kMillisecond;
+};
+
+class RcseRecorder : public SelectiveRecorder {
+ public:
+  RcseRecorder(RcseOptions options, std::unique_ptr<TriggerSet> triggers);
+
+  bool ShouldRecord(const Event& event) override;
+
+  uint64_t trigger_fires() const { return trigger_fires_; }
+  uint64_t dial_ups() const { return dial_ups_; }
+  uint64_t dial_downs() const { return dial_downs_; }
+  // Virtual time spent recording at full fidelity.
+  SimDuration time_at_full() const { return time_at_full_; }
+  const RcseOptions& rcse_options() const { return options_; }
+
+ private:
+  void DialUp(const Event& event);
+  void MaybeDialDown(const Event& event);
+
+  RcseOptions options_;
+  std::unique_ptr<TriggerSet> triggers_;
+  bool trigger_pending_ = false;
+  SimTime last_fire_time_ = 0;
+  SimTime full_since_ = 0;
+  SimDuration time_at_full_ = 0;
+  uint64_t trigger_fires_ = 0;
+  uint64_t dial_ups_ = 0;
+  uint64_t dial_downs_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_CORE_RCSE_H_

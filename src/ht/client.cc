@@ -1,0 +1,123 @@
+#include "src/ht/client.h"
+
+#include "src/apps/annotations.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+HtClient::HtClient(HtCluster& cluster, uint32_t index, ObjectId input_source)
+    : cluster_(cluster),
+      env_(*cluster.env),
+      index_(index),
+      endpoint_(cluster.client_eps[index]),
+      input_source_(input_source) {
+  for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+    location_cache_[r] = r % cluster_.config.num_servers;  // initial placement
+  }
+}
+
+uint32_t HtClient::LookupOwner(HtRangeId range) {
+  RegionScope scope(env_, cluster_.regions.client_control);
+  LookupReq req{range};
+  cluster_.net->Send(endpoint_, cluster_.master_ep,
+                     static_cast<uint64_t>(HtMsg::kLookupReq), req.Encode());
+  for (;;) {
+    auto msg = cluster_.net->Recv(endpoint_, cluster_.config.rpc_timeout);
+    if (!msg.has_value()) {
+      return location_cache_[range];  // keep stale cache on timeout
+    }
+    if (static_cast<HtMsg>(msg->tag) == HtMsg::kLookupResp) {
+      auto resp = LookupResp::Decode(msg->payload);
+      if (resp.ok() && resp->range == range) {
+        location_cache_[range] = resp->server;
+        return resp->server;
+      }
+    }
+    // Late commit replies may arrive while waiting for a lookup; skip them.
+  }
+}
+
+bool HtClient::CommitRow(uint64_t key, const std::string& value) {
+  const HtRangeId range = cluster_.config.RangeOf(key);
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const uint32_t owner = location_cache_[range];
+    CommitReq req{key, value};
+    cluster_.net->Send(endpoint_, cluster_.server_eps[owner],
+                       static_cast<uint64_t>(HtMsg::kCommitReq), req.Encode());
+    auto msg = cluster_.net->Recv(endpoint_, cluster_.config.rpc_timeout);
+    if (!msg.has_value()) {
+      continue;  // lost or server dead; retry (possibly after re-lookup)
+    }
+    switch (static_cast<HtMsg>(msg->tag)) {
+      case HtMsg::kCommitAck: {
+        auto reply = CommitReply::Decode(msg->payload);
+        if (reply.ok() && reply->key == key) {
+          return true;
+        }
+        break;  // stale reply for an earlier attempt; retry
+      }
+      case HtMsg::kCommitNotOwner:
+        LookupOwner(range);
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+uint64_t HtClient::LoadRows(uint32_t count) {
+  RegionScope scope(env_, cluster_.regions.client_load);
+  for (uint32_t i = 0; i < count; ++i) {
+    // Row content is external input (the production data the replayer will
+    // not have). Keys are unique by construction: (client, i).
+    const uint64_t payload =
+        env_.ReadInput(input_source_, cluster_.config.row_bytes);
+    const uint64_t key = (static_cast<uint64_t>(index_) << 32) | i;
+    std::string value(cluster_.config.row_bytes,
+                      static_cast<char>('a' + payload % 26));
+    if (CommitRow(key, value)) {
+      ++acked_;
+    }
+  }
+  return acked_;
+}
+
+uint64_t HtClient::DumpTable() {
+  RegionScope scope(env_, cluster_.regions.dump_scan);
+  dump_rows_ = 0;
+  // Drain stragglers (late commit acks) so they are not mistaken for dump
+  // responses.
+  while (cluster_.net->Recv(endpoint_, 1 * kMillisecond).has_value()) {
+  }
+  for (uint32_t s = 0; s < cluster_.config.num_servers; ++s) {
+    cluster_.net->Send(endpoint_, cluster_.server_eps[s],
+                       static_cast<uint64_t>(HtMsg::kDumpReq), std::string());
+    for (;;) {
+      auto msg = cluster_.net->Recv(endpoint_, cluster_.config.rpc_timeout);
+      if (!msg.has_value()) {
+        break;  // dead or slow server: dump returns whatever it got
+      }
+      if (static_cast<HtMsg>(msg->tag) != HtMsg::kDumpResp) {
+        continue;  // late reply from the load phase; keep waiting
+      }
+      // BUG-ADJACENT (deliberate, §4): an allocation failure while buffering
+      // the response is swallowed and the dump just ends early.
+      if (!env_.TryAlloc(static_cast<uint32_t>(msg->payload.size()))) {
+        dump_hit_oom_ = true;
+        env_.Annotate(kTagHtOomDuringDump, s);
+        return dump_rows_;
+      }
+      auto resp = DumpResp::Decode(msg->payload);
+      if (resp.ok()) {
+        dump_rows_ += resp->rows.size();
+      }
+      break;
+    }
+  }
+  return dump_rows_;
+}
+
+}  // namespace ddr

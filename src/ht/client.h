@@ -1,0 +1,55 @@
+// Hypertable-lite client: concurrent row loads and table dumps.
+//
+// Loads follow the production workflow of issue 63: multiple clients load
+// rows into the same table concurrently while the master rebalances ranges.
+// Commits that hit a server that just lost the range are redirected
+// (NotOwner -> master lookup -> retry). Dumps scatter-gather over all
+// servers; the dump path contains the "swallowed allocation failure" that
+// serves as §4's client-OOM alternate root cause.
+
+#ifndef SRC_HT_CLIENT_H_
+#define SRC_HT_CLIENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ht/common.h"
+
+namespace ddr {
+
+class HtClient {
+ public:
+  // `input_source` supplies row payload seeds (external nondeterminism).
+  HtClient(HtCluster& cluster, uint32_t index, ObjectId input_source);
+
+  // Loads `count` uniquely-keyed rows; returns the number acked.
+  uint64_t LoadRows(uint32_t count);
+
+  // Scatter-gather dump of the whole table. Returns rows retrieved.
+  // Allocation failures while collecting responses are (incorrectly)
+  // swallowed and end the dump early.
+  uint64_t DumpTable();
+
+  uint64_t acked() const { return acked_; }
+  uint64_t dump_rows() const { return dump_rows_; }
+  bool dump_hit_oom() const { return dump_hit_oom_; }
+
+ private:
+  uint32_t LookupOwner(HtRangeId range);
+  bool CommitRow(uint64_t key, const std::string& value);
+
+  HtCluster& cluster_;
+  Environment& env_;
+  uint32_t index_;
+  ObjectId endpoint_;
+  ObjectId input_source_;
+  std::map<HtRangeId, uint32_t> location_cache_;
+  uint64_t acked_ = 0;
+  uint64_t dump_rows_ = 0;
+  bool dump_hit_oom_ = false;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_HT_CLIENT_H_

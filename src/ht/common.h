@@ -1,0 +1,79 @@
+// Shared configuration and wiring context for Hypertable-lite components.
+
+#ifndef SRC_HT_COMMON_H_
+#define SRC_HT_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/environment.h"
+#include "src/sim/network.h"
+#include "src/ht/messages.h"
+
+namespace ddr {
+
+struct HtConfig {
+  bool bug_enabled = true;  // the issue-63 commit/migration race
+  uint32_t num_servers = 3;
+  uint32_t num_clients = 2;
+  uint32_t rows_per_client = 120;
+  uint32_t num_ranges = 8;
+  uint32_t row_bytes = 96;
+  uint32_t num_migrations = 4;
+  SimDuration migration_interval = 3 * kMillisecond;
+  SimDuration rpc_timeout = 30 * kMillisecond;
+  uint32_t commit_workers = 2;
+  // Commit-log write latency: the size of the race window between the
+  // ownership check and the memtable insert. Smaller = rarer manifestation.
+  SimDuration commit_log_seek = 20 * kMicrosecond;
+
+  HtRangeId RangeOf(uint64_t key) const {
+    return static_cast<HtRangeId>(key % num_ranges);
+  }
+};
+
+// Code regions (§3.1.1). Registered once, in Configure, so ids are stable
+// across runs of the same program.
+struct HtRegions {
+  RegionId rpc = kDefaultRegion;            // dispatchers (control)
+  RegionId commit_route = kDefaultRegion;   // ownership check (control)
+  RegionId commit_apply = kDefaultRegion;   // memtable/commit-log write (data)
+  RegionId migration = kDefaultRegion;      // ownership transfer (control)
+  RegionId transfer = kDefaultRegion;       // bulk row movement (data)
+  RegionId dump_scan = kDefaultRegion;      // table dump scan (data)
+  RegionId master = kDefaultRegion;         // master logic (control)
+  RegionId client_load = kDefaultRegion;    // client row upload (data)
+  RegionId client_control = kDefaultRegion; // lookups / retries (control)
+
+  void Register(Environment& env) {
+    rpc = env.RegisterRegion("ht.rpc");
+    commit_route = env.RegisterRegion("ht.commit.route");
+    commit_apply = env.RegisterRegion("ht.commit.apply");
+    migration = env.RegisterRegion("ht.migration");
+    transfer = env.RegisterRegion("ht.transfer");
+    dump_scan = env.RegisterRegion("ht.dump.scan");
+    master = env.RegisterRegion("ht.master");
+    client_load = env.RegisterRegion("ht.client.load");
+    client_control = env.RegisterRegion("ht.client.control");
+  }
+};
+
+// Everything components need to talk to each other.
+struct HtCluster {
+  Environment* env = nullptr;
+  Network* net = nullptr;
+  HtConfig config;
+  HtRegions regions;
+
+  NodeId master_node = kInvalidNode;
+  std::vector<NodeId> server_nodes;
+  NodeId client_node = kInvalidNode;
+
+  ObjectId master_ep = kInvalidObject;
+  std::vector<ObjectId> server_eps;
+  std::vector<ObjectId> client_eps;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_HT_COMMON_H_

@@ -1,0 +1,106 @@
+#include "src/ht/hypertable_program.h"
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+HypertableProgram::HypertableProgram(uint64_t world_seed, HtConfig config)
+    : world_rng_(world_seed) {
+  cluster_.config = config;
+}
+
+void HypertableProgram::Configure(Environment& env) {
+  cluster_.env = &env;
+  cluster_.regions.Register(env);
+
+  client_rngs_.clear();
+  client_inputs_.clear();
+  client_rngs_.reserve(cluster_.config.num_clients);  // stable pointers below
+  for (uint32_t c = 0; c < cluster_.config.num_clients; ++c) {
+    client_rngs_.push_back(world_rng_.Fork());
+    Rng* rng = &client_rngs_.back();
+    client_inputs_.push_back(env.RegisterInputSource(
+        "ht.client" + std::to_string(c) + ".rows", [rng] { return rng->Next(); }));
+  }
+
+  env.SetIoSpec([this](const Outcome& outcome) -> std::optional<FailureInfo> {
+    (void)outcome;
+    if (acked_total_ == 0 || dump_total_ >= acked_total_) {
+      return std::nullopt;
+    }
+    FailureInfo failure;
+    failure.kind = FailureKind::kSpecViolation;
+    failure.message = kFailureMessage;
+    failure.node = 0;
+    return failure;
+  });
+}
+
+void HypertableProgram::Main(Environment& env) {
+  // ---- topology
+  cluster_.master_node = env.AddNode("ht.master");
+  for (uint32_t s = 0; s < cluster_.config.num_servers; ++s) {
+    cluster_.server_nodes.push_back(env.AddNode("ht.srv" + std::to_string(s)));
+  }
+  cluster_.client_node = 0;  // clients run on the root node
+
+  NetworkOptions net_options;
+  net_options.base_latency = 40 * kMicrosecond;
+  net_options.jitter_mean = 15 * kMicrosecond;
+  net_ = std::make_unique<Network>(env, net_options);
+  cluster_.net = net_.get();
+
+  cluster_.master_ep = net_->CreateEndpoint(cluster_.master_node, "ht.master.ep");
+  for (uint32_t s = 0; s < cluster_.config.num_servers; ++s) {
+    cluster_.server_eps.push_back(net_->CreateEndpoint(
+        cluster_.server_nodes[s], "ht.srv" + std::to_string(s) + ".ep"));
+  }
+  for (uint32_t c = 0; c < cluster_.config.num_clients; ++c) {
+    cluster_.client_eps.push_back(net_->CreateEndpoint(
+        cluster_.client_node, "ht.client" + std::to_string(c) + ".ep"));
+  }
+
+  // ---- components
+  master_ = std::make_unique<HtMaster>(cluster_);
+  const auto placement = master_->InitialPlacement();
+  for (uint32_t s = 0; s < cluster_.config.num_servers; ++s) {
+    servers_.push_back(std::make_unique<RangeServer>(cluster_, s));
+    servers_.back()->SetInitialOwnership(placement[s]);
+    servers_.back()->Start();
+  }
+  master_->Start();
+
+  // ---- concurrent load (the failing workflow of issue 63)
+  for (uint32_t c = 0; c < cluster_.config.num_clients; ++c) {
+    clients_.push_back(std::make_unique<HtClient>(cluster_, c, client_inputs_[c]));
+  }
+  std::vector<FiberId> loaders;
+  for (uint32_t c = 0; c < cluster_.config.num_clients; ++c) {
+    HtClient* client = clients_[c].get();
+    loaders.push_back(env.Spawn("ht.load" + std::to_string(c), [this, client] {
+      client->LoadRows(cluster_.config.rows_per_client);
+    }));
+  }
+  for (FiberId loader : loaders) {
+    env.Join(loader);
+  }
+  for (const auto& client : clients_) {
+    acked_total_ += client->acked();
+  }
+
+  // ---- verification dump ("subsequent dumps of the table do not return
+  // all rows")
+  dump_total_ = clients_[0]->DumpTable();
+  env.EmitOutput(dump_total_, static_cast<uint32_t>(dump_total_ *
+                                                    cluster_.config.row_bytes));
+}
+
+uint64_t HypertableProgram::orphaned_rows() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->rows_orphaned();
+  }
+  return total;
+}
+
+}  // namespace ddr

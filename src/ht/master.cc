@@ -1,0 +1,79 @@
+#include "src/ht/master.h"
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+HtMaster::HtMaster(HtCluster& cluster) : cluster_(cluster), env_(*cluster.env) {
+  location_.resize(cluster_.config.num_ranges);
+  for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+    location_[r] = r % cluster_.config.num_servers;
+  }
+}
+
+std::vector<std::vector<HtRangeId>> HtMaster::InitialPlacement() const {
+  std::vector<std::vector<HtRangeId>> placement(cluster_.config.num_servers);
+  for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+    placement[location_[r]].push_back(r);
+  }
+  return placement;
+}
+
+void HtMaster::Start() {
+  env_.SpawnOnNode(cluster_.master_node, "master", [this] { MasterLoop(); });
+}
+
+void HtMaster::MasterLoop() {
+  RegionScope scope(env_, cluster_.regions.master);
+  for (;;) {
+    auto msg = cluster_.net->Recv(cluster_.master_ep,
+                                  cluster_.config.migration_interval);
+    if (!msg.has_value()) {
+      // Timer tick: order the next load-balancing migration.
+      if (migrations_ordered_ < cluster_.config.num_migrations) {
+        OrderMigration();
+      }
+      continue;
+    }
+    switch (static_cast<HtMsg>(msg->tag)) {
+      case HtMsg::kLookupReq: {
+        auto req = LookupReq::Decode(msg->payload);
+        if (!req.ok()) {
+          break;
+        }
+        LookupResp resp{req->range, location_[req->range]};
+        cluster_.net->Send(cluster_.master_ep, msg->src,
+                           static_cast<uint64_t>(HtMsg::kLookupResp), resp.Encode());
+        break;
+      }
+      case HtMsg::kMigrateDone: {
+        auto done = MigrateDone::Decode(msg->payload);
+        if (!done.ok()) {
+          break;
+        }
+        location_[done->range] = done->dst_server;
+        ++migrations_completed_;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void HtMaster::OrderMigration() {
+  const HtRangeId range = static_cast<HtRangeId>(
+      env_.RngDraw(RngPurpose::kAppChoice, cluster_.config.num_ranges));
+  const uint32_t src = location_[range];
+  uint32_t dst = static_cast<uint32_t>(
+      env_.RngDraw(RngPurpose::kAppChoice, cluster_.config.num_servers));
+  if (dst == src) {
+    dst = (dst + 1) % cluster_.config.num_servers;
+  }
+  ++migrations_ordered_;
+  MigrateCmd cmd{range, dst};
+  cluster_.net->Send(cluster_.master_ep, cluster_.server_eps[src],
+                     static_cast<uint64_t>(HtMsg::kMigrateCmd), cmd.Encode());
+}
+
+}  // namespace ddr

@@ -1,0 +1,45 @@
+// Hypertable-lite master: range placement, load-balancing migrations, and
+// location lookups.
+//
+// The master fiber multiplexes its RPC endpoint with a migration timer:
+// every `migration_interval` it picks a random owned range and a random
+// destination server (environment RNG draws — recordable nondeterminism)
+// and orders the current owner to migrate it.
+
+#ifndef SRC_HT_MASTER_H_
+#define SRC_HT_MASTER_H_
+
+#include <vector>
+
+#include "src/ht/common.h"
+
+namespace ddr {
+
+class HtMaster {
+ public:
+  explicit HtMaster(HtCluster& cluster);
+
+  // Round-robin initial placement; returns ranges per server index.
+  std::vector<std::vector<HtRangeId>> InitialPlacement() const;
+
+  void Start();
+
+  // Location table (master fiber only; uninstrumented).
+  uint32_t OwnerOf(HtRangeId range) const { return location_[range]; }
+  uint64_t migrations_ordered() const { return migrations_ordered_; }
+  uint64_t migrations_completed() const { return migrations_completed_; }
+
+ private:
+  void MasterLoop();
+  void OrderMigration();
+
+  HtCluster& cluster_;
+  Environment& env_;
+  std::vector<uint32_t> location_;  // range -> server index
+  uint64_t migrations_ordered_ = 0;
+  uint64_t migrations_completed_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_HT_MASTER_H_

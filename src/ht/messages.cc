@@ -1,0 +1,163 @@
+#include "src/ht/messages.h"
+
+namespace ddr {
+namespace {
+
+std::string TakeString(Encoder* encoder) {
+  std::vector<uint8_t> bytes = encoder->TakeBuffer();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Decoder MakeDecoder(const std::string& payload) {
+  return Decoder(reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+}
+
+void EncodeRows(Encoder* encoder, const std::vector<HtRow>& rows) {
+  encoder->PutVarint64(rows.size());
+  for (const HtRow& row : rows) {
+    encoder->PutVarint64(row.key);
+    encoder->PutString(row.value);
+  }
+}
+
+Result<std::vector<HtRow>> DecodeRows(Decoder* decoder) {
+  ASSIGN_OR_RETURN(uint64_t count, decoder->GetVarint64());
+  std::vector<HtRow> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    HtRow row;
+    ASSIGN_OR_RETURN(row.key, decoder->GetVarint64());
+    ASSIGN_OR_RETURN(row.value, decoder->GetString());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string CommitReq::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(key);
+  encoder.PutString(value);
+  return TakeString(&encoder);
+}
+
+Result<CommitReq> CommitReq::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  CommitReq req;
+  ASSIGN_OR_RETURN(req.key, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(req.value, decoder.GetString());
+  return req;
+}
+
+std::string CommitReply::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(key);
+  encoder.PutVarint64(range);
+  return TakeString(&encoder);
+}
+
+Result<CommitReply> CommitReply::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  CommitReply reply;
+  ASSIGN_OR_RETURN(reply.key, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  reply.range = static_cast<HtRangeId>(range);
+  return reply;
+}
+
+std::string DumpResp::Encode() const {
+  Encoder encoder;
+  EncodeRows(&encoder, rows);
+  return TakeString(&encoder);
+}
+
+Result<DumpResp> DumpResp::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  DumpResp resp;
+  ASSIGN_OR_RETURN(resp.rows, DecodeRows(&decoder));
+  return resp;
+}
+
+std::string MigrateCmd::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(range);
+  encoder.PutVarint64(dst_server);
+  return TakeString(&encoder);
+}
+
+Result<MigrateCmd> MigrateCmd::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  MigrateCmd cmd;
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  cmd.range = static_cast<HtRangeId>(range);
+  ASSIGN_OR_RETURN(uint64_t dst, decoder.GetVarint64());
+  cmd.dst_server = static_cast<uint32_t>(dst);
+  return cmd;
+}
+
+std::string InstallRange::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(range);
+  EncodeRows(&encoder, rows);
+  return TakeString(&encoder);
+}
+
+Result<InstallRange> InstallRange::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  InstallRange install;
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  install.range = static_cast<HtRangeId>(range);
+  ASSIGN_OR_RETURN(install.rows, DecodeRows(&decoder));
+  return install;
+}
+
+std::string MigrateDone::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(range);
+  encoder.PutVarint64(dst_server);
+  return TakeString(&encoder);
+}
+
+Result<MigrateDone> MigrateDone::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  MigrateDone done;
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  done.range = static_cast<HtRangeId>(range);
+  ASSIGN_OR_RETURN(uint64_t dst, decoder.GetVarint64());
+  done.dst_server = static_cast<uint32_t>(dst);
+  return done;
+}
+
+std::string LookupReq::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(range);
+  return TakeString(&encoder);
+}
+
+Result<LookupReq> LookupReq::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  LookupReq req;
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  req.range = static_cast<HtRangeId>(range);
+  return req;
+}
+
+std::string LookupResp::Encode() const {
+  Encoder encoder;
+  encoder.PutVarint64(range);
+  encoder.PutVarint64(server);
+  return TakeString(&encoder);
+}
+
+Result<LookupResp> LookupResp::Decode(const std::string& payload) {
+  Decoder decoder = MakeDecoder(payload);
+  LookupResp resp;
+  ASSIGN_OR_RETURN(uint64_t range, decoder.GetVarint64());
+  resp.range = static_cast<HtRangeId>(range);
+  ASSIGN_OR_RETURN(uint64_t server, decoder.GetVarint64());
+  resp.server = static_cast<uint32_t>(server);
+  return resp;
+}
+
+}  // namespace ddr

@@ -1,0 +1,105 @@
+// Wire messages for Hypertable-lite RPCs.
+//
+// Payloads are varint-encoded with src/util/codec.h. Every request carries
+// the sender's endpoint so the receiver can reply (NetMessage::src is also
+// available, but explicit reply-to keeps forwarding possible).
+
+#ifndef SRC_HT_MESSAGES_H_
+#define SRC_HT_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/util/codec.h"
+#include "src/util/status.h"
+
+namespace ddr {
+
+// Message tags (NetMessage::tag).
+enum class HtMsg : uint64_t {
+  kCommitReq = 1,
+  kCommitAck = 2,
+  kCommitNotOwner = 3,
+  kDumpReq = 4,
+  kDumpResp = 5,
+  kMigrateCmd = 6,
+  kInstallRange = 7,
+  kMigrateDone = 8,
+  kLookupReq = 9,
+  kLookupResp = 10,
+};
+
+using HtRangeId = uint32_t;
+
+struct HtRow {
+  uint64_t key = 0;
+  std::string value;
+};
+
+struct CommitReq {
+  uint64_t key = 0;
+  std::string value;
+
+  std::string Encode() const;
+  static Result<CommitReq> Decode(const std::string& payload);
+};
+
+struct CommitReply {  // Ack or NotOwner
+  uint64_t key = 0;
+  HtRangeId range = 0;
+
+  std::string Encode() const;
+  static Result<CommitReply> Decode(const std::string& payload);
+};
+
+struct DumpResp {
+  std::vector<HtRow> rows;
+
+  std::string Encode() const;
+  static Result<DumpResp> Decode(const std::string& payload);
+};
+
+struct MigrateCmd {
+  HtRangeId range = 0;
+  uint32_t dst_server = 0;  // server index
+
+  std::string Encode() const;
+  static Result<MigrateCmd> Decode(const std::string& payload);
+};
+
+struct InstallRange {
+  HtRangeId range = 0;
+  std::vector<HtRow> rows;
+
+  std::string Encode() const;
+  static Result<InstallRange> Decode(const std::string& payload);
+};
+
+struct MigrateDone {
+  HtRangeId range = 0;
+  uint32_t dst_server = 0;
+
+  std::string Encode() const;
+  static Result<MigrateDone> Decode(const std::string& payload);
+};
+
+struct LookupReq {
+  HtRangeId range = 0;
+
+  std::string Encode() const;
+  static Result<LookupReq> Decode(const std::string& payload);
+};
+
+struct LookupResp {
+  HtRangeId range = 0;
+  uint32_t server = 0;
+
+  std::string Encode() const;
+  static Result<LookupResp> Decode(const std::string& payload);
+};
+
+}  // namespace ddr
+
+#endif  // SRC_HT_MESSAGES_H_

@@ -1,0 +1,238 @@
+#include "src/ht/range_server.h"
+
+#include "src/apps/annotations.h"
+#include "src/util/logging.h"
+
+namespace ddr {
+
+RangeServer::RangeServer(HtCluster& cluster, uint32_t index)
+    : cluster_(cluster),
+      env_(*cluster.env),
+      index_(index),
+      node_(cluster.server_nodes[index]),
+      endpoint_(cluster.server_eps[index]),
+      commit_log_(env_, "srv" + std::to_string(index) + ".commitlog",
+                  DiskOptions{.seek_latency = cluster.config.commit_log_seek,
+                              .per_byte = 5 * kNanosecond}),
+      mutex_(env_, "srv" + std::to_string(index) + ".mutex") {
+  owns_.reserve(cluster_.config.num_ranges);
+  for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+    owns_.push_back(std::make_unique<SharedVar<int>>(
+        env_, "srv" + std::to_string(index) + ".owns" + std::to_string(r), 0));
+    // Ground-truth marker: tell analyses which cells carry range ownership.
+    env_.Annotate(kTagHtOwnershipCell, owns_.back()->id());
+  }
+  commit_ch_ = std::make_unique<Channel<NetMessage>>(
+      env_, "srv" + std::to_string(index) + ".commit_ch");
+  migrate_ch_ = std::make_unique<Channel<NetMessage>>(
+      env_, "srv" + std::to_string(index) + ".migrate_ch");
+}
+
+void RangeServer::SetInitialOwnership(const std::vector<HtRangeId>& ranges) {
+  for (HtRangeId r : ranges) {
+    owns_[r]->Store(1);
+  }
+}
+
+void RangeServer::Start() {
+  const std::string prefix = "srv" + std::to_string(index_);
+  env_.SpawnOnNode(node_, prefix + ".dispatch", [this] { DispatcherLoop(); });
+  for (uint32_t w = 0; w < cluster_.config.commit_workers; ++w) {
+    env_.SpawnOnNode(node_, prefix + ".commit" + std::to_string(w),
+                     [this] { CommitWorkerLoop(); });
+  }
+  env_.SpawnOnNode(node_, prefix + ".migrate", [this] { MigrationLoop(); });
+}
+
+void RangeServer::DispatcherLoop() {
+  for (;;) {
+    auto msg = cluster_.net->Recv(endpoint_);
+    if (!msg.has_value()) {
+      continue;
+    }
+    RegionScope scope(env_, cluster_.regions.rpc);
+    switch (static_cast<HtMsg>(msg->tag)) {
+      case HtMsg::kCommitReq:
+        commit_ch_->Send(*std::move(msg), 16);
+        break;
+      case HtMsg::kMigrateCmd:
+      case HtMsg::kInstallRange:
+        migrate_ch_->Send(*std::move(msg), 16);
+        break;
+      case HtMsg::kDumpReq:
+        HandleDump(*msg);
+        break;
+      default:
+        LOG(WARNING) << "server " << index_ << ": unexpected tag " << msg->tag;
+    }
+  }
+}
+
+void RangeServer::CommitWorkerLoop() {
+  for (;;) {
+    const NetMessage msg = commit_ch_->Recv(16);
+    HandleCommit(msg);
+  }
+}
+
+void RangeServer::HandleCommit(const NetMessage& request) {
+  auto req = CommitReq::Decode(request.payload);
+  if (!req.ok()) {
+    LOG(WARNING) << "bad commit payload: " << req.status();
+    return;
+  }
+  const HtRangeId range = cluster_.config.RangeOf(req->key);
+
+  bool owned = false;
+  {
+    // Control plane: route the commit to a range this server owns.
+    RegionScope route(env_, cluster_.regions.commit_route);
+    owned = owns_[range]->Load() == 1;
+  }
+  if (!owned) {
+    ++not_owner_replies_;
+    CommitReply reply{req->key, range};
+    cluster_.net->Send(endpoint_, request.src,
+                       static_cast<uint64_t>(HtMsg::kCommitNotOwner), reply.Encode());
+    return;
+  }
+
+  {
+    // Data plane: durable write + memtable insert. The commit-log append
+    // blocks on the disk, which is the window in which a concurrent
+    // migration can take the range away.
+    RegionScope apply(env_, cluster_.regions.commit_apply);
+    commit_log_.Append(request.payload);
+
+    SimLock lock(mutex_);
+    if (!cluster_.config.bug_enabled) {
+      // The fix (predicate P): re-validate ownership atomically with the
+      // insert; redirect the client if the range moved meanwhile.
+      if (owns_[range]->Load() != 1) {
+        ++not_owner_replies_;
+        CommitReply reply{req->key, range};
+        cluster_.net->Send(endpoint_, request.src,
+                           static_cast<uint64_t>(HtMsg::kCommitNotOwner),
+                           reply.Encode());
+        return;
+      }
+    }
+    memtable_[range][req->key] = std::move(req->value);
+    ++rows_committed_;
+    if (cluster_.config.bug_enabled && owns_[range]->Peek() == 0) {
+      // The root cause fired: this row is committed to a server that no
+      // longer hosts its range; dumps will silently ignore it.
+      ++rows_orphaned_;
+      env_.Annotate(kTagHtLostRowCommit, req->key);
+    }
+  }
+
+  CommitReply reply{req->key, range};
+  cluster_.net->Send(endpoint_, request.src,
+                     static_cast<uint64_t>(HtMsg::kCommitAck), reply.Encode());
+}
+
+void RangeServer::MigrationLoop() {
+  for (;;) {
+    const NetMessage msg = migrate_ch_->Recv(16);
+    switch (static_cast<HtMsg>(msg.tag)) {
+      case HtMsg::kMigrateCmd: {
+        auto cmd = MigrateCmd::Decode(msg.payload);
+        if (cmd.ok()) {
+          HandleMigrateCmd(*cmd);
+        }
+        break;
+      }
+      case HtMsg::kInstallRange: {
+        auto install = InstallRange::Decode(msg.payload);
+        if (install.ok()) {
+          HandleInstall(*std::move(install));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void RangeServer::HandleMigrateCmd(const MigrateCmd& cmd) {
+  InstallRange install;
+  install.range = cmd.range;
+  {
+    // Control plane: give up ownership (the write half of the race).
+    RegionScope scope(env_, cluster_.regions.migration);
+    SimLock lock(mutex_);
+    owns_[cmd.range]->Store(0);
+    auto it = memtable_.find(cmd.range);
+    if (it != memtable_.end()) {
+      for (auto& [key, value] : it->second) {
+        install.rows.push_back(HtRow{key, std::move(value)});
+      }
+      memtable_.erase(it);
+    }
+  }
+  ++migrations_out_;
+  {
+    // Data plane: bulk transfer of the range contents.
+    RegionScope scope(env_, cluster_.regions.transfer);
+    cluster_.net->Send(endpoint_, cluster_.server_eps[cmd.dst_server],
+                       static_cast<uint64_t>(HtMsg::kInstallRange), install.Encode());
+  }
+}
+
+void RangeServer::HandleInstall(const InstallRange& install) {
+  {
+    RegionScope scope(env_, cluster_.regions.migration);
+    SimLock lock(mutex_);
+    auto& range_rows = memtable_[install.range];
+    for (const HtRow& row : install.rows) {
+      range_rows[row.key] = row.value;
+    }
+    owns_[install.range]->Store(1);
+  }
+  ++migrations_in_;
+  MigrateDone done{install.range, index_};
+  cluster_.net->Send(endpoint_, cluster_.master_ep,
+                     static_cast<uint64_t>(HtMsg::kMigrateDone), done.Encode());
+}
+
+void RangeServer::HandleDump(const NetMessage& request) {
+  DumpResp resp;
+  {
+    // Data plane: scan every owned range.
+    RegionScope scope(env_, cluster_.regions.dump_scan);
+    SimLock lock(mutex_);
+    for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+      if (owns_[r]->Load() != 1) {
+        continue;  // rows in unowned ranges are silently ignored (the bug's
+                   // visible half)
+      }
+      auto it = memtable_.find(r);
+      if (it == memtable_.end()) {
+        continue;
+      }
+      for (const auto& [key, value] : it->second) {
+        resp.rows.push_back(HtRow{key, value});
+      }
+    }
+  }
+  cluster_.net->Send(endpoint_, request.src, static_cast<uint64_t>(HtMsg::kDumpResp),
+                     resp.Encode());
+}
+
+uint64_t RangeServer::OwnedRowCount() const {
+  uint64_t count = 0;
+  for (HtRangeId r = 0; r < cluster_.config.num_ranges; ++r) {
+    if (owns_[r]->Peek() != 1) {
+      continue;
+    }
+    auto it = memtable_.find(r);
+    if (it != memtable_.end()) {
+      count += it->second.size();
+    }
+  }
+  return count;
+}
+
+}  // namespace ddr

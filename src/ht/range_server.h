@@ -1,0 +1,90 @@
+// Hypertable-lite range server.
+//
+// Hosts a set of ranges, applies client commits (commit log on simulated
+// disk + in-memory memtable), serves table dumps, and participates in range
+// migration. Contains the reproduction of Hypertable issue 63:
+//
+//   commit worker                      migration fiber
+//   --------------                     ---------------
+//   owns[r].Load() == 1    (route)
+//       |  ... disk append blocks ...  owns[r].Store(0)
+//       |                              move memtable rows to new owner
+//   memtable[r].insert(row)  <- row lands on a server that no longer owns
+//                                the range; dumps silently ignore it.
+//
+// With `bug_enabled == false` the ownership check is re-validated under the
+// server mutex after the commit-log write (the fix predicate P of §3), and
+// the client is redirected instead.
+
+#ifndef SRC_HT_RANGE_SERVER_H_
+#define SRC_HT_RANGE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ht/common.h"
+#include "src/sim/channel.h"
+#include "src/sim/disk.h"
+#include "src/sim/shared_var.h"
+#include "src/sim/sync.h"
+
+namespace ddr {
+
+class RangeServer {
+ public:
+  RangeServer(HtCluster& cluster, uint32_t index);
+
+  // Marks initially owned ranges (before Start).
+  void SetInitialOwnership(const std::vector<HtRangeId>& ranges);
+
+  // Spawns dispatcher, commit workers, and the migration fiber.
+  void Start();
+
+  ObjectId endpoint() const { return endpoint_; }
+  NodeId node() const { return node_; }
+  uint32_t index() const { return index_; }
+
+  // Uninstrumented statistics for tests and specs.
+  uint64_t rows_committed() const { return rows_committed_; }
+  uint64_t rows_orphaned() const { return rows_orphaned_; }
+  uint64_t not_owner_replies() const { return not_owner_replies_; }
+  uint64_t migrations_out() const { return migrations_out_; }
+  uint64_t migrations_in() const { return migrations_in_; }
+  // Rows currently in owned ranges (uninstrumented scan).
+  uint64_t OwnedRowCount() const;
+
+ private:
+  void DispatcherLoop();
+  void CommitWorkerLoop();
+  void MigrationLoop();
+  void HandleDump(const NetMessage& request);
+  void HandleCommit(const NetMessage& request);
+  void HandleMigrateCmd(const MigrateCmd& cmd);
+  void HandleInstall(const InstallRange& install);
+
+  HtCluster& cluster_;
+  Environment& env_;
+  uint32_t index_;
+  NodeId node_;
+  ObjectId endpoint_;
+
+  SimDisk commit_log_;
+  SimMutex mutex_;  // guards memtable_ and (in fixed mode) ownership re-check
+  std::vector<std::unique_ptr<SharedVar<int>>> owns_;  // per range, 0/1
+  std::map<HtRangeId, std::map<uint64_t, std::string>> memtable_;
+
+  std::unique_ptr<Channel<NetMessage>> commit_ch_;
+  std::unique_ptr<Channel<NetMessage>> migrate_ch_;
+
+  uint64_t rows_committed_ = 0;
+  uint64_t rows_orphaned_ = 0;
+  uint64_t not_owner_replies_ = 0;
+  uint64_t migrations_out_ = 0;
+  uint64_t migrations_in_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_HT_RANGE_SERVER_H_

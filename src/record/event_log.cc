@@ -1,0 +1,55 @@
+#include "src/record/event_log.h"
+
+namespace ddr {
+
+namespace {
+constexpr uint32_t kLogMagic = 0x6464524cu;  // "ddRL"
+}  // namespace
+
+void EventLog::Append(const Event& event) {
+  events_.push_back(event);
+  counts_[static_cast<size_t>(event.type)]++;
+  Encoder encoder;
+  event.EncodeTo(&encoder);
+  encoded_size_bytes_ += encoder.size();
+}
+
+std::vector<Event> EventLog::EventsOfType(EventType type) const {
+  std::vector<Event> out;
+  for (const Event& event : events_) {
+    if (event.type == type) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> EventLog::Encode() const {
+  Encoder encoder;
+  encoder.PutFixed32(kLogMagic);
+  encoder.PutVarint64(events_.size());
+  for (const Event& event : events_) {
+    event.EncodeTo(&encoder);
+  }
+  return encoder.TakeBuffer();
+}
+
+Result<EventLog> EventLog::Decode(const std::vector<uint8_t>& bytes) {
+  Decoder decoder(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
+  if (magic != kLogMagic) {
+    return InvalidArgumentError("bad event log magic");
+  }
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  EventLog log;
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(Event event, Event::DecodeFrom(&decoder));
+    log.Append(event);
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after event log");
+  }
+  return log;
+}
+
+}  // namespace ddr

@@ -1,0 +1,107 @@
+// The determinism-model recorders of §2.
+//
+//   PerfectRecorder  — records every nondeterministic event (perfect
+//                      determinism; SMP-ReVirt-class systems).
+//   ValueRecorder    — iDNA/Friday-style value determinism: all inputs,
+//                      thread interleavings, RNG draws, and the values of
+//                      every instrumented memory access.
+//   OutputRecorder   — ODR-style output determinism. kOutputsOnly logs just
+//                      outputs; kOdrHeavy additionally logs inputs and sync
+//                      operations but — like ODR — not the causal order of
+//                      racing memory accesses (no context switches, no
+//                      memory values).
+//   FailureRecorder  — ESD-style failure determinism: records nothing; the
+//                      failure snapshot is taken from the outcome after the
+//                      run (the "bug report / core dump").
+
+#ifndef SRC_RECORD_MODEL_RECORDERS_H_
+#define SRC_RECORD_MODEL_RECORDERS_H_
+
+#include "src/record/recorder.h"
+
+namespace ddr {
+
+class PerfectRecorder : public Recorder {
+ public:
+  PerfectRecorder() : Recorder("perfect", PerfectCostModel()) {}
+
+  bool Intercepts(const Event& event) const override {
+    (void)event;
+    return true;
+  }
+  bool ShouldRecord(const Event& event) override {
+    (void)event;
+    return true;
+  }
+};
+
+class ValueRecorder : public Recorder {
+ public:
+  ValueRecorder() : Recorder("value", ValueCostModel()) {}
+
+  bool Intercepts(const Event& event) const override {
+    (void)event;
+    return true;  // value determinism interposes on every access
+  }
+
+  bool ShouldRecord(const Event& event) override {
+    switch (ClassOf(event.type)) {
+      case EventClass::kSchedule:
+      case EventClass::kSync:
+      case EventClass::kMemory:
+      case EventClass::kInput:
+      case EventClass::kRng:
+      case EventClass::kLifecycle:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+class OutputRecorder : public Recorder {
+ public:
+  enum class Mode {
+    kOutputsOnly,  // ODR's most lightweight scheme
+    kOdrHeavy,     // outputs + inputs + sync order (no race causal order)
+  };
+
+  explicit OutputRecorder(Mode mode)
+      : Recorder(mode == Mode::kOutputsOnly ? "output" : "output-heavy",
+                 OutputCostModel()),
+        mode_(mode) {}
+
+  bool Intercepts(const Event& event) const override {
+    const EventClass cls = ClassOf(event.type);
+    if (mode_ == Mode::kOutputsOnly) {
+      return cls == EventClass::kOutput;
+    }
+    return cls == EventClass::kOutput || cls == EventClass::kInput ||
+           cls == EventClass::kSync || cls == EventClass::kLifecycle;
+  }
+
+  bool ShouldRecord(const Event& event) override { return Intercepts(event); }
+
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_;
+};
+
+class FailureRecorder : public Recorder {
+ public:
+  FailureRecorder() : Recorder("failure", FailureCostModel()) {}
+
+  bool Intercepts(const Event& event) const override {
+    (void)event;
+    return false;  // no runtime hooks at all
+  }
+  bool ShouldRecord(const Event& event) override {
+    (void)event;
+    return false;
+  }
+};
+
+}  // namespace ddr
+
+#endif  // SRC_RECORD_MODEL_RECORDERS_H_

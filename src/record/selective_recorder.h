@@ -1,0 +1,91 @@
+// SelectiveRecorder: the recording substrate for root-cause-driven
+// selectivity (§3.1).
+//
+// The recorder always captures the cheap global skeleton (thread schedule,
+// RNG draws, fiber lifecycle, sync order — the "thread schedule" of §4) and
+// consults a selection predicate for everything else. A fidelity level can
+// be dialed up (record everything) and down again; the RCSE policy engine in
+// src/core drives the level from triggers. Recording state changes are
+// themselves events (kTriggerFire) so they are visible in logs.
+
+#ifndef SRC_RECORD_SELECTIVE_RECORDER_H_
+#define SRC_RECORD_SELECTIVE_RECORDER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/record/recorder.h"
+
+namespace ddr {
+
+enum class FidelityLevel : uint8_t {
+  kRelaxed = 0,  // selection predicate decides
+  kFull = 1,     // record everything (dialed up)
+};
+
+class SelectiveRecorder : public Recorder {
+ public:
+  // Returns true if `event` must be recorded at relaxed fidelity.
+  using SelectionPredicate = std::function<bool(const Event& event)>;
+
+  SelectiveRecorder(const std::string& name, SelectionPredicate predicate)
+      : Recorder(name, SelectiveCostModel()), predicate_(std::move(predicate)) {}
+
+  bool Intercepts(const Event& event) const override {
+    (void)event;
+    return true;  // must observe everything to classify and trigger
+  }
+
+  bool ShouldRecord(const Event& event) override {
+    if (AlwaysRecord(event)) {
+      return true;
+    }
+    if (level_ == FidelityLevel::kFull) {
+      return RecordAtFullFidelity(event);
+    }
+    return predicate_ != nullptr && predicate_(event);
+  }
+
+  // Dialed-up fidelity records at value-determinism granularity: sync order,
+  // memory values, inputs. Message/disk payloads still re-derive from those
+  // during replay, so logging them would be pure waste.
+  static bool RecordAtFullFidelity(const Event& event) {
+    switch (ClassOf(event.type)) {
+      case EventClass::kSync:
+      case EventClass::kMemory:
+      case EventClass::kInput:
+      case EventClass::kOutput:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void SetLevel(FidelityLevel level) { level_ = level; }
+  FidelityLevel level() const { return level_; }
+
+  // The cheap global skeleton recorded at every fidelity level: the thread
+  // schedule (which subsumes sync ordering — replay re-derives lock handoffs
+  // from it), environment RNG draws, and fiber lifecycle.
+  static bool AlwaysRecord(const Event& event) {
+    switch (ClassOf(event.type)) {
+      case EventClass::kSchedule:
+      case EventClass::kRng:
+      case EventClass::kLifecycle:
+        return true;
+      default:
+        return event.type == EventType::kFailure ||
+               event.type == EventType::kTriggerFire ||
+               event.type == EventType::kNodeCrash ||
+               event.type == EventType::kFaultInject;
+    }
+  }
+
+ private:
+  SelectionPredicate predicate_;
+  FidelityLevel level_ = FidelityLevel::kRelaxed;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_RECORD_SELECTIVE_RECORDER_H_

@@ -1,0 +1,60 @@
+#include "src/record/snapshot.h"
+
+namespace ddr {
+
+FailureSnapshot FailureSnapshot::FromOutcome(const Outcome& outcome) {
+  FailureSnapshot snapshot;
+  snapshot.output_fingerprint = outcome.output_fingerprint;
+  snapshot.output_count = outcome.outputs.size();
+  snapshot.virtual_duration = outcome.stats.virtual_duration;
+  if (const FailureInfo* failure = outcome.primary_failure(); failure != nullptr) {
+    snapshot.has_failure = true;
+    snapshot.kind = failure->kind;
+    snapshot.message = failure->message;
+    snapshot.node = failure->node;
+    snapshot.failure_fingerprint = failure->Fingerprint();
+  }
+  return snapshot;
+}
+
+bool FailureSnapshot::MatchesFailureOf(const Outcome& outcome) const {
+  if (!has_failure) {
+    return !outcome.Failed();
+  }
+  const FailureInfo* failure = outcome.primary_failure();
+  return failure != nullptr && failure->Fingerprint() == failure_fingerprint;
+}
+
+std::vector<uint8_t> FailureSnapshot::Encode() const {
+  Encoder encoder;
+  encoder.PutBool(has_failure);
+  encoder.PutFixed8(static_cast<uint8_t>(kind));
+  encoder.PutString(message);
+  encoder.PutVarint64(node);
+  encoder.PutFixed64(failure_fingerprint);
+  encoder.PutFixed64(output_fingerprint);
+  encoder.PutVarint64(output_count);
+  encoder.PutVarint64(virtual_duration);
+  return encoder.TakeBuffer();
+}
+
+Result<FailureSnapshot> FailureSnapshot::Decode(const std::vector<uint8_t>& bytes) {
+  Decoder decoder(bytes);
+  FailureSnapshot snapshot;
+  ASSIGN_OR_RETURN(snapshot.has_failure, decoder.GetBool());
+  ASSIGN_OR_RETURN(uint8_t kind, decoder.GetFixed8());
+  snapshot.kind = static_cast<FailureKind>(kind);
+  ASSIGN_OR_RETURN(snapshot.message, decoder.GetString());
+  ASSIGN_OR_RETURN(uint64_t node, decoder.GetVarint64());
+  snapshot.node = static_cast<NodeId>(node);
+  ASSIGN_OR_RETURN(snapshot.failure_fingerprint, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(snapshot.output_fingerprint, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(snapshot.output_count, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t duration, decoder.GetVarint64());
+  snapshot.virtual_duration = duration;
+  return snapshot;
+}
+
+uint64_t FailureSnapshot::encoded_size_bytes() const { return Encode().size(); }
+
+}  // namespace ddr

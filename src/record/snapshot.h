@@ -1,0 +1,42 @@
+// FailureSnapshot: what a failure-deterministic recorder (ESD-style)
+// captures — nothing during the run, only the final failure state: the
+// observable equivalent of a bug report or core dump.
+
+#ifndef SRC_RECORD_SNAPSHOT_H_
+#define SRC_RECORD_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/outcome.h"
+#include "src/util/codec.h"
+#include "src/util/status.h"
+
+namespace ddr {
+
+struct FailureSnapshot {
+  bool has_failure = false;
+  FailureKind kind = FailureKind::kNone;
+  std::string message;
+  NodeId node = 0;
+  // Fingerprint of the failure identity (kind + message + node).
+  uint64_t failure_fingerprint = 0;
+  // Fingerprint of the outputs the failed run produced.
+  uint64_t output_fingerprint = 0;
+  uint64_t output_count = 0;
+  SimTime virtual_duration = 0;
+
+  static FailureSnapshot FromOutcome(const Outcome& outcome);
+
+  // True if `other` run reached the same failure (per §3: same failure =
+  // same incorrect observable behavior class).
+  bool MatchesFailureOf(const Outcome& outcome) const;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<FailureSnapshot> Decode(const std::vector<uint8_t>& bytes);
+  uint64_t encoded_size_bytes() const;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_RECORD_SNAPSHOT_H_

@@ -1,0 +1,127 @@
+#include "src/replay/log_replay_director.h"
+
+#include <algorithm>
+
+#include "src/sim/environment.h"
+#include "src/util/logging.h"
+
+namespace ddr {
+
+LogReplayDirector::LogReplayDirector(const EventLog& log, LogReplayConfig config)
+    : config_(config) {
+  for (const Event& event : log.events()) {
+    switch (event.type) {
+      case EventType::kContextSwitch: {
+        SwitchRec rec;
+        rec.decision = SwitchAuxDecision(event.aux);
+        rec.cause = SwitchAuxCause(event.aux);
+        rec.prev = event.obj == kInvalidObject ? kInvalidFiber
+                                               : static_cast<FiberId>(event.obj);
+        rec.next = static_cast<FiberId>(event.value);
+        switches_.push_back(rec);
+        break;
+      }
+      case EventType::kRngDraw:
+        rng_values_.push_back(event.value);
+        break;
+      case EventType::kInput:
+        input_values_[event.obj].push_back(event.value);
+        break;
+      case EventType::kSharedRead:
+        read_values_[event.obj].push_back(event.value);
+        break;
+      default:
+        break;
+    }
+  }
+  follow_schedule_ = config_.follow_schedule && !switches_.empty();
+}
+
+bool LogReplayDirector::ShouldPreempt(Environment& env, FiberId current,
+                                      uint64_t decision_seq) {
+  if (!follow_schedule_) {
+    if (config_.fallback.preempt_probability <= 0.0) {
+      return false;
+    }
+    return env.scheduler_rng().NextBernoulli(config_.fallback.preempt_probability);
+  }
+  if (cursor_ >= switches_.size()) {
+    return false;
+  }
+  const SwitchRec& rec = switches_[cursor_];
+  // The recorded preemption happened after this decision point incremented
+  // the counter, so a record with decision d gates the point d - 1.
+  return rec.cause == SwitchCause::kPreempt && rec.decision == decision_seq + 1 &&
+         rec.prev == current;
+}
+
+FiberId LogReplayDirector::PickNextFiber(Environment& env,
+                                         const std::vector<FiberId>& runnable,
+                                         uint64_t switch_seq) {
+  (void)switch_seq;
+  CHECK(!runnable.empty());
+  if (follow_schedule_ && cursor_ < switches_.size()) {
+    const SwitchRec& rec = switches_[cursor_];
+    ++cursor_;
+    if (std::find(runnable.begin(), runnable.end(), rec.next) != runnable.end()) {
+      return rec.next;
+    }
+    ++divergences_;
+  } else if (follow_schedule_) {
+    ++divergences_;  // replay ran past the recorded schedule
+  }
+  switch (config_.fallback.policy) {
+    case SchedulingOptions::Policy::kRandom:
+      return runnable[env.scheduler_rng().NextIndex(runnable.size())];
+    case SchedulingOptions::Policy::kRoundRobin: {
+      const FiberId pick = runnable[rr_cursor_ % runnable.size()];
+      ++rr_cursor_;
+      return pick;
+    }
+  }
+  return runnable.front();
+}
+
+bool LogReplayDirector::OverrideRngDraw(Environment& env, RngPurpose purpose,
+                                        uint64_t* value) {
+  (void)env;
+  (void)purpose;
+  if (!config_.override_rng || rng_values_.empty()) {
+    return false;
+  }
+  *value = rng_values_.front();
+  rng_values_.pop_front();
+  return true;
+}
+
+bool LogReplayDirector::OverrideInput(Environment& env, ObjectId source,
+                                      uint64_t* value) {
+  (void)env;
+  if (!config_.override_inputs) {
+    return false;
+  }
+  auto it = input_values_.find(source);
+  if (it == input_values_.end() || it->second.empty()) {
+    return false;
+  }
+  *value = it->second.front();
+  it->second.pop_front();
+  return true;
+}
+
+bool LogReplayDirector::OverrideSharedRead(Environment& env, ObjectId cell,
+                                           uint64_t* value) {
+  (void)env;
+  if (!config_.override_shared_reads) {
+    return false;
+  }
+  auto it = read_values_.find(cell);
+  if (it == read_values_.end() || it->second.empty()) {
+    return false;
+  }
+  *value = it->second.front();
+  it->second.pop_front();
+  return true;
+}
+
+}  // namespace ddr

@@ -1,0 +1,119 @@
+#include "src/replay/replayer.h"
+
+#include <chrono>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+std::string_view ReplayModeName(ReplayMode mode) {
+  switch (mode) {
+    case ReplayMode::kPerfect:
+      return "perfect";
+    case ReplayMode::kValue:
+      return "value";
+    case ReplayMode::kRcse:
+      return "rcse";
+    case ReplayMode::kOutputOnly:
+      return "output";
+    case ReplayMode::kOutputHeavy:
+      return "output-heavy";
+    case ReplayMode::kFailure:
+      return "failure";
+  }
+  return "unknown";
+}
+
+ReplayResult Replayer::Replay(const RecordedExecution& recording, ReplayMode mode) {
+  switch (mode) {
+    case ReplayMode::kPerfect: {
+      LogReplayConfig config;  // everything on
+      return DirectReplay(recording, config, ReplayModeName(mode));
+    }
+    case ReplayMode::kValue: {
+      LogReplayConfig config;
+      return DirectReplay(recording, config, ReplayModeName(mode));
+    }
+    case ReplayMode::kRcse: {
+      LogReplayConfig config;
+      // Schedule + RNG + recorded (control-plane) inputs are enforced;
+      // shared reads re-execute — the relaxed data plane is re-synthesized.
+      config.override_shared_reads = false;
+      return DirectReplay(recording, config, ReplayModeName(mode));
+    }
+    case ReplayMode::kOutputOnly:
+    case ReplayMode::kOutputHeavy:
+    case ReplayMode::kFailure:
+      return InferredReplay(recording, mode);
+  }
+  LOG(FATAL) << "unreachable";
+  return ReplayResult{};
+}
+
+ReplayResult Replayer::DirectReplay(const RecordedExecution& recording,
+                                    const LogReplayConfig& config,
+                                    std::string_view name) {
+  const auto start = std::chrono::steady_clock::now();
+  ReplayResult result;
+  result.model = std::string(name);
+
+  Environment::Options options = target_.env_options;
+  options.seed = kReplayEnvSeed;
+  Environment env(options);
+
+  LogReplayDirector director(recording.log, config);
+  env.SetDirector(&director);
+
+  CollectingSink sink;
+  env.AddTraceSink(&sink);
+
+  std::unique_ptr<SimProgram> program = target_.make_program(kReplayWorldSeed);
+  result.outcome = env.Run(*program);
+  result.trace = sink.events();
+  result.divergences = director.divergences();
+  result.failure_reproduced = recording.snapshot.MatchesFailureOf(result.outcome);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+ReplayResult Replayer::InferredReplay(const RecordedExecution& recording,
+                                      ReplayMode mode) {
+  const auto start = std::chrono::steady_clock::now();
+  ReplayResult result;
+  result.model = std::string(ReplayModeName(mode));
+
+  InferenceEngine engine(target_, budget_);
+  SynthesisResult synthesis;
+  switch (mode) {
+    case ReplayMode::kFailure:
+      synthesis = engine.SynthesizeMatchingFailure(recording.snapshot);
+      break;
+    case ReplayMode::kOutputOnly:
+      // The output-only log carries no inputs, but its recorded output
+      // values feed the symbolic model (solver-guided input inference).
+      synthesis = engine.SynthesizeMatchingOutputs(recording.snapshot, &recording.log);
+      break;
+    case ReplayMode::kOutputHeavy:
+      synthesis = engine.SynthesizeMatchingOutputs(recording.snapshot, &recording.log);
+      break;
+    default:
+      LOG(FATAL) << "InferredReplay called with direct mode";
+  }
+
+  result.inference = synthesis.stats;
+  result.inference_found = synthesis.found;
+  if (synthesis.found) {
+    result.outcome = std::move(synthesis.outcome);
+    result.trace = std::move(synthesis.trace);
+    result.fault_plan_index = synthesis.fault_plan_index;
+    result.input_assignment = std::move(synthesis.input_assignment);
+    result.failure_reproduced =
+        recording.snapshot.MatchesFailureOf(result.outcome);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace ddr

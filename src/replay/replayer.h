@@ -1,0 +1,72 @@
+// Replayer: per-determinism-model replay orchestration.
+//
+// Given a RecordedExecution and a model, produces the replayed execution —
+// either by direct log-driven replay (perfect / value / RCSE) or by
+// inference (output / failure determinism). The replayer never sees the
+// production run's seeds; relaxed data is re-synthesized from replay-time
+// seeds, exactly as a real inference engine fills in unrecorded values.
+
+#ifndef SRC_REPLAY_REPLAYER_H_
+#define SRC_REPLAY_REPLAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/record/recorded_execution.h"
+#include "src/replay/inference.h"
+#include "src/replay/log_replay_director.h"
+
+namespace ddr {
+
+enum class ReplayMode {
+  kPerfect,
+  kValue,
+  kRcse,
+  kOutputOnly,
+  kOutputHeavy,
+  kFailure,
+};
+
+std::string_view ReplayModeName(ReplayMode mode);
+
+struct ReplayResult {
+  std::string model;
+  Outcome outcome;
+  std::vector<Event> trace;
+  // Whether the replayed execution exhibits the recorded failure.
+  bool failure_reproduced = false;
+  // Schedule divergences during log-driven replay (0 = faithful).
+  uint64_t divergences = 0;
+  // Filled for inference-based modes.
+  InferenceStats inference;
+  bool inference_found = false;
+  size_t fault_plan_index = 0;
+  std::vector<int64_t> input_assignment;
+  // Total tool time to produce the replayed execution (drives DE).
+  double wall_seconds = 0.0;
+};
+
+// Environment/world seeds used for replay runs; deliberately unrelated to
+// any production seed (the replayer does not know it).
+inline constexpr uint64_t kReplayEnvSeed = 0xD1CEBA5Eu;
+inline constexpr uint64_t kReplayWorldSeed = 0x5EED0F0Fu;
+
+class Replayer {
+ public:
+  explicit Replayer(ReplayTarget target, InferenceBudget budget = InferenceBudget())
+      : target_(std::move(target)), budget_(budget) {}
+
+  ReplayResult Replay(const RecordedExecution& recording, ReplayMode mode);
+
+ private:
+  ReplayResult DirectReplay(const RecordedExecution& recording,
+                            const LogReplayConfig& config, std::string_view name);
+  ReplayResult InferredReplay(const RecordedExecution& recording, ReplayMode mode);
+
+  ReplayTarget target_;
+  InferenceBudget budget_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_REPLAY_REPLAYER_H_

@@ -1,0 +1,222 @@
+#include "src/replay/solver.h"
+#include <limits>
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+CspProblem::VarId CspProblem::AddVariable(const std::string& name, int64_t lo,
+                                          int64_t hi) {
+  CHECK_LE(lo, hi) << "empty domain for " << name;
+  names_.push_back(name);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  return names_.size() - 1;
+}
+
+void CspProblem::AddLinearEquals(std::vector<std::pair<VarId, int64_t>> terms,
+                                 int64_t rhs) {
+  linears_.push_back({std::move(terms), rhs, /*is_equality=*/true});
+}
+
+void CspProblem::AddLinearLessEquals(std::vector<std::pair<VarId, int64_t>> terms,
+                                     int64_t rhs) {
+  linears_.push_back({std::move(terms), rhs, /*is_equality=*/false});
+}
+
+void CspProblem::AddNotEquals(VarId var, int64_t value) {
+  not_equals_.emplace_back(var, value);
+}
+
+void CspProblem::AddAllDifferent(std::vector<VarId> vars) {
+  all_different_.push_back(std::move(vars));
+}
+
+void CspProblem::AddPredicate(std::vector<VarId> vars,
+                              std::function<bool(const std::vector<int64_t>&)> fn) {
+  predicates_.push_back({std::move(vars), std::move(fn)});
+}
+
+bool CspProblem::Propagate(std::vector<int64_t>* lo, std::vector<int64_t>* hi) const {
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    changed = false;
+    if (++iterations > 200) {
+      break;  // safety valve; bounds consistency converges long before this
+    }
+    for (const Linear& linear : linears_) {
+      // For each term, bound it using the extremes of all other terms.
+      for (size_t pivot = 0; pivot < linear.terms.size(); ++pivot) {
+        const auto [pivot_var, pivot_coeff] = linear.terms[pivot];
+        if (pivot_coeff == 0) {
+          continue;
+        }
+        int64_t rest_min = 0;
+        int64_t rest_max = 0;
+        for (size_t i = 0; i < linear.terms.size(); ++i) {
+          if (i == pivot) {
+            continue;
+          }
+          const auto [var, coeff] = linear.terms[i];
+          const int64_t a = coeff * (*lo)[var];
+          const int64_t b = coeff * (*hi)[var];
+          rest_min += std::min(a, b);
+          rest_max += std::max(a, b);
+        }
+        // pivot_coeff * x ∈ [rhs - rest_max, rhs - rest_min] for equality;
+        // pivot_coeff * x <= rhs - rest_min for inequality.
+        int64_t term_lo;
+        int64_t term_hi;
+        if (linear.is_equality) {
+          term_lo = linear.rhs - rest_max;
+          term_hi = linear.rhs - rest_min;
+        } else {
+          term_lo = std::numeric_limits<int64_t>::min() / 4;
+          term_hi = linear.rhs - rest_min;
+        }
+        int64_t new_lo;
+        int64_t new_hi;
+        if (pivot_coeff > 0) {
+          // x >= ceil(term_lo / c); x <= floor(term_hi / c)
+          new_lo = term_lo >= 0 ? (term_lo + pivot_coeff - 1) / pivot_coeff
+                                : -((-term_lo) / pivot_coeff);
+          new_hi = term_hi >= 0 ? term_hi / pivot_coeff
+                                : -((-term_hi + pivot_coeff - 1) / pivot_coeff);
+        } else {
+          const int64_t c = -pivot_coeff;
+          // c*(-x) bounds swap.
+          new_lo = term_hi >= 0 ? -(term_hi / c)
+                                : ((-term_hi) + c - 1) / c;
+          new_hi = term_lo >= 0 ? -((term_lo + c - 1) / c)
+                                : (-term_lo) / c;
+        }
+        if (new_lo > (*lo)[pivot_var]) {
+          (*lo)[pivot_var] = new_lo;
+          changed = true;
+        }
+        if (new_hi < (*hi)[pivot_var]) {
+          (*hi)[pivot_var] = new_hi;
+          changed = true;
+        }
+        if ((*lo)[pivot_var] > (*hi)[pivot_var]) {
+          return false;
+        }
+      }
+    }
+    for (const auto& [var, value] : not_equals_) {
+      if ((*lo)[var] == (*hi)[var] && (*lo)[var] == value) {
+        return false;
+      }
+      if ((*lo)[var] == value && (*lo)[var] < (*hi)[var]) {
+        ++(*lo)[var];
+        changed = true;
+      }
+      if ((*hi)[var] == value && (*hi)[var] > (*lo)[var]) {
+        --(*hi)[var];
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool CspProblem::CheckBound(const std::vector<int64_t>& assignment) const {
+  for (const Linear& linear : linears_) {
+    int64_t sum = 0;
+    for (const auto& [var, coeff] : linear.terms) {
+      sum += coeff * assignment[var];
+    }
+    if (linear.is_equality ? sum != linear.rhs : sum > linear.rhs) {
+      return false;
+    }
+  }
+  for (const auto& [var, value] : not_equals_) {
+    if (assignment[var] == value) {
+      return false;
+    }
+  }
+  for (const auto& group : all_different_) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (assignment[group[i]] == assignment[group[j]]) {
+          return false;
+        }
+      }
+    }
+  }
+  for (const Predicate& predicate : predicates_) {
+    std::vector<int64_t> values;
+    values.reserve(predicate.vars.size());
+    for (VarId var : predicate.vars) {
+      values.push_back(assignment[var]);
+    }
+    if (!predicate.fn(values)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CspProblem::Search(std::vector<int64_t>* lo, std::vector<int64_t>* hi,
+                        const std::function<bool(const std::vector<int64_t>&)>& emit) {
+  ++nodes_;
+  if (!Propagate(lo, hi)) {
+    return false;
+  }
+  // Find first unbound variable.
+  size_t unbound = lo_.size();
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if ((*lo)[i] < (*hi)[i]) {
+      unbound = i;
+      break;
+    }
+  }
+  if (unbound == lo_.size()) {
+    std::vector<int64_t> assignment = *lo;
+    if (CheckBound(assignment)) {
+      if (!emit(assignment)) {
+        stop_ = true;
+      }
+    }
+    return stop_;
+  }
+  for (int64_t value = (*lo)[unbound]; value <= (*hi)[unbound]; ++value) {
+    std::vector<int64_t> next_lo = *lo;
+    std::vector<int64_t> next_hi = *hi;
+    next_lo[unbound] = value;
+    next_hi[unbound] = value;
+    if (Search(&next_lo, &next_hi, emit)) {
+      return true;
+    }
+  }
+  return stop_;
+}
+
+std::optional<std::vector<int64_t>> CspProblem::FirstSolution() {
+  auto all = Solutions(1);
+  if (all.empty()) {
+    return std::nullopt;
+  }
+  return all.front();
+}
+
+std::vector<std::vector<int64_t>> CspProblem::Solutions(size_t limit) {
+  nodes_ = 0;
+  stop_ = false;
+  std::vector<std::vector<int64_t>> solutions;
+  if (limit == 0 || lo_.empty()) {
+    return solutions;
+  }
+  std::vector<int64_t> lo = lo_;
+  std::vector<int64_t> hi = hi_;
+  Search(&lo, &hi, [&](const std::vector<int64_t>& assignment) {
+    solutions.push_back(assignment);
+    return solutions.size() < limit;
+  });
+  return solutions;
+}
+
+}  // namespace ddr

@@ -1,0 +1,87 @@
+// A small finite-domain integer constraint solver.
+//
+// Stands in for the symbolic-execution back ends that inference-based replay
+// systems (ODR, ESD) use to compute unrecorded values: output-deterministic
+// replay poses "find inputs such that the program produces the recorded
+// outputs" as a constraint problem over declared input domains.
+//
+// Supported: interval domains, linear equality/inequality constraints,
+// all-different, and table (function) constraints. Search is bounds-
+// propagating backtracking with deterministic lexicographic value order —
+// important for the paper's §2 example: solving x + y == 5 over [0,10]^2
+// yields (0,5) first, a *non-failing* execution for the sum bug.
+
+#ifndef SRC_REPLAY_SOLVER_H_
+#define SRC_REPLAY_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ddr {
+
+class CspProblem {
+ public:
+  using VarId = size_t;
+
+  // Adds a variable with inclusive interval domain [lo, hi].
+  VarId AddVariable(const std::string& name, int64_t lo, int64_t hi);
+
+  // sum(coeff_i * var_i) == rhs
+  void AddLinearEquals(std::vector<std::pair<VarId, int64_t>> terms, int64_t rhs);
+  // sum(coeff_i * var_i) <= rhs
+  void AddLinearLessEquals(std::vector<std::pair<VarId, int64_t>> terms, int64_t rhs);
+  // var != value
+  void AddNotEquals(VarId var, int64_t value);
+  // All listed variables take pairwise distinct values.
+  void AddAllDifferent(std::vector<VarId> vars);
+  // fn(assignment) must be true once all listed vars are bound (checked at
+  // leaves; no propagation).
+  void AddPredicate(std::vector<VarId> vars,
+                    std::function<bool(const std::vector<int64_t>&)> fn);
+
+  size_t num_variables() const { return lo_.size(); }
+
+  // First solution in lexicographic (variable-order, ascending-value) order,
+  // or nullopt if unsatisfiable.
+  std::optional<std::vector<int64_t>> FirstSolution();
+
+  // Up to `limit` solutions in lexicographic order.
+  std::vector<std::vector<int64_t>> Solutions(size_t limit);
+
+  // Search-tree nodes visited by the last solve (effort metric).
+  uint64_t nodes_explored() const { return nodes_; }
+
+ private:
+  struct Linear {
+    std::vector<std::pair<VarId, int64_t>> terms;
+    int64_t rhs = 0;
+    bool is_equality = true;  // false: <=
+  };
+  struct Predicate {
+    std::vector<VarId> vars;
+    std::function<bool(const std::vector<int64_t>&)> fn;
+  };
+
+  // Tightens [lo,hi] bounds from linear constraints; false on wipe-out.
+  bool Propagate(std::vector<int64_t>* lo, std::vector<int64_t>* hi) const;
+  bool Search(std::vector<int64_t>* lo, std::vector<int64_t>* hi,
+              const std::function<bool(const std::vector<int64_t>&)>& emit);
+  bool CheckBound(const std::vector<int64_t>& assignment) const;
+
+  std::vector<std::string> names_;
+  std::vector<int64_t> lo_;
+  std::vector<int64_t> hi_;
+  std::vector<Linear> linears_;
+  std::vector<std::pair<VarId, int64_t>> not_equals_;
+  std::vector<std::vector<VarId>> all_different_;
+  std::vector<Predicate> predicates_;
+  uint64_t nodes_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_REPLAY_SOLVER_H_

@@ -1,0 +1,80 @@
+// Channel<T>: FIFO message queue between fibers (same node or cross-node
+// in-process messaging; for cross-node traffic with latency/loss semantics
+// use src/sim/network.h).
+//
+// Sends/receives are events carrying payload sizes so that the plane
+// classifier can attribute data rates to code regions.
+
+#ifndef SRC_SIM_CHANNEL_H_
+#define SRC_SIM_CHANNEL_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/sim/environment.h"
+#include "src/util/hash.h"
+
+namespace ddr {
+
+template <typename T>
+class Channel {
+ public:
+  // `capacity` 0 means unbounded; otherwise Send blocks while full.
+  Channel(Environment& env, const std::string& name, size_t capacity = 0)
+      : env_(env),
+        capacity_(capacity),
+        id_(env.RegisterObject(ObjectKind::kChannel, name, env.CurrentNode())),
+        recv_queue_(env.CreateWaitQueue(name + ".recv")),
+        send_queue_(env.CreateWaitQueue(name + ".send")) {}
+
+  // `bytes` is the simulated wire size of the payload (for rate accounting).
+  void Send(T item, uint32_t bytes = sizeof(T)) {
+    while (capacity_ != 0 && items_.size() >= capacity_) {
+      env_.WaitOn(send_queue_);
+    }
+    items_.push_back(std::move(item));
+    env_.EmitLibraryEvent(EventType::kChannelSend, id_, items_.size(), 0, bytes);
+    env_.NotifyOne(recv_queue_);
+  }
+
+  T Recv(uint32_t bytes = sizeof(T)) {
+    while (items_.empty()) {
+      env_.WaitOn(recv_queue_);
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    env_.EmitLibraryEvent(EventType::kChannelRecv, id_, items_.size(), 0, bytes);
+    env_.NotifyOne(send_queue_);
+    return item;
+  }
+
+  // Non-blocking receive.
+  std::optional<T> TryRecv(uint32_t bytes = sizeof(T)) {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    env_.EmitLibraryEvent(EventType::kChannelRecv, id_, items_.size(), 0, bytes);
+    env_.NotifyOne(send_queue_);
+    return item;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  ObjectId id() const { return id_; }
+
+ private:
+  Environment& env_;
+  size_t capacity_;
+  ObjectId id_;
+  ObjectId recv_queue_;
+  ObjectId send_queue_;
+  std::deque<T> items_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_CHANNEL_H_

@@ -1,0 +1,88 @@
+// ExecutionDirector: the interposition interface for every nondeterministic
+// decision in a simulated execution.
+//
+// The default director makes decisions from the environment's seeded
+// scheduler RNG (this is the "production run"). Replay directors (see
+// src/replay) override decisions from a recorded log or from an inference
+// search. Recording never changes decisions; it only observes events.
+
+#ifndef SRC_SIM_DIRECTOR_H_
+#define SRC_SIM_DIRECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/sim/types.h"
+
+namespace ddr {
+
+class Environment;
+
+// Purpose tags for environment-level RNG draws, so logs identify what a
+// recorded draw was for.
+enum class RngPurpose : uint64_t {
+  kGeneric = 0,
+  kNetLatency = 1,
+  kNetDrop = 2,
+  kAppChoice = 3,
+};
+
+class ExecutionDirector {
+ public:
+  virtual ~ExecutionDirector() = default;
+
+  // Consulted at every preemption point. `decision_seq` is the index of this
+  // decision point (dense, deterministic). Returning true forces a context
+  // switch decision at this point.
+  virtual bool ShouldPreempt(Environment& env, FiberId current, uint64_t decision_seq);
+
+  // Picks the next fiber among `runnable` (sorted ascending, non-empty).
+  // `switch_seq` is the index of this switch decision.
+  virtual FiberId PickNextFiber(Environment& env, const std::vector<FiberId>& runnable,
+                                uint64_t switch_seq);
+
+  // Decision overrides. Returning true means *value was supplied by the
+  // director (replay); false means the environment generates it.
+  virtual bool OverrideRngDraw(Environment& env, RngPurpose purpose, uint64_t* value);
+  virtual bool OverrideInput(Environment& env, ObjectId source, uint64_t* value);
+  virtual bool OverrideSharedRead(Environment& env, ObjectId cell, uint64_t* value);
+
+  // Observes every event (after emission). Replay directors use this to
+  // track their position in the log; RCSE uses it to run triggers.
+  virtual void OnEvent(Environment& env, const Event& event);
+};
+
+// Scheduling behavior of the default director.
+struct SchedulingOptions {
+  enum class Policy : uint8_t {
+    kRandom = 0,      // uniform choice among runnable fibers
+    kRoundRobin = 1,  // cycle through runnable fibers
+  };
+
+  Policy policy = Policy::kRandom;
+  // Probability of forcing a context-switch decision at each preemption
+  // point. Higher values explore more interleavings per run.
+  double preempt_probability = 0.1;
+};
+
+// Default director: seeded-random (or round-robin) scheduling, no overrides.
+class DefaultDirector : public ExecutionDirector {
+ public:
+  DefaultDirector() = default;
+  explicit DefaultDirector(SchedulingOptions options) : options_(options) {}
+
+  bool ShouldPreempt(Environment& env, FiberId current, uint64_t decision_seq) override;
+  FiberId PickNextFiber(Environment& env, const std::vector<FiberId>& runnable,
+                        uint64_t switch_seq) override;
+
+  const SchedulingOptions& options() const { return options_; }
+
+ private:
+  SchedulingOptions options_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_DIRECTOR_H_

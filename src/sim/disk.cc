@@ -1,0 +1,35 @@
+#include "src/sim/disk.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+SimDisk::SimDisk(Environment& env, const std::string& name, DiskOptions options)
+    : env_(env),
+      id_(env.RegisterObject(ObjectKind::kDisk, name, env.CurrentNode())),
+      options_(options) {}
+
+size_t SimDisk::Append(std::string record) {
+  const uint32_t bytes = static_cast<uint32_t>(record.size());
+  const SimDuration latency =
+      options_.seek_latency + options_.per_byte * static_cast<SimDuration>(bytes);
+  env_.EmitLibraryEvent(EventType::kDiskWrite, id_, records_.size(), 0, bytes);
+  env_.SleepFor(latency);
+  bytes_written_ += bytes;
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+std::string SimDisk::Read(size_t index) {
+  CHECK_LT(index, records_.size());
+  const uint32_t bytes = static_cast<uint32_t>(records_[index].size());
+  const SimDuration latency =
+      options_.seek_latency + options_.per_byte * static_cast<SimDuration>(bytes);
+  env_.EmitLibraryEvent(EventType::kDiskRead, id_, index, 0, bytes);
+  env_.SleepFor(latency);
+  return records_[index];
+}
+
+}  // namespace ddr

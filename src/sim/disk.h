@@ -1,0 +1,47 @@
+// Simulated append-only disk (commit logs, sstable-ish blobs).
+//
+// Writes incur a size-dependent latency; contents persist across node
+// crashes (a crashed node's disk survives, mirroring real deployments).
+
+#ifndef SRC_SIM_DISK_H_
+#define SRC_SIM_DISK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/environment.h"
+#include "src/sim/types.h"
+
+namespace ddr {
+
+struct DiskOptions {
+  SimDuration seek_latency = 100 * kMicrosecond;
+  // Additional latency per byte written/read.
+  SimDuration per_byte = 10 * kNanosecond;
+};
+
+class SimDisk {
+ public:
+  SimDisk(Environment& env, const std::string& name, DiskOptions options = DiskOptions());
+
+  // Appends a record; blocks for the simulated write latency. Returns the
+  // record's index.
+  size_t Append(std::string record);
+
+  // Reads record `index`; blocks for the simulated read latency.
+  std::string Read(size_t index);
+
+  size_t num_records() const { return records_.size(); }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Environment& env_;
+  ObjectId id_;
+  DiskOptions options_;
+  std::vector<std::string> records_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_DISK_H_

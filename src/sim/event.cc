@@ -1,0 +1,110 @@
+#include "src/sim/event.h"
+
+#include <sstream>
+
+namespace ddr {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kFiberCreate: return "FiberCreate";
+    case EventType::kFiberExit: return "FiberExit";
+    case EventType::kContextSwitch: return "ContextSwitch";
+    case EventType::kFiberBlock: return "FiberBlock";
+    case EventType::kFiberUnblock: return "FiberUnblock";
+    case EventType::kMutexLock: return "MutexLock";
+    case EventType::kMutexUnlock: return "MutexUnlock";
+    case EventType::kCondWait: return "CondWait";
+    case EventType::kCondSignal: return "CondSignal";
+    case EventType::kCondBroadcast: return "CondBroadcast";
+    case EventType::kSemAcquire: return "SemAcquire";
+    case EventType::kSemRelease: return "SemRelease";
+    case EventType::kSharedRead: return "SharedRead";
+    case EventType::kSharedWrite: return "SharedWrite";
+    case EventType::kSharedRmw: return "SharedRmw";
+    case EventType::kInput: return "Input";
+    case EventType::kOutput: return "Output";
+    case EventType::kRngDraw: return "RngDraw";
+    case EventType::kChannelSend: return "ChannelSend";
+    case EventType::kChannelRecv: return "ChannelRecv";
+    case EventType::kNetSend: return "NetSend";
+    case EventType::kNetDeliver: return "NetDeliver";
+    case EventType::kNetRecv: return "NetRecv";
+    case EventType::kNetDrop: return "NetDrop";
+    case EventType::kClockRead: return "ClockRead";
+    case EventType::kSleep: return "Sleep";
+    case EventType::kDiskWrite: return "DiskWrite";
+    case EventType::kDiskRead: return "DiskRead";
+    case EventType::kRegionEnter: return "RegionEnter";
+    case EventType::kRegionExit: return "RegionExit";
+    case EventType::kAnnotation: return "Annotation";
+    case EventType::kFailure: return "Failure";
+    case EventType::kFaultInject: return "FaultInject";
+    case EventType::kTriggerFire: return "TriggerFire";
+    case EventType::kNodeCrash: return "NodeCrash";
+  }
+  return "Unknown";
+}
+
+std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "None";
+    case FailureKind::kCrash: return "Crash";
+    case FailureKind::kSpecViolation: return "SpecViolation";
+    case FailureKind::kPerformance: return "Performance";
+    case FailureKind::kDeadlock: return "Deadlock";
+    case FailureKind::kOom: return "Oom";
+  }
+  return "Unknown";
+}
+
+void Event::EncodeTo(Encoder* encoder) const {
+  encoder->PutVarint64(seq);
+  encoder->PutVarint64(time);
+  encoder->PutVarint64(fiber);
+  encoder->PutVarint64(node);
+  encoder->PutFixed8(static_cast<uint8_t>(type));
+  encoder->PutVarint64(obj);
+  encoder->PutVarint64(value);
+  encoder->PutVarint64(aux);
+  encoder->PutVarint64(region);
+  encoder->PutVarint64(bytes);
+}
+
+Result<Event> Event::DecodeFrom(Decoder* decoder) {
+  Event event;
+  ASSIGN_OR_RETURN(event.seq, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(event.time, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t fiber, decoder->GetVarint64());
+  event.fiber = static_cast<FiberId>(fiber);
+  ASSIGN_OR_RETURN(uint64_t node, decoder->GetVarint64());
+  event.node = static_cast<NodeId>(node);
+  ASSIGN_OR_RETURN(uint8_t type, decoder->GetFixed8());
+  event.type = static_cast<EventType>(type);
+  ASSIGN_OR_RETURN(event.obj, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(event.value, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(event.aux, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t region, decoder->GetVarint64());
+  event.region = static_cast<RegionId>(region);
+  ASSIGN_OR_RETURN(uint64_t bytes, decoder->GetVarint64());
+  event.bytes = static_cast<uint32_t>(bytes);
+  return event;
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << "#" << seq << " t=" << time << " f" << fiber << "@n" << node << " "
+     << EventTypeName(type) << " obj=" << static_cast<int64_t>(obj)
+     << " val=" << value;
+  if (aux != 0) {
+    os << " aux=" << aux;
+  }
+  if (bytes != 0) {
+    os << " bytes=" << bytes;
+  }
+  if (region != kDefaultRegion) {
+    os << " region=" << region;
+  }
+  return os.str();
+}
+
+}  // namespace ddr

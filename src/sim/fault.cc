@@ -1,0 +1,43 @@
+#include "src/sim/fault.h"
+
+#include <sstream>
+
+namespace ddr {
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashNode:
+      return "CrashNode";
+    case FaultKind::kOomOnAlloc:
+      return "OomOnAlloc";
+    case FaultKind::kCongestion:
+      return "Congestion";
+  }
+  return "Unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  os << FaultKindName(kind) << "(node=" << node << ", t=" << at_time;
+  if (kind == FaultKind::kCongestion) {
+    os << ", dur=" << duration << ", p=" << param;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string FaultPlan::ToString() const {
+  if (faults_.empty()) {
+    return "(no faults)";
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    if (i > 0) {
+      os << "; ";
+    }
+    os << faults_[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace ddr

@@ -1,0 +1,81 @@
+// Environment fault injection.
+//
+// Faults model the "other possible root causes" of §4: a slave crash after
+// upload, a client OOM during dump, and network congestion. The inference
+// engine also searches over fault plans when synthesizing executions for
+// failure-deterministic replay.
+
+#ifndef SRC_SIM_FAULT_H_
+#define SRC_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace ddr {
+
+enum class FaultKind : uint8_t {
+  // Kills every fiber on `node` at virtual time `at_time`; the node stops
+  // sending/receiving network messages.
+  kCrashNode = 0,
+  // The next CheckAlloc() on `node` at or after `at_time` fails (simulated
+  // out-of-memory abort).
+  kOomOnAlloc = 1,
+  // Network drop probability is raised to `param` during
+  // [at_time, at_time + duration].
+  kCongestion = 2,
+};
+
+std::string FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrashNode;
+  NodeId node = 0;
+  SimTime at_time = 0;
+  SimDuration duration = 0;  // kCongestion only
+  double param = 0.0;        // kCongestion drop probability
+
+  std::string ToString() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void Add(FaultSpec spec) { faults_.push_back(spec); }
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+
+  static FaultPlan CrashNodeAt(NodeId node, SimTime time) {
+    FaultPlan plan;
+    plan.Add({.kind = FaultKind::kCrashNode, .node = node, .at_time = time});
+    return plan;
+  }
+
+  static FaultPlan OomAt(NodeId node, SimTime time) {
+    FaultPlan plan;
+    plan.Add({.kind = FaultKind::kOomOnAlloc, .node = node, .at_time = time});
+    return plan;
+  }
+
+  static FaultPlan CongestionWindow(SimTime start, SimDuration duration, double drop_prob) {
+    FaultPlan plan;
+    plan.Add({.kind = FaultKind::kCongestion,
+              .node = kInvalidNode,
+              .at_time = start,
+              .duration = duration,
+              .param = drop_prob});
+    return plan;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_FAULT_H_

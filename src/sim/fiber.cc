@@ -1,0 +1,28 @@
+#include "src/sim/fiber.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+Fiber::Fiber(FiberId id, NodeId node, std::string name)
+    : id_(id), node_(node), name_(std::move(name)) {}
+
+Fiber::~Fiber() {
+  if (thread_.joinable()) {
+    CHECK(state_ == State::kFinished)
+        << "fiber '" << name_ << "' destroyed while not finished";
+    thread_.join();
+  }
+}
+
+void Fiber::Launch(std::function<void()> trampoline) {
+  CHECK(!thread_.joinable()) << "fiber launched twice";
+  thread_ = std::thread([this, fn = std::move(trampoline)] {
+    WaitForResume();
+    fn();
+  });
+}
+
+}  // namespace ddr

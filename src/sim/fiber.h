@@ -1,0 +1,133 @@
+// Cooperative fibers implemented as strictly hand-off-scheduled OS threads.
+//
+// Exactly one thread (either the scheduler or a single fiber) runs at any
+// moment; control transfers through Baton handoffs. Because every transfer
+// is explicit and the scheduler picks successors deterministically, an
+// execution is a pure function of (program, seed, director) — the property
+// the whole toolkit rests on.
+
+#ifndef SRC_SIM_FIBER_H_
+#define SRC_SIM_FIBER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace ddr {
+
+// Thrown inside a fiber to unwind it when the environment tears it down
+// (program end, node crash, abort). Deliberately not derived from
+// std::exception so that application-level catch(std::exception&) blocks do
+// not swallow it. Simulated code must not use catch(...).
+struct FiberKilled {};
+
+// One-shot-at-a-time handoff primitive.
+class Baton {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return posted_; });
+    posted_ = false;
+  }
+
+  void Post() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      posted_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool posted_ = false;
+};
+
+// Why a blocked fiber resumed.
+enum class WakeReason : uint8_t {
+  kNotified = 0,
+  kTimeout = 1,
+  kKilled = 2,
+};
+
+class Fiber {
+ public:
+  enum class State : uint8_t {
+    kRunnable,
+    kRunning,
+    kBlocked,
+    kFinished,
+  };
+
+  Fiber(FiberId id, NodeId node, std::string name);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Starts the backing thread; `trampoline` runs after the first Resume().
+  void Launch(std::function<void()> trampoline);
+
+  // Scheduler -> fiber control transfer.
+  void Resume() { resume_baton_.Post(); }
+  // Fiber-side: parks until the scheduler resumes this fiber.
+  void WaitForResume() { resume_baton_.Wait(); }
+
+  FiberId id() const { return id_; }
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+
+  State state() const { return state_; }
+  void set_state(State state) { state_ = state; }
+
+  bool kill_requested() const { return kill_requested_; }
+  void request_kill() { kill_requested_ = true; }
+
+  WakeReason wake_reason() const { return wake_reason_; }
+  void set_wake_reason(WakeReason reason) { wake_reason_ = reason; }
+
+  // Monotonic counter distinguishing successive blocking episodes, so stale
+  // timers cannot wake a later, unrelated wait.
+  uint64_t block_generation() const { return block_generation_; }
+  void bump_block_generation() { ++block_generation_; }
+
+  // Object this fiber is currently blocked on (kInvalidObject for sleeps).
+  ObjectId blocked_on() const { return blocked_on_; }
+  void set_blocked_on(ObjectId obj) { blocked_on_ = obj; }
+
+  // Current code-region stack (top = innermost region).
+  std::vector<RegionId>& region_stack() { return region_stack_; }
+  RegionId current_region() const {
+    return region_stack_.empty() ? kDefaultRegion : region_stack_.back();
+  }
+
+  // Fibers waiting in Join() on this fiber.
+  std::vector<FiberId>& joiners() { return joiners_; }
+
+ private:
+  const FiberId id_;
+  const NodeId node_;
+  const std::string name_;
+
+  State state_ = State::kRunnable;
+  bool kill_requested_ = false;
+  WakeReason wake_reason_ = WakeReason::kNotified;
+  uint64_t block_generation_ = 0;
+  ObjectId blocked_on_ = kInvalidObject;
+
+  std::vector<RegionId> region_stack_;
+  std::vector<FiberId> joiners_;
+
+  Baton resume_baton_;
+  std::thread thread_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_FIBER_H_

@@ -1,0 +1,136 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+
+namespace ddr {
+
+Network::Network(Environment& env, NetworkOptions options)
+    : env_(env), options_(options) {
+  env_.AddNodeCrashListener([this](NodeId node) { OnNodeCrash(node); });
+}
+
+ObjectId Network::CreateEndpoint(NodeId node, const std::string& name) {
+  const ObjectId id = env_.RegisterObject(ObjectKind::kEndpoint, name, node);
+  EndpointState state;
+  state.node = node;
+  state.wait_queue = env_.CreateWaitQueue(name + ".waiters");
+  endpoints_.emplace(id, std::move(state));
+  return id;
+}
+
+double Network::EffectiveDropProbability(SimTime when, bool* in_congestion) const {
+  *in_congestion = false;
+  double probability = options_.drop_probability;
+  for (const FaultSpec& fault : env_.fault_plan().faults()) {
+    if (fault.kind != FaultKind::kCongestion) {
+      continue;
+    }
+    if (when >= fault.at_time &&
+        when <= fault.at_time + static_cast<SimTime>(fault.duration)) {
+      probability = std::max(probability, fault.param);
+      *in_congestion = true;
+    }
+  }
+  return probability;
+}
+
+uint64_t Network::Send(ObjectId src, ObjectId dst, uint64_t tag, std::string payload) {
+  auto dst_it = endpoints_.find(dst);
+  CHECK(dst_it != endpoints_.end()) << "send to unknown endpoint " << dst;
+
+  NetMessage message;
+  message.id = next_message_id_++;
+  message.src = src;
+  message.dst = dst;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  message.sent_at = env_.Now();
+  ++messages_sent_;
+
+  const uint32_t bytes = static_cast<uint32_t>(message.payload.size());
+  env_.EmitLibraryEvent(EventType::kNetSend, dst, message.id, tag, bytes);
+
+  // Destination node already dead: silent drop (reason 1 = dead node).
+  if (!env_.NodeAlive(dst_it->second.node)) {
+    ++messages_dropped_;
+    env_.EmitLibraryEvent(EventType::kNetDrop, dst, message.id, 1, bytes,
+                          /*preempt=*/false);
+    return message.id;
+  }
+
+  bool in_congestion = false;
+  const double drop_probability = EffectiveDropProbability(message.sent_at, &in_congestion);
+  if (drop_probability > 0.0) {
+    const uint64_t draw = env_.RngDraw(RngPurpose::kNetDrop, 1'000'000);
+    if (static_cast<double>(draw) < drop_probability * 1'000'000.0) {
+      ++messages_dropped_;
+      if (in_congestion) {
+        ++congestion_drops_;
+      }
+      env_.EmitLibraryEvent(EventType::kNetDrop, dst, message.id,
+                            in_congestion ? 2 : 3, bytes, /*preempt=*/false);
+      return message.id;
+    }
+  }
+
+  SimDuration latency = options_.base_latency;
+  if (options_.jitter_mean > 0) {
+    // Draw jitter in [0, 4 * mean) from the replayable RNG stream.
+    const uint64_t jitter =
+        env_.RngDraw(RngPurpose::kNetLatency,
+                     static_cast<uint64_t>(4 * options_.jitter_mean));
+    latency += static_cast<SimDuration>(jitter);
+  }
+
+  const SimTime deliver_at = env_.Now() + static_cast<SimTime>(latency);
+  env_.ScheduleCallbackAt(deliver_at, [this, message = std::move(message)]() mutable {
+    message.delivered_at = env_.Now();
+    Deliver(std::move(message));
+  });
+  return next_message_id_ - 1;
+}
+
+void Network::Deliver(NetMessage message) {
+  auto it = endpoints_.find(message.dst);
+  if (it == endpoints_.end() || !env_.NodeAlive(it->second.node)) {
+    ++messages_dropped_;
+    return;
+  }
+  const uint32_t bytes = static_cast<uint32_t>(message.payload.size());
+  env_.EmitLibraryEvent(EventType::kNetDeliver, message.dst, message.id, message.tag,
+                        bytes, /*preempt=*/false);
+  it->second.inbox.push_back(std::move(message));
+  env_.NotifyOne(it->second.wait_queue);
+  ++messages_delivered_;
+}
+
+std::optional<NetMessage> Network::Recv(ObjectId endpoint, SimDuration timeout) {
+  auto it = endpoints_.find(endpoint);
+  CHECK(it != endpoints_.end()) << "recv on unknown endpoint " << endpoint;
+  EndpointState& state = it->second;
+  while (state.inbox.empty()) {
+    const WakeReason reason = env_.WaitOn(state.wait_queue, timeout);
+    if (reason == WakeReason::kTimeout && state.inbox.empty()) {
+      return std::nullopt;
+    }
+  }
+  NetMessage message = std::move(state.inbox.front());
+  state.inbox.pop_front();
+  env_.EmitLibraryEvent(EventType::kNetRecv, endpoint, message.id, message.tag,
+                        static_cast<uint32_t>(message.payload.size()),
+                        /*preempt=*/false);
+  return message;
+}
+
+void Network::OnNodeCrash(NodeId node) {
+  for (auto& [id, state] : endpoints_) {
+    if (state.node == node) {
+      state.inbox.clear();
+    }
+  }
+}
+
+}  // namespace ddr

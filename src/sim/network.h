@@ -1,0 +1,89 @@
+// Simulated datagram network between nodes.
+//
+// Messages experience configurable latency (base + exponential jitter) and
+// loss. Both are environment RNG draws, so delivery order and drops are
+// recordable/replayable nondeterminism. Congestion faults from the
+// environment's FaultPlan raise the drop probability during a window —
+// this is the "network congestion" alternate root cause of §2/§4.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/environment.h"
+#include "src/sim/types.h"
+
+namespace ddr {
+
+struct NetMessage {
+  uint64_t id = 0;
+  ObjectId src = kInvalidObject;
+  ObjectId dst = kInvalidObject;
+  uint64_t tag = 0;        // application-level message type
+  std::string payload;     // opaque bytes (application-encoded)
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+struct NetworkOptions {
+  SimDuration base_latency = 50 * kMicrosecond;
+  // Mean of the exponential jitter added to base latency (0 disables).
+  SimDuration jitter_mean = 20 * kMicrosecond;
+  // Baseline probability that a message is dropped.
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  Network(Environment& env, NetworkOptions options);
+
+  // Creates a receive endpoint owned by `node`.
+  ObjectId CreateEndpoint(NodeId node, const std::string& name);
+
+  // Sends `payload` from src to dst. Returns the message id (also reported
+  // in kNetSend/kNetDeliver/kNetDrop events).
+  uint64_t Send(ObjectId src, ObjectId dst, uint64_t tag, std::string payload);
+
+  // Blocks until a message arrives at `endpoint`. timeout < 0 waits forever;
+  // returns nullopt on timeout. Fails the fiber if the endpoint's node died.
+  std::optional<NetMessage> Recv(ObjectId endpoint, SimDuration timeout = -1);
+
+  // Statistics (deterministic, for specs and tests).
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  // Drops attributed to congestion-fault windows specifically.
+  uint64_t congestion_drops() const { return congestion_drops_; }
+
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  struct EndpointState {
+    NodeId node = 0;
+    ObjectId wait_queue = kInvalidObject;
+    std::deque<NetMessage> inbox;
+  };
+
+  // Drop probability in effect at `when` (baseline or congestion window).
+  double EffectiveDropProbability(SimTime when, bool* in_congestion) const;
+  void Deliver(NetMessage message);
+  void OnNodeCrash(NodeId node);
+
+  Environment& env_;
+  NetworkOptions options_;
+  std::map<ObjectId, EndpointState> endpoints_;
+  uint64_t next_message_id_ = 1;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t congestion_drops_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_NETWORK_H_

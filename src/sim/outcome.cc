@@ -1,0 +1,17 @@
+#include "src/sim/outcome.h"
+
+#include <sstream>
+
+namespace ddr {
+
+std::string FailureInfo::ToString() const {
+  std::ostringstream os;
+  os << FailureKindName(kind) << "@node" << node;
+  if (fiber != kInvalidFiber) {
+    os << "/f" << fiber;
+  }
+  os << " t=" << time << ": " << message;
+  return os.str();
+}
+
+}  // namespace ddr

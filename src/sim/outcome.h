@@ -1,0 +1,94 @@
+// Execution outcomes: observable outputs, failures, and run statistics.
+//
+// The paper defines a failure as "incorrect output according to an I/O
+// specification", where output includes all observable behavior, including
+// performance characteristics. Outcome captures exactly that observable
+// behavior; IoSpec judges it.
+
+#ifndef SRC_SIM_OUTCOME_H_
+#define SRC_SIM_OUTCOME_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/sim/types.h"
+#include "src/util/hash.h"
+
+namespace ddr {
+
+struct OutputRecord {
+  NodeId node = 0;
+  uint64_t value = 0;
+  uint32_t bytes = 0;
+  SimTime time = 0;
+};
+
+struct FailureInfo {
+  FailureKind kind = FailureKind::kNone;
+  std::string message;
+  NodeId node = 0;
+  FiberId fiber = kInvalidFiber;
+  ObjectId obj = kInvalidObject;
+  uint64_t detail = 0;
+  SimTime time = 0;
+
+  // Identity of the failure for snapshot matching: kind + message + node.
+  // Excludes time/fiber so that an inferred execution reaching the same
+  // failure through different timing still matches.
+  uint64_t Fingerprint() const {
+    uint64_t h = kFnvOffsetBasis;
+    h = HashCombine(h, static_cast<uint64_t>(kind));
+    h = FnvHash(message, h);
+    h = HashCombine(h, node);
+    return h;
+  }
+
+  std::string ToString() const;
+};
+
+struct RunStats {
+  uint64_t events = 0;
+  uint64_t context_switches = 0;
+  uint64_t decision_points = 0;
+  SimTime virtual_duration = 0;
+  double wall_seconds = 0.0;
+  bool hit_event_limit = false;
+  bool hit_time_limit = false;
+  bool deadlocked = false;
+};
+
+struct Outcome {
+  std::vector<OutputRecord> outputs;
+  std::vector<FailureInfo> failures;
+  RunStats stats;
+  // Fingerprint of the semantic event stream (scheduling, values, I/O).
+  uint64_t trace_fingerprint = 0;
+  // Fingerprint of outputs only (what output determinism must reproduce).
+  uint64_t output_fingerprint = 0;
+
+  bool Failed() const { return !failures.empty(); }
+
+  const FailureInfo* primary_failure() const {
+    return failures.empty() ? nullptr : &failures.front();
+  }
+
+  uint64_t SumOfOutputValues() const {
+    uint64_t sum = 0;
+    for (const auto& record : outputs) {
+      sum += record.value;
+    }
+    return sum;
+  }
+};
+
+// I/O specification: inspects the observable behavior of a finished
+// execution and reports a failure if the behavior is out of spec. Returning
+// nullopt means the execution conformed.
+using IoSpec = std::function<std::optional<FailureInfo>(const Outcome&)>;
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_OUTCOME_H_

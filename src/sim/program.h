@@ -1,0 +1,35 @@
+// SimProgram: the unit of execution the toolkit records, replays, and
+// debugs.
+//
+// A program is run many times — as the "production" run, as training runs
+// for invariant inference, and as replay/inference candidates — so programs
+// must create all their simulated objects inside Configure()/Main() (never
+// in their own constructors) and must be reusable across Environments.
+
+#ifndef SRC_SIM_PROGRAM_H_
+#define SRC_SIM_PROGRAM_H_
+
+#include <string>
+
+namespace ddr {
+
+class Environment;
+
+class SimProgram {
+ public:
+  virtual ~SimProgram() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before the root fiber starts: register regions, input
+  // sources, I/O specs. Object ids are assigned in call order, so a given
+  // program yields identical ids in every Environment.
+  virtual void Configure(Environment& env) { (void)env; }
+
+  // Body of the root fiber. Spawns worker fibers, runs the workload.
+  virtual void Main(Environment& env) = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_PROGRAM_H_

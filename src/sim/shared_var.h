@@ -1,0 +1,64 @@
+// SharedVar<T>: typed wrapper over an instrumented shared-memory cell.
+//
+// Every Load/Store is an event, a scheduling point, and a race-detection
+// observation — the substrate's analog of a memory access interposed by a
+// replay tool. T must be losslessly representable in 64 bits.
+
+#ifndef SRC_SIM_SHARED_VAR_H_
+#define SRC_SIM_SHARED_VAR_H_
+
+#include <string>
+#include <type_traits>
+
+#include "src/sim/environment.h"
+
+namespace ddr {
+
+template <typename T>
+class SharedVar {
+  static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                "SharedVar requires an integral or enum type");
+
+ public:
+  SharedVar(Environment& env, const std::string& name, T initial)
+      : env_(env),
+        id_(env.CreateCell(name, static_cast<uint64_t>(initial))) {}
+
+  T Load() { return static_cast<T>(env_.CellRead(id_)); }
+
+  void Store(T value) { env_.CellWrite(id_, static_cast<uint64_t>(value)); }
+
+  // Atomic fetch-add; returns the previous value.
+  T FetchAdd(T delta) {
+    return static_cast<T>(env_.CellRmw(id_, [delta](uint64_t v) {
+      return v + static_cast<uint64_t>(delta);
+    }));
+  }
+
+  // Atomic compare-and-swap; returns true on success.
+  bool CompareExchange(T expected, T desired) {
+    bool swapped = false;
+    env_.CellRmw(id_, [&](uint64_t v) -> uint64_t {
+      if (v == static_cast<uint64_t>(expected)) {
+        swapped = true;
+        return static_cast<uint64_t>(desired);
+      }
+      return v;
+    });
+    return swapped;
+  }
+
+  // Uninstrumented read: no event, no scheduling point. For assertions and
+  // end-of-run snapshots only; never for program logic under test.
+  T Peek() const { return static_cast<T>(env_.CellPeek(id_)); }
+
+  ObjectId id() const { return id_; }
+
+ private:
+  Environment& env_;
+  ObjectId id_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_SHARED_VAR_H_

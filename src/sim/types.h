@@ -1,0 +1,40 @@
+// Fundamental identifier and time types for the deterministic substrate.
+//
+// All nondeterminism in a ddr execution flows through objects addressed by
+// these ids, so that recorders and replayers can name every decision point.
+
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ddr {
+
+// Virtual time in nanoseconds since the start of the execution.
+using SimTime = uint64_t;
+// Signed virtual duration in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+using FiberId = uint32_t;
+using NodeId = uint32_t;
+// Identifies a sim object (mutex, condvar, cell, channel, endpoint, input
+// source, ...). Object id spaces are shared: every object created in an
+// environment gets a unique ObjectId regardless of kind.
+using ObjectId = uint64_t;
+using RegionId = uint32_t;
+
+constexpr FiberId kInvalidFiber = std::numeric_limits<FiberId>::max();
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr ObjectId kInvalidObject = std::numeric_limits<ObjectId>::max();
+// Region 0 is the implicit "unclassified" region every fiber starts in.
+constexpr RegionId kDefaultRegion = 0;
+
+}  // namespace ddr
+
+#endif  // SRC_SIM_TYPES_H_

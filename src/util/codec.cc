@@ -1,0 +1,126 @@
+#include "src/util/codec.h"
+
+#include <cstring>
+
+namespace ddr {
+
+void Encoder::PutVarint64(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(value));
+}
+
+void Encoder::PutZigzag64(int64_t value) {
+  const uint64_t encoded =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(encoded);
+}
+
+void Encoder::PutFixed8(uint8_t value) { buffer_.push_back(value); }
+
+void Encoder::PutFixed32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Encoder::PutFixed64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Encoder::PutDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void Encoder::PutString(std::string_view value) {
+  PutVarint64(value.size());
+  buffer_.insert(buffer_.end(), value.begin(), value.end());
+}
+
+Result<uint64_t> Decoder::GetVarint64() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const uint8_t byte = data_[pos_++];
+    if (shift >= 63 && byte > 1) {
+      return InvalidArgumentError("varint64 overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+  return OutOfRangeError("truncated varint64");
+}
+
+Result<int64_t> Decoder::GetZigzag64() {
+  ASSIGN_OR_RETURN(uint64_t encoded, GetVarint64());
+  return static_cast<int64_t>((encoded >> 1) ^ (~(encoded & 1) + 1));
+}
+
+Result<uint8_t> Decoder::GetFixed8() {
+  if (pos_ + 1 > size_) {
+    return OutOfRangeError("truncated fixed8");
+  }
+  return data_[pos_++];
+}
+
+Result<uint32_t> Decoder::GetFixed32() {
+  if (pos_ + 4 > size_) {
+    return OutOfRangeError("truncated fixed32");
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<uint64_t> Decoder::GetFixed64() {
+  if (pos_ + 8 > size_) {
+    return OutOfRangeError("truncated fixed64");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<double> Decoder::GetDouble() {
+  ASSIGN_OR_RETURN(uint64_t bits, GetFixed64());
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> Decoder::GetString() {
+  ASSIGN_OR_RETURN(uint64_t size, GetVarint64());
+  if (pos_ + size > size_) {
+    return OutOfRangeError("truncated string");
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return out;
+}
+
+Result<bool> Decoder::GetBool() {
+  ASSIGN_OR_RETURN(uint8_t byte, GetFixed8());
+  if (byte > 1) {
+    return InvalidArgumentError("bool byte out of range");
+  }
+  return byte == 1;
+}
+
+}  // namespace ddr

@@ -1,0 +1,68 @@
+// Compact binary encoding for event logs and snapshots.
+//
+// Encoder appends varint/zigzag/fixed/string fields to a byte buffer;
+// Decoder reads them back. All multi-byte fixed-width values are encoded
+// little-endian, independent of host byte order.
+
+#ifndef SRC_UTIL_CODEC_H_
+#define SRC_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutVarint64(uint64_t value);
+  void PutZigzag64(int64_t value);
+  void PutFixed8(uint8_t value);
+  void PutFixed32(uint32_t value);
+  void PutFixed64(uint64_t value);
+  void PutDouble(double value);
+  // Length-prefixed byte string.
+  void PutString(std::string_view value);
+  void PutBool(bool value) { PutFixed8(value ? 1 : 0); }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint64_t> GetVarint64();
+  Result<int64_t> GetZigzag64();
+  Result<uint8_t> GetFixed8();
+  Result<uint32_t> GetFixed32();
+  Result<uint64_t> GetFixed64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<bool> GetBool();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_CODEC_H_

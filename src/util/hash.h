@@ -1,0 +1,58 @@
+// FNV-1a based hashing used for trace fingerprints and hash-combining.
+//
+// Trace hashes must be stable across runs and platforms; std::hash gives no
+// such guarantee, so all fingerprinting goes through these functions.
+
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ddr {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t FnvHashBytes(const char* data, size_t size,
+                                uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t FnvHash(std::string_view text, uint64_t seed = kFnvOffsetBasis) {
+  return FnvHashBytes(text.data(), text.size(), seed);
+}
+
+// Mixes a 64-bit value into a running hash (order-sensitive).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit variant of boost::hash_combine with a stronger mixer.
+  uint64_t x = value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return seed ^ (x ^ (x >> 31));
+}
+
+// Incremental, order-sensitive fingerprint builder.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+  explicit Fingerprint(uint64_t seed) : hash_(seed) {}
+
+  void Mix(uint64_t value) { hash_ = HashCombine(hash_, value); }
+  void MixBytes(std::string_view bytes) { hash_ = FnvHash(bytes, hash_); }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kFnvOffsetBasis;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_HASH_H_

@@ -1,0 +1,87 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+void SummaryStats::Add(double value) {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double SummaryStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+std::string SummaryStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+Histogram::Histogram() : buckets_(65, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return static_cast<size_t>(64 - std::countl_zero(value));
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  ++total_count_;
+}
+
+uint64_t Histogram::CountInBucket(size_t bucket) const {
+  CHECK_LT(bucket, buckets_.size());
+  return buckets_[bucket];
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count_);
+  double seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += static_cast<double>(buckets_[i]);
+    if (seen >= target) {
+      // Midpoint of bucket i: [2^(i-1), 2^i).
+      if (i == 0) {
+        return 0.0;
+      }
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      return (lo + hi) / 2.0;
+    }
+  }
+  return std::ldexp(1.0, 63);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << total_count_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      os << " [2^" << (i == 0 ? 0 : i - 1) << "]=" << buckets_[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ddr

@@ -1,0 +1,65 @@
+// Streaming summary statistics and a log-bucketed histogram.
+//
+// Used by the benchmark harnesses to summarize per-run metrics (overhead
+// multipliers, inference times, bytes logged).
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ddr {
+
+// Running mean / min / max / variance (Welford).
+class SummaryStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram with power-of-two value buckets, for non-negative values.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+
+  uint64_t count() const { return total_count_; }
+  uint64_t CountInBucket(size_t bucket) const;
+  size_t num_buckets() const { return buckets_.size(); }
+
+  // Approximate quantile (q in [0,1]) from bucket midpoints.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,72 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ddr {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+// Serializes log lines so concurrent fibers/threads do not interleave output.
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+char SeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return 'D';
+    case LogSeverity::kInfo:
+      return 'I';
+    case LogSeverity::kWarning:
+      return 'W';
+    case LogSeverity::kError:
+      return 'E';
+    case LogSeverity::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+namespace logging_internal {
+
+const char* ShortFileName(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+}  // namespace logging_internal
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  const bool emit = static_cast<int>(severity_) >=
+                    g_min_severity.load(std::memory_order_relaxed);
+  if (emit || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%c %s:%d] %s\n", SeverityLetter(severity_),
+                 logging_internal::ShortFileName(file_), line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace ddr

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every nondeterministic decision in the toolkit (scheduling, workloads,
+// fault injection, search restarts) draws from a Rng seeded explicitly, so
+// that identical seeds yield identical executions on every platform. The
+// implementation is xoshiro256** seeded via SplitMix64; it does not depend
+// on libstdc++'s distribution implementations (which are not portable
+// across standard library versions).
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Picks a uniformly random index into a non-empty container size.
+  size_t NextIndex(size_t size);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) {
+      return;
+    }
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  // Forks an independent stream; deterministic function of current state.
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,139 @@
+// Status / Result<T>: exception-free error handling for the ddr toolkit.
+//
+//   Status DoThing();
+//   Result<int> Parse(std::string_view text);
+//
+//   RETURN_IF_ERROR(DoThing());
+//   ASSIGN_OR_RETURN(int v, Parse("42"));
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/util/logging.h"
+
+namespace ddr {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kUnavailable = 8,
+  kDeadlineExceeded = 9,
+  kAborted = 10,
+  kResourceExhausted = 11,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
+Status AbortedError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+
+// A value-or-error holder. Accessing value() on an error status is fatal.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT: implicit by design
+    CHECK(!std::get<Status>(data_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+#define DDR_STATUS_CONCAT_INNER(a, b) a##b
+#define DDR_STATUS_CONCAT(a, b) DDR_STATUS_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)              \
+  do {                                     \
+    ::ddr::Status ddr_status__ = (expr);   \
+    if (!ddr_status__.ok()) {              \
+      return ddr_status__;                 \
+    }                                      \
+  } while (false)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                                        \
+  auto DDR_STATUS_CONCAT(ddr_result__, __LINE__) = (expr);                 \
+  if (!DDR_STATUS_CONCAT(ddr_result__, __LINE__).ok()) {                   \
+    return DDR_STATUS_CONCAT(ddr_result__, __LINE__).status();             \
+  }                                                                        \
+  lhs = std::move(DDR_STATUS_CONCAT(ddr_result__, __LINE__)).value()
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_STATUS_H_

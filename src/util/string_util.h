@@ -1,0 +1,43 @@
+// Small string helpers (printf-style formatting, joining, padding).
+
+#ifndef SRC_UTIL_STRING_UTIL_H_
+#define SRC_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddr {
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins items with a separator using operator<<.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) {
+      os << sep;
+    }
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+// Pads/truncates to exactly `width` columns, left- or right-aligned.
+std::string PadRight(std::string_view text, size_t width);
+std::string PadLeft(std::string_view text, size_t width);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Splits on a single character, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Aligned plain-text table output for the benchmark harnesses.
+//
+// The bench binaries regenerate the paper's figures/tables as text; this
+// printer produces deterministic, diff-friendly rows.
+
+#ifndef SRC_UTIL_TABLE_PRINTER_H_
+#define SRC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ddr {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders header, separator, and rows with column alignment.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,52 @@
+#include "src/util/vector_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ddr {
+
+void VectorClock::Join(const VectorClock& other) {
+  EnsureSize(other.clock_.size());
+  for (size_t i = 0; i < other.clock_.size(); ++i) {
+    clock_[i] = std::max(clock_[i], other.clock_[i]);
+  }
+}
+
+bool VectorClock::HappensBeforeOrEqual(const VectorClock& other) const {
+  const size_t n = std::max(clock_.size(), other.clock_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (Get(static_cast<uint32_t>(i)) > other.Get(static_cast<uint32_t>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VectorClock::ConcurrentWith(const VectorClock& other) const {
+  return !HappensBeforeOrEqual(other) && !other.HappensBeforeOrEqual(*this);
+}
+
+bool VectorClock::operator==(const VectorClock& other) const {
+  const size_t n = std::max(clock_.size(), other.clock_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (Get(static_cast<uint32_t>(i)) != other.Get(static_cast<uint32_t>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < clock_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << clock_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ddr

@@ -1,0 +1,86 @@
+// Vector clocks over dense thread/fiber ids.
+//
+// Used by the FastTrack race detector and by Hypertable-lite's causality
+// tests. Components are addressed by small integer ids; the clock grows on
+// demand and missing components read as zero.
+
+#ifndef SRC_UTIL_VECTOR_CLOCK_H_
+#define SRC_UTIL_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddr {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(size_t size) : clock_(size, 0) {}
+
+  uint64_t Get(uint32_t id) const {
+    return id < clock_.size() ? clock_[id] : 0;
+  }
+
+  void Set(uint32_t id, uint64_t value) {
+    EnsureSize(id + 1);
+    clock_[id] = value;
+  }
+
+  // Increments this component's entry and returns the new value.
+  uint64_t Tick(uint32_t id) {
+    EnsureSize(id + 1);
+    return ++clock_[id];
+  }
+
+  // Component-wise maximum (least upper bound).
+  void Join(const VectorClock& other);
+
+  // True if every component of this clock is <= the other's (this
+  // happens-before-or-equals other).
+  bool HappensBeforeOrEqual(const VectorClock& other) const;
+
+  // True if neither clock happens-before the other and they differ.
+  bool ConcurrentWith(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const;
+
+  size_t size() const { return clock_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  void EnsureSize(size_t size) {
+    if (clock_.size() < size) {
+      clock_.resize(size, 0);
+    }
+  }
+
+  std::vector<uint64_t> clock_;
+};
+
+// FastTrack epoch: a (thread id, clock value) pair packed into 64 bits.
+// Represents "last access was by thread tid at time clk" without a full
+// vector when accesses are thread-ordered.
+class Epoch {
+ public:
+  Epoch() = default;
+  Epoch(uint32_t tid, uint64_t clk) : bits_((static_cast<uint64_t>(tid) << 48) | (clk & kClockMask)) {}
+
+  uint32_t tid() const { return static_cast<uint32_t>(bits_ >> 48); }
+  uint64_t clk() const { return bits_ & kClockMask; }
+  bool IsZero() const { return bits_ == 0; }
+
+  // True if this epoch happens-before-or-equals the given vector clock.
+  bool LeqClock(const VectorClock& vc) const { return clk() <= vc.Get(tid()); }
+
+  bool operator==(const Epoch& other) const { return bits_ == other.bits_; }
+
+ private:
+  static constexpr uint64_t kClockMask = (1ULL << 48) - 1;
+  uint64_t bits_ = 0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_VECTOR_CLOCK_H_

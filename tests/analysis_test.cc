@@ -1,0 +1,438 @@
+// Tests for src/analysis: race detection (true/false positives across
+// synchronization idioms), lockset, plane classification, invariant
+// inference/monitoring, triggers, and root-cause catalogs.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/invariants.h"
+#include "src/analysis/plane_classifier.h"
+#include "src/analysis/race_detector.h"
+#include "src/analysis/root_cause.h"
+#include "src/analysis/triggers.h"
+#include "src/sim/channel.h"
+#include "src/sim/environment.h"
+#include "src/sim/network.h"
+#include "src/sim/shared_var.h"
+#include "src/sim/sync.h"
+
+namespace ddr {
+namespace {
+
+// Runs a program and returns its collected trace.
+std::vector<Event> Trace(uint64_t seed, double preempt,
+                         std::function<void(Environment&)> body) {
+  Environment::Options options;
+  options.seed = seed;
+  options.scheduling.preempt_probability = preempt;
+  Environment env(options);
+  CollectingSink sink;
+  env.AddTraceSink(&sink);
+  env.Run("trace", std::move(body));
+  return sink.events();
+}
+
+// ---------------------------------------------------------- race detector
+
+TEST(RaceDetectorTest, DetectsUnlockedConcurrentAccess) {
+  bool detected = false;
+  for (uint64_t seed = 1; seed <= 10 && !detected; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      FiberId a = e.Spawn("a", [&] { x.Store(x.Load() + 1); });
+      FiberId b = e.Spawn("b", [&] { x.Store(x.Load() + 1); });
+      e.Join(a);
+      e.Join(b);
+    });
+    detected = !RaceDetector::Analyze(events).empty();
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(RaceDetectorTest, NoRaceWhenLocked) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      SimMutex mu(e, "mu");
+      FiberId a = e.Spawn("a", [&] {
+        SimLock lock(mu);
+        x.Store(x.Load() + 1);
+      });
+      FiberId b = e.Spawn("b", [&] {
+        SimLock lock(mu);
+        x.Store(x.Load() + 1);
+      });
+      e.Join(a);
+      e.Join(b);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, NoRaceWithJoinOrdering) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      FiberId a = e.Spawn("a", [&] { x.Store(1); });
+      e.Join(a);  // happens-before edge
+      FiberId b = e.Spawn("b", [&] { x.Store(2); });
+      e.Join(b);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, NoRaceWithChannelOrdering) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      Channel<int> chan(e, "chan");
+      FiberId producer = e.Spawn("producer", [&] {
+        x.Store(42);
+        chan.Send(1);  // release
+      });
+      FiberId consumer = e.Spawn("consumer", [&] {
+        chan.Recv();  // acquire
+        EXPECT_EQ(x.Load(), 42u);
+      });
+      e.Join(producer);
+      e.Join(consumer);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, NoRaceWithSemaphoreOrdering) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      SimSemaphore sem(e, "sem", 0);
+      FiberId a = e.Spawn("a", [&] {
+        x.Store(5);
+        sem.Release();
+      });
+      FiberId b = e.Spawn("b", [&] {
+        sem.Acquire();
+        x.Store(6);
+      });
+      e.Join(a);
+      e.Join(b);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, NetworkMessagesCarryHappensBefore) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      NodeId node = e.AddNode("peer");
+      Network net(e, NetworkOptions{});
+      ObjectId here = net.CreateEndpoint(0, "here");
+      ObjectId there = net.CreateEndpoint(node, "there");
+      FiberId peer = e.SpawnOnNode(node, "peer", [&] {
+        auto msg = net.Recv(there);
+        ASSERT_TRUE(msg.has_value());
+        x.Store(2);  // ordered after the sender's write via the message
+        net.Send(there, here, 0, "done");
+      });
+      x.Store(1);
+      net.Send(here, there, 0, "go");
+      net.Recv(here);
+      e.Join(peer);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, RmwActsAsSynchronization) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto events = Trace(seed, 0.3, [](Environment& e) {
+      SharedVar<uint64_t> counter(e, "counter", 0);
+      FiberId a = e.Spawn("a", [&] { counter.FetchAdd(1); });
+      FiberId b = e.Spawn("b", [&] { counter.FetchAdd(1); });
+      e.Join(a);
+      e.Join(b);
+    });
+    EXPECT_TRUE(RaceDetector::Analyze(events).empty()) << "seed " << seed;
+  }
+}
+
+TEST(RaceDetectorTest, OnlineCallbackFires) {
+  RaceDetector detector;
+  int fired = 0;
+  detector.SetRaceCallback([&](const RaceReport&) { ++fired; });
+  // Hand-crafted racy access pair: two fibers, no sync events.
+  Event w1;
+  w1.type = EventType::kSharedWrite;
+  w1.fiber = 1;
+  w1.obj = 9;
+  w1.seq = 1;
+  Event w2 = w1;
+  w2.fiber = 2;
+  w2.seq = 2;
+  detector.OnEvent(w1);
+  detector.OnEvent(w2);
+  EXPECT_EQ(fired, 1);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].kind, RaceReport::Kind::kWriteWrite);
+  EXPECT_TRUE(detector.HasRaceOnCell(9));
+  EXPECT_FALSE(detector.HasRaceOnCell(10));
+}
+
+TEST(RaceDetectorTest, ReportOncePerCellDeduplicates) {
+  RaceDetector detector(/*report_once_per_cell=*/true);
+  for (uint64_t i = 0; i < 10; ++i) {
+    Event w;
+    w.type = EventType::kSharedWrite;
+    w.fiber = static_cast<FiberId>(1 + i % 2);
+    w.obj = 5;
+    w.seq = i;
+    detector.OnEvent(w);
+  }
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(LocksetDetectorTest, FlagsUnlockedSharedCell) {
+  bool flagged = false;
+  for (uint64_t seed = 1; seed <= 5 && !flagged; ++seed) {
+    auto events = Trace(seed, 0.2, [](Environment& e) {
+      SharedVar<uint64_t> x(e, "x", 0);
+      FiberId a = e.Spawn("a", [&] { x.Store(1); });
+      FiberId b = e.Spawn("b", [&] { x.Store(2); });
+      e.Join(a);
+      e.Join(b);
+    });
+    flagged = !LocksetDetector::Analyze(events).empty();
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(LocksetDetectorTest, ConsistentLockDisciplinePasses) {
+  auto events = Trace(3, 0.2, [](Environment& e) {
+    SharedVar<uint64_t> x(e, "x", 0);
+    SimMutex mu(e, "mu");
+    FiberId a = e.Spawn("a", [&] {
+      SimLock lock(mu);
+      x.Store(1);
+    });
+    FiberId b = e.Spawn("b", [&] {
+      SimLock lock(mu);
+      x.Store(2);
+    });
+    e.Join(a);
+    e.Join(b);
+  });
+  EXPECT_TRUE(LocksetDetector::Analyze(events).empty());
+}
+
+// ------------------------------------------------------- plane classifier
+
+TEST(PlaneClassifierTest, HighRateRegionsAreDataPlane) {
+  std::map<RegionId, RegionProfile> profiles;
+  profiles[1] = {1, 1000, 2000};     // 2 B/op -> control
+  profiles[2] = {2, 1000, 100000};   // 100 B/op -> data
+  profiles[3] = {3, 10, 50};         // 5 B/op -> control
+  auto planes = PlaneClassifier::Classify(profiles);
+  EXPECT_EQ(planes[1], Plane::kControl);
+  EXPECT_EQ(planes[2], Plane::kData);
+  EXPECT_EQ(planes[3], Plane::kControl);
+}
+
+TEST(PlaneClassifierTest, BulkRegionDoesNotMaskModerateRates) {
+  std::map<RegionId, RegionProfile> profiles;
+  profiles[1] = {1, 10, 120000};   // 12 KB/op bulk transfer
+  profiles[2] = {2, 200, 96000};   // 480 B/op: data, despite the bulk peer
+  profiles[3] = {3, 1000, 8000};   // 8 B/op control
+  auto planes = PlaneClassifier::Classify(profiles);
+  EXPECT_EQ(planes[1], Plane::kData);
+  EXPECT_EQ(planes[2], Plane::kData);
+  EXPECT_EQ(planes[3], Plane::kControl);
+}
+
+TEST(PlaneProfilerTest, AttributesBytesToRegions) {
+  Environment::Options options;
+  Environment env(options);
+  PlaneProfiler profiler;
+  env.AddTraceSink(&profiler);
+  env.Run("profiled", [](Environment& e) {
+    RegionId bulk = e.RegisterRegion("bulk");
+    RegionId chat = e.RegisterRegion("chat");
+    ObjectId src = e.RegisterInputSource("in", [] { return uint64_t{1}; });
+    {
+      RegionScope scope(e, bulk);
+      for (int i = 0; i < 10; ++i) {
+        e.ReadInput(src, 1000);
+      }
+    }
+    {
+      RegionScope scope(e, chat);
+      SharedVar<int> x(e, "x", 0);
+      for (int i = 0; i < 10; ++i) {
+        x.Store(i);
+      }
+    }
+  });
+  const auto& profiles = profiler.profiles();
+  // Regions 1 and 2 (0 is default).
+  ASSERT_TRUE(profiles.count(1) == 1 && profiles.count(2) == 1);
+  EXPECT_GT(profiles.at(1).BytesPerOp(), 100.0);
+  EXPECT_LT(profiles.at(2).BytesPerOp(), 16.0);
+  auto control = PlaneClassifier::ControlRegions(profiles);
+  EXPECT_TRUE(std::find(control.begin(), control.end(), 2u) != control.end());
+}
+
+// ------------------------------------------------------------- invariants
+
+TEST(InvariantTest, LearnsRangeAndConstancy) {
+  InvariantInference inference;
+  for (uint64_t v : {5ull, 7ull, 6ull, 5ull}) {
+    inference.ObserveWrite(1, v);
+  }
+  for (int i = 0; i < 5; ++i) {
+    inference.ObserveWrite(2, 9);
+  }
+  InvariantSet set = inference.Infer();
+  ASSERT_TRUE(set.ForCell(1).has_value());
+  EXPECT_FALSE(set.ForCell(1)->constant);
+  EXPECT_TRUE(set.Admits(1, 6));
+  EXPECT_FALSE(set.Admits(1, 100));
+  ASSERT_TRUE(set.ForCell(2).has_value());
+  EXPECT_TRUE(set.ForCell(2)->constant);
+  EXPECT_FALSE(set.Admits(2, 8));
+  EXPECT_TRUE(set.Admits(3, 12345));  // unknown cell unconstrained
+}
+
+TEST(InvariantTest, SlackWidensRange) {
+  InvariantInference inference(/*range_slack=*/0.5);
+  inference.ObserveWrite(1, 10);
+  inference.ObserveWrite(1, 20);
+  inference.ObserveWrite(1, 15);
+  InvariantSet set = inference.Infer();
+  EXPECT_TRUE(set.Admits(1, 25));   // within 50% slack
+  EXPECT_FALSE(set.Admits(1, 40));  // beyond
+}
+
+TEST(InvariantTest, NeverZeroRequiresEvidence) {
+  InvariantInference inference;
+  inference.ObserveWrite(1, 3);
+  inference.ObserveWrite(1, 4);
+  InvariantSet set = inference.Infer();  // only 2 observations
+  EXPECT_FALSE(set.ForCell(1)->never_zero);
+  inference.ObserveWrite(1, 5);
+  set = inference.Infer();
+  EXPECT_TRUE(set.ForCell(1)->never_zero);
+}
+
+TEST(InvariantMonitorTest, FlagsViolatingWrites) {
+  InvariantInference inference;
+  for (int i = 0; i < 5; ++i) {
+    inference.ObserveWrite(7, 100 + i);
+  }
+  InvariantMonitor monitor(inference.Infer());
+  int violations = 0;
+  monitor.SetViolationCallback([&](const InvariantMonitor::Violation&) { ++violations; });
+
+  Event ok;
+  ok.type = EventType::kSharedWrite;
+  ok.obj = 7;
+  ok.value = 102;
+  monitor.OnEvent(ok);
+  EXPECT_EQ(violations, 0);
+
+  Event bad = ok;
+  bad.value = 9999;
+  monitor.OnEvent(bad);
+  EXPECT_EQ(violations, 1);
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].value, 9999u);
+}
+
+// ---------------------------------------------------------------- triggers
+
+TEST(TriggerTest, LargeInputTriggerThreshold) {
+  LargeInputTrigger trigger(100);
+  int fires = 0;
+  trigger.SetFireCallback([&](const Trigger&, const Event&) { ++fires; });
+  Event small;
+  small.type = EventType::kInput;
+  small.bytes = 99;
+  trigger.Observe(small);
+  EXPECT_EQ(fires, 0);
+  Event large = small;
+  large.bytes = 100;
+  trigger.Observe(large);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(trigger.fire_count(), 1u);
+}
+
+TEST(TriggerTest, AnnotationTriggerMatchesTag) {
+  AnnotationTrigger trigger(42);
+  int fires = 0;
+  trigger.SetFireCallback([&](const Trigger&, const Event&) { ++fires; });
+  Event note;
+  note.type = EventType::kAnnotation;
+  note.obj = 41;
+  trigger.Observe(note);
+  note.obj = 42;
+  trigger.Observe(note);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TriggerTest, RaceTriggerFiresOnRace) {
+  RaceTrigger trigger;
+  int fires = 0;
+  trigger.SetFireCallback([&](const Trigger&, const Event&) { ++fires; });
+  Event w1;
+  w1.type = EventType::kSharedWrite;
+  w1.fiber = 1;
+  w1.obj = 3;
+  Event w2 = w1;
+  w2.fiber = 2;
+  trigger.Observe(w1);
+  EXPECT_EQ(fires, 0);
+  trigger.Observe(w2);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TriggerSetTest, DispatchesToAll) {
+  TriggerSet set;
+  set.Add(std::make_unique<LargeInputTrigger>(10));
+  set.Add(std::make_unique<AnnotationTrigger>(5));
+  int fires = 0;
+  set.SetFireCallback([&](const Trigger&, const Event&) { ++fires; });
+  Event input;
+  input.type = EventType::kInput;
+  input.bytes = 64;
+  set.Observe(input);
+  Event note;
+  note.type = EventType::kAnnotation;
+  note.obj = 5;
+  set.Observe(note);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(set.TotalFires(), 2u);
+}
+
+// -------------------------------------------------------------- root cause
+
+TEST(RootCauseCatalogTest, DiagnosisAndActualPresence) {
+  RootCauseCatalog catalog(
+      {RootCauseSpec{"a", "first",
+                     [](const ExecutionView& view) { return view.outcome.Failed(); }},
+       RootCauseSpec{"b", "second", [](const ExecutionView&) { return true; }}},
+      "a");
+  std::vector<Event> no_events;
+  Outcome clean;
+  ExecutionView clean_view{no_events, clean};
+  EXPECT_EQ(catalog.DiagnosedCause(clean_view).value_or(""), "b");
+  EXPECT_FALSE(catalog.ActualCausePresent(clean_view));
+
+  Outcome failed;
+  failed.failures.push_back({FailureKind::kCrash, "x", 0, 0, 0, 0, 0});
+  ExecutionView failed_view{no_events, failed};
+  EXPECT_EQ(catalog.DiagnosedCause(failed_view).value_or(""), "a");
+  EXPECT_TRUE(catalog.ActualCausePresent(failed_view));
+  EXPECT_EQ(catalog.PresentCauses(failed_view).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ddr

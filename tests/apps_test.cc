@@ -1,0 +1,175 @@
+// Tests for the didactic buggy apps (sum, overflow, msgdrop) and their
+// scenario wiring, including the fix-predicate property: with the bug
+// disabled (predicate P enforced), the failure is impossible.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/annotations.h"
+#include "src/apps/msgdrop_app.h"
+#include "src/apps/overflow_app.h"
+#include "src/apps/scenarios.h"
+#include "src/apps/sum_app.h"
+
+namespace ddr {
+namespace {
+
+Outcome RunProgram(SimProgram& program, uint64_t sched_seed, double preempt = 0.1) {
+  Environment::Options options;
+  options.seed = sched_seed;
+  options.scheduling.preempt_probability = preempt;
+  Environment env(options);
+  return env.Run(program);
+}
+
+// --------------------------------------------------------------------- sum
+
+TEST(SumAppTest, CorrectForMostInputs) {
+  SumOptions options;
+  options.world_seed = 12345;  // whatever inputs; only (2,2) mod 4 fails
+  options.bug_enabled = false;
+  SumProgram program(options);
+  Outcome outcome = RunProgram(program, 1);
+  EXPECT_FALSE(outcome.Failed());
+}
+
+TEST(SumAppTest, BugFiresExactlyOnCorruptEntry) {
+  // The scenario factory locates a world seed with inputs (2,2).
+  BugScenario scenario = MakeSumScenario();
+  auto program = scenario.make_program(scenario.production_world_seed);
+  Outcome outcome = RunProgram(*program, 1);
+  ASSERT_TRUE(outcome.Failed());
+  EXPECT_EQ(outcome.primary_failure()->kind, FailureKind::kSpecViolation);
+  EXPECT_EQ(outcome.primary_failure()->message, "sum mismatch: got 5");
+  ASSERT_EQ(outcome.outputs.size(), 1u);
+  EXPECT_EQ(outcome.outputs[0].value, 5u);
+}
+
+TEST(SumAppTest, FixPredicatePreventsFailure) {
+  BugScenario scenario = MakeSumScenario();
+  SumOptions options;
+  options.world_seed = scenario.production_world_seed;  // the (2,2) world
+  options.bug_enabled = false;                          // predicate P enforced
+  SumProgram program(options);
+  Outcome outcome = RunProgram(program, 1);
+  EXPECT_FALSE(outcome.Failed());
+  ASSERT_EQ(outcome.outputs.size(), 1u);
+  EXPECT_EQ(outcome.outputs[0].value, 4u);  // 2 + 2
+}
+
+// ---------------------------------------------------------------- overflow
+
+TEST(OverflowAppTest, CrashesOnOversizedRequestWhenBuggy) {
+  BugScenario scenario = MakeOverflowScenario();
+  auto program = scenario.make_program(scenario.production_world_seed);
+  Outcome outcome = RunProgram(*program, 1);
+  ASSERT_TRUE(outcome.Failed());
+  EXPECT_EQ(outcome.primary_failure()->kind, FailureKind::kCrash);
+}
+
+class OverflowFixPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverflowFixPropertyTest, LengthCheckPreventsCrashForAllWorlds) {
+  OverflowOptions options;
+  options.world_seed = GetParam();
+  options.bug_enabled = false;  // the fix: reject oversized requests
+  OverflowProgram program(options);
+  Outcome outcome = RunProgram(program, 1);
+  EXPECT_FALSE(outcome.Failed()) << "world seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, OverflowFixPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(OverflowAppTest, OutputsEchoProcessedLengths) {
+  OverflowOptions options;
+  options.world_seed = 3;
+  options.bug_enabled = false;
+  OverflowProgram program(options);
+  Outcome outcome = RunProgram(program, 1);
+  EXPECT_EQ(outcome.outputs.size(), options.num_requests);
+}
+
+// ----------------------------------------------------------------- msgdrop
+
+TEST(MsgDropAppTest, FetchAddFixDeliversEverythingUnderAnySchedule) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    MsgDropOptions options;
+    options.world_seed = 5;
+    options.bug_enabled = false;  // atomic tail update
+    MsgDropProgram program(options);
+    Outcome outcome = RunProgram(program, seed, /*preempt=*/0.2);
+    EXPECT_FALSE(outcome.Failed()) << "seed " << seed;
+    EXPECT_EQ(outcome.outputs.size(), options.num_messages) << "seed " << seed;
+  }
+}
+
+TEST(MsgDropAppTest, RacySchedulesLoseMessages) {
+  // Under aggressive preemption the lost-update race drops messages for at
+  // least one schedule.
+  bool lost = false;
+  for (uint64_t seed = 1; seed <= 20 && !lost; ++seed) {
+    MsgDropOptions options;
+    options.world_seed = 5;
+    options.bug_enabled = true;
+    MsgDropProgram program(options);
+    Outcome outcome = RunProgram(program, seed, /*preempt=*/0.2);
+    lost = outcome.outputs.size() < options.num_messages;
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST(MsgDropAppTest, CongestionFaultDropsWithoutRace) {
+  MsgDropOptions options;
+  options.world_seed = 5;
+  options.bug_enabled = true;
+  MsgDropProgram program(options);
+  Environment::Options env_options;
+  env_options.seed = 2;
+  env_options.scheduling.preempt_probability = 0.0;  // no race possible
+  Environment env(env_options);
+  env.SetFaultPlan(
+      FaultPlan::CongestionWindow(0, 500 * kMillisecond, /*drop_prob=*/0.15));
+  CollectingSink sink;
+  env.AddTraceSink(&sink);
+  Outcome outcome = env.Run(program);
+  ASSERT_TRUE(outcome.Failed());
+  bool congestion_drop = false;
+  for (const Event& event : sink.events()) {
+    congestion_drop |= event.type == EventType::kNetDrop && event.aux == 2;
+  }
+  EXPECT_TRUE(congestion_drop);
+}
+
+// ---------------------------------------------------------------- scenarios
+
+TEST(ScenarioTest, SumScenarioWorldSeedYieldsTwoTwo) {
+  BugScenario scenario = MakeSumScenario();
+  Rng rng(scenario.production_world_seed);
+  EXPECT_EQ(rng.NextInRange(0, 10), 2);
+  EXPECT_EQ(rng.NextInRange(0, 10), 2);
+}
+
+TEST(ScenarioTest, CatalogsNameTheActualCause) {
+  EXPECT_EQ(MakeSumScenario().catalog.actual_id(), "corrupt-table-entry");
+  EXPECT_EQ(MakeMsgDropScenario().catalog.actual_id(), "buffer-race");
+  EXPECT_EQ(MakeOverflowScenario().catalog.actual_id(), "unchecked-copy");
+  EXPECT_EQ(MakeHypertableScenario().catalog.actual_id(), "migration-race");
+  EXPECT_EQ(MakeHypertableScenario().catalog.size(), 3u);  // the n in DF=1/n
+  EXPECT_EQ(MakeMsgDropScenario().catalog.size(), 2u);
+}
+
+TEST(ScenarioTest, SumSymbolicModelSolvesOutputs) {
+  BugScenario scenario = MakeSumScenario();
+  ASSERT_TRUE(scenario.symbolic_model != nullptr);
+  auto problem = scenario.symbolic_model({5});
+  ASSERT_TRUE(problem != nullptr);
+  auto solution = problem->FirstSolution();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0] + (*solution)[1], 5);
+  EXPECT_NE(std::make_pair((*solution)[0], (*solution)[1]),
+            std::make_pair(int64_t{2}, int64_t{2}))
+      << "the first solution must not be the failing production input";
+}
+
+}  // namespace
+}  // namespace ddr

@@ -1,0 +1,189 @@
+// Tests for Hypertable-lite: message codecs, protocol correctness with the
+// fix (no loss under schedule exploration), bug manifestation, and the two
+// alternate root-cause faults.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/annotations.h"
+#include "src/ht/hypertable_program.h"
+#include "src/ht/messages.h"
+
+namespace ddr {
+namespace {
+
+HtConfig SmallConfig(bool bug) {
+  HtConfig config;
+  config.bug_enabled = bug;
+  config.num_servers = 3;
+  config.num_clients = 2;
+  config.rows_per_client = 40;
+  config.num_ranges = 6;
+  config.num_migrations = 3;
+  return config;
+}
+
+Outcome RunHt(HypertableProgram& program, uint64_t seed,
+              CollectingSink* sink = nullptr, FaultPlan plan = FaultPlan()) {
+  Environment::Options options;
+  options.seed = seed;
+  options.scheduling.preempt_probability = 0.15;
+  Environment env(options);
+  if (sink != nullptr) {
+    env.AddTraceSink(sink);
+  }
+  if (!plan.empty()) {
+    env.SetFaultPlan(plan);
+  }
+  return env.Run(program);
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(HtMessagesTest, CommitRoundtrip) {
+  CommitReq req{0xABCDEF, "payload-bytes"};
+  auto decoded = CommitReq::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->key, req.key);
+  EXPECT_EQ(decoded->value, req.value);
+}
+
+TEST(HtMessagesTest, DumpRespRoundtripManyRows) {
+  DumpResp resp;
+  for (uint64_t i = 0; i < 100; ++i) {
+    resp.rows.push_back(HtRow{i * 7, std::string(i % 13, 'x')});
+  }
+  auto decoded = DumpResp::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->rows.size(), resp.rows.size());
+  for (size_t i = 0; i < resp.rows.size(); ++i) {
+    EXPECT_EQ(decoded->rows[i].key, resp.rows[i].key);
+    EXPECT_EQ(decoded->rows[i].value, resp.rows[i].value);
+  }
+}
+
+TEST(HtMessagesTest, MigrationMessagesRoundtrip) {
+  MigrateCmd cmd{5, 2};
+  auto decoded_cmd = MigrateCmd::Decode(cmd.Encode());
+  ASSERT_TRUE(decoded_cmd.ok());
+  EXPECT_EQ(decoded_cmd->range, 5u);
+  EXPECT_EQ(decoded_cmd->dst_server, 2u);
+
+  InstallRange install{3, {HtRow{1, "a"}, HtRow{2, "b"}}};
+  auto decoded_install = InstallRange::Decode(install.Encode());
+  ASSERT_TRUE(decoded_install.ok());
+  EXPECT_EQ(decoded_install->range, 3u);
+  ASSERT_EQ(decoded_install->rows.size(), 2u);
+
+  LookupResp lookup{4, 1};
+  auto decoded_lookup = LookupResp::Decode(lookup.Encode());
+  ASSERT_TRUE(decoded_lookup.ok());
+  EXPECT_EQ(decoded_lookup->server, 1u);
+}
+
+TEST(HtMessagesTest, DecodeRejectsTruncation) {
+  CommitReq req{42, "hello"};
+  std::string bytes = req.Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(CommitReq::Decode(bytes).ok());
+}
+
+TEST(HtMessagesTest, RangeOfPartitionsKeySpace) {
+  HtConfig config;
+  config.num_ranges = 8;
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_LT(config.RangeOf(key), config.num_ranges);
+  }
+  EXPECT_EQ(config.RangeOf(8), config.RangeOf(16));
+}
+
+// ---------------------------------------------------------------- protocol
+
+class HtFixedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtFixedPropertyTest, NoRowLossWithFixUnderScheduleExploration) {
+  HypertableProgram program(/*world_seed=*/GetParam() * 101, SmallConfig(false));
+  Outcome outcome = RunHt(program, GetParam());
+  EXPECT_FALSE(outcome.Failed()) << "seed " << GetParam();
+  EXPECT_EQ(program.acked_total(),
+            static_cast<uint64_t>(2 * 40));  // every row acked
+  EXPECT_GE(program.dump_total(), program.acked_total());
+  EXPECT_EQ(program.orphaned_rows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtFixedPropertyTest, ::testing::Range<uint64_t>(1, 13));
+
+TEST(HtBugTest, RaceManifestsForSomeScheduleAndOrphansRows) {
+  bool manifested = false;
+  for (uint64_t seed = 1; seed <= 40 && !manifested; ++seed) {
+    HypertableProgram program(/*world_seed=*/42, SmallConfig(true));
+    CollectingSink sink;
+    Outcome outcome = RunHt(program, seed, &sink);
+    if (!outcome.Failed()) {
+      continue;
+    }
+    manifested = true;
+    EXPECT_GT(program.orphaned_rows(), 0u);
+    EXPECT_LT(program.dump_total(), program.acked_total());
+    bool annotated = false;
+    for (const Event& event : sink.events()) {
+      annotated |= event.type == EventType::kAnnotation &&
+                   event.obj == kTagHtLostRowCommit;
+    }
+    EXPECT_TRUE(annotated) << "root-cause ground truth must be in the trace";
+  }
+  EXPECT_TRUE(manifested);
+}
+
+TEST(HtBugTest, MigrationsActuallyHappen) {
+  HypertableProgram program(/*world_seed=*/7, SmallConfig(false));
+  CollectingSink sink;
+  RunHt(program, 3, &sink);
+  uint64_t installs = 0;
+  for (const auto& server : program.servers()) {
+    installs += server->migrations_in();
+  }
+  EXPECT_GT(installs, 0u) << "the master must have rebalanced at least once";
+}
+
+TEST(HtFaultTest, SlaveCrashLosesUploadedRows) {
+  HypertableProgram program(/*world_seed=*/9, SmallConfig(true));
+  CollectingSink sink;
+  Outcome outcome = RunHt(program, 5, &sink,
+                          FaultPlan::CrashNodeAt(/*node=*/2, 3 * kMillisecond));
+  ASSERT_TRUE(outcome.Failed());
+  EXPECT_EQ(outcome.primary_failure()->message,
+            HypertableProgram::kFailureMessage);
+  bool crashed = false;
+  for (const Event& event : sink.events()) {
+    crashed |= event.type == EventType::kNodeCrash;
+  }
+  EXPECT_TRUE(crashed);
+}
+
+TEST(HtFaultTest, ClientOomTruncatesDump) {
+  HypertableProgram program(/*world_seed=*/9, SmallConfig(true));
+  CollectingSink sink;
+  Outcome outcome =
+      RunHt(program, 6, &sink, FaultPlan::OomAt(/*node=*/0, 4 * kMillisecond));
+  ASSERT_TRUE(outcome.Failed());
+  EXPECT_EQ(outcome.primary_failure()->message,
+            HypertableProgram::kFailureMessage);
+  bool oom_annotated = false;
+  for (const Event& event : sink.events()) {
+    oom_annotated |= event.type == EventType::kAnnotation &&
+                     event.obj == kTagHtOomDuringDump;
+  }
+  EXPECT_TRUE(oom_annotated);
+}
+
+TEST(HtDeterminismTest, SameSeedsSameTrace) {
+  auto fingerprint = [](uint64_t sched_seed) {
+    HypertableProgram program(/*world_seed=*/11, SmallConfig(true));
+    return RunHt(program, sched_seed).trace_fingerprint;
+  };
+  EXPECT_EQ(fingerprint(4), fingerprint(4));
+  EXPECT_NE(fingerprint(4), fingerprint(5));
+}
+
+}  // namespace
+}  // namespace ddr

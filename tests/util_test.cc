@@ -1,0 +1,395 @@
+// Unit tests for src/util: status/result, rng, hashing, codec, vector
+// clocks, histograms, strings, table printing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/codec.h"
+#include "src/util/hash.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/string_util.h"
+#include "src/util/table_printer.h"
+#include "src/util/vector_clock.h"
+
+namespace ddr {
+namespace {
+
+// ------------------------------------------------------------------ Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllErrorConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(InvalidArgumentError("").code());
+  codes.insert(NotFoundError("").code());
+  codes.insert(AlreadyExistsError("").code());
+  codes.insert(FailedPreconditionError("").code());
+  codes.insert(OutOfRangeError("").code());
+  codes.insert(UnimplementedError("").code());
+  codes.insert(InternalError("").code());
+  codes.insert(UnavailableError("").code());
+  codes.insert(DeadlineExceededError("").code());
+  codes.insert(AbortedError("").code());
+  codes.insert(ResourceExhaustedError("").code());
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = InvalidArgumentError("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+Result<int> DoubleIfPositive(Result<int> input) {
+  ASSIGN_OR_RETURN(int value, std::move(input));
+  if (value <= 0) {
+    return OutOfRangeError("non-positive");
+  }
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubleIfPositive(21).value(), 42);
+  EXPECT_FALSE(DoubleIfPositive(-1).ok());
+  EXPECT_FALSE(DoubleIfPositive(InternalError("x")).ok());
+  EXPECT_EQ(DoubleIfPositive(InternalError("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextInRangeIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng a(21);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(RngTest, ExponentialHasApproximateMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+// -------------------------------------------------------------------- Hash
+
+TEST(HashTest, FnvMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(FnvHash(""), kFnvOffsetBasis);
+  EXPECT_NE(FnvHash("a"), FnvHash("b"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, FingerprintAccumulates) {
+  Fingerprint a;
+  a.Mix(1);
+  a.Mix(2);
+  Fingerprint b;
+  b.Mix(1);
+  EXPECT_NE(a.value(), b.value());
+  b.Mix(2);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+// ------------------------------------------------------------------- Codec
+
+TEST(CodecTest, VarintRoundtripSmall) {
+  Encoder encoder;
+  for (uint64_t v = 0; v < 300; ++v) {
+    encoder.PutVarint64(v);
+  }
+  Decoder decoder(encoder.buffer());
+  for (uint64_t v = 0; v < 300; ++v) {
+    auto result = decoder.GetVarint64();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, v);
+  }
+  EXPECT_TRUE(decoder.Done());
+}
+
+class CodecRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundtripTest, VarintRoundtrip) {
+  Encoder encoder;
+  encoder.PutVarint64(GetParam());
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(decoder.GetVarint64().value(), GetParam());
+}
+
+TEST_P(CodecRoundtripTest, ZigzagRoundtripBothSigns) {
+  const int64_t value = static_cast<int64_t>(GetParam());
+  Encoder encoder;
+  encoder.PutZigzag64(value);
+  encoder.PutZigzag64(-value);
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(decoder.GetZigzag64().value(), value);
+  EXPECT_EQ(decoder.GetZigzag64().value(), -value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, CodecRoundtripTest,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull,
+                                           16384ull, (1ull << 32) - 1, 1ull << 32,
+                                           (1ull << 63), ~0ull));
+
+TEST(CodecTest, FixedAndDoubleRoundtrip) {
+  Encoder encoder;
+  encoder.PutFixed8(0xAB);
+  encoder.PutFixed32(0xDEADBEEF);
+  encoder.PutFixed64(0x0123456789ABCDEFull);
+  encoder.PutDouble(3.14159);
+  encoder.PutBool(true);
+  encoder.PutString("hello\0world");
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(decoder.GetFixed8().value(), 0xAB);
+  EXPECT_EQ(decoder.GetFixed32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(decoder.GetFixed64().value(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(decoder.GetDouble().value(), 3.14159);
+  EXPECT_TRUE(decoder.GetBool().value());
+  EXPECT_EQ(decoder.GetString().value(), "hello");  // embedded NUL ends literal
+}
+
+TEST(CodecTest, TruncatedInputFails) {
+  Encoder encoder;
+  encoder.PutFixed64(42);
+  std::vector<uint8_t> bytes = encoder.TakeBuffer();
+  bytes.pop_back();
+  Decoder decoder(bytes);
+  EXPECT_FALSE(decoder.GetFixed64().ok());
+}
+
+TEST(CodecTest, StringRoundtripWithBinary) {
+  std::string binary("\x00\x01\xff\x7f", 4);
+  Encoder encoder;
+  encoder.PutString(binary);
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(decoder.GetString().value(), binary);
+}
+
+// ------------------------------------------------------------ VectorClock
+
+TEST(VectorClockTest, TickAndGet) {
+  VectorClock vc;
+  EXPECT_EQ(vc.Get(3), 0u);
+  EXPECT_EQ(vc.Tick(3), 1u);
+  EXPECT_EQ(vc.Tick(3), 2u);
+  EXPECT_EQ(vc.Get(3), 2u);
+}
+
+TEST(VectorClockTest, JoinIsLeastUpperBound) {
+  VectorClock a;
+  a.Set(0, 5);
+  a.Set(1, 1);
+  VectorClock b;
+  b.Set(0, 2);
+  b.Set(1, 7);
+  a.Join(b);
+  EXPECT_EQ(a.Get(0), 5u);
+  EXPECT_EQ(a.Get(1), 7u);
+  EXPECT_TRUE(b.HappensBeforeOrEqual(a));
+}
+
+TEST(VectorClockTest, PartialOrderProperties) {
+  VectorClock a;
+  a.Set(0, 1);
+  VectorClock b;
+  b.Set(0, 2);
+  VectorClock c;
+  c.Set(1, 1);
+  EXPECT_TRUE(a.HappensBeforeOrEqual(b));
+  EXPECT_FALSE(b.HappensBeforeOrEqual(a));
+  EXPECT_TRUE(a.ConcurrentWith(c));
+  EXPECT_FALSE(a.ConcurrentWith(a));
+  EXPECT_TRUE(a.HappensBeforeOrEqual(a));  // reflexive
+}
+
+TEST(VectorClockTest, EqualityIgnoresTrailingZeros) {
+  VectorClock a(2);
+  VectorClock b(8);
+  EXPECT_TRUE(a == b);
+  b.Set(7, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(EpochTest, PacksAndCompares) {
+  Epoch epoch(5, 1234);
+  EXPECT_EQ(epoch.tid(), 5u);
+  EXPECT_EQ(epoch.clk(), 1234u);
+  VectorClock vc;
+  vc.Set(5, 1233);
+  EXPECT_FALSE(epoch.LeqClock(vc));
+  vc.Set(5, 1234);
+  EXPECT_TRUE(epoch.LeqClock(vc));
+  EXPECT_TRUE(Epoch().IsZero());
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(SummaryStatsTest, WelfordBasics) {
+  SummaryStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 4);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, BucketsPowersOfTwo) {
+  Histogram histogram;
+  histogram.Add(0);
+  histogram.Add(1);
+  histogram.Add(2);
+  histogram.Add(3);
+  histogram.Add(1024);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.CountInBucket(0), 1u);  // zero
+  EXPECT_EQ(histogram.CountInBucket(1), 1u);  // 1
+  EXPECT_EQ(histogram.CountInBucket(2), 2u);  // 2..3
+  EXPECT_EQ(histogram.CountInBucket(11), 1u);  // 1024..2047
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram histogram;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    histogram.Add(i);
+  }
+  EXPECT_LE(histogram.Quantile(0.1), histogram.Quantile(0.5));
+  EXPECT_LE(histogram.Quantile(0.5), histogram.Quantile(0.99));
+}
+
+// ----------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.005), "1.00");  // printf rounding semantics
+}
+
+TEST(StringUtilTest, PadHelpers) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2, 3}, "+"), "1+2+3");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long-header"});
+  table.AddRow({"xxx", "1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| a   | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxx | 1           |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddr
