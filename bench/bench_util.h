@@ -4,6 +4,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/core/experiment.h"
@@ -31,6 +32,130 @@ inline std::vector<std::string> RowCells(const ExperimentRow& row) {
 
 inline void PrintBanner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output: one JSON object per line, so perf
+// trajectories can be diffed across PRs. Each bench appends to
+// BENCH_<name>.json in the working directory (override the path with
+// DDR_BENCH_JSON; set DDR_BENCH_JSON=off to disable).
+// ---------------------------------------------------------------------------
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Builds one JSON line with insertion-ordered fields.
+class JsonLine {
+ public:
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += JsonEscape(value);
+    quoted += '"';
+    return Raw(key, quoted);
+  }
+  JsonLine& Num(const std::string& key, double value) {
+    return Raw(key, StrPrintf("%.6g", value));
+  }
+  JsonLine& Int(const std::string& key, uint64_t value) {
+    return Raw(key, StrPrintf("%llu", static_cast<unsigned long long>(value)));
+  }
+  JsonLine& Bool(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  std::string Finish() const { return body_ + "}"; }
+
+ private:
+  JsonLine& Raw(const std::string& key, const std::string& value) {
+    if (body_.size() > 1) {
+      body_ += ',';
+    }
+    body_ += '"';
+    body_ += JsonEscape(key);
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+  std::string body_ = "{";
+};
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& bench_name) : bench_(bench_name) {
+    const char* override_path = std::getenv("DDR_BENCH_JSON");
+    if (override_path != nullptr && std::string(override_path) == "off") {
+      return;
+    }
+    path_ = override_path != nullptr ? override_path
+                                     : "BENCH_" + bench_name + ".json";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Starts a line pre-tagged with this writer's bench name.
+  JsonLine Line() const {
+    JsonLine line;
+    line.Str("bench", bench_);
+    return line;
+  }
+
+  void Write(const JsonLine& line) {
+    if (!enabled()) {
+      return;
+    }
+    std::FILE* file = std::fopen(path_.c_str(), "a");
+    if (file == nullptr) {
+      return;
+    }
+    std::fprintf(file, "%s\n", line.Finish().c_str());
+    std::fclose(file);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
+
+// Standard JSON projection of an ExperimentRow (mirrors RowCells).
+inline void EmitExperimentRowJson(BenchJsonWriter& writer,
+                                  const std::string& scenario,
+                                  const ExperimentRow& row) {
+  JsonLine line = writer.Line();
+  line.Str("scenario", scenario)
+      .Str("model", row.model_name)
+      .Num("overhead", row.overhead_multiplier)
+      .Int("log_bytes", row.log_bytes)
+      .Int("recorded_events", row.recorded_events)
+      .Num("fidelity", row.fidelity)
+      .Num("efficiency", row.efficiency)
+      .Num("utility", row.utility)
+      .Bool("failure_reproduced", row.failure_reproduced)
+      .Str("diagnosed", row.diagnosed_cause.value_or(""));
+  writer.Write(line);
 }
 
 }  // namespace ddr

@@ -40,12 +40,14 @@ void RunFig1() {
 
   TablePrinter per_bug({"bug", "model", "overhead", "bytes", "DF", "DE", "DU",
                         "failure?", "diagnosed"});
+  BenchJsonWriter json("fig1_relaxation_tradeoff");
   for (BugScenario& scenario : scenarios) {
     ExperimentHarness harness(scenario);
     const Status status = harness.Prepare();
     CHECK(status.ok()) << scenario.name << ": " << status;
     for (DeterminismModel model : AllDeterminismModels()) {
       ExperimentRow row = harness.RunModel(model);
+      EmitExperimentRowJson(json, scenario.name, row);
       overhead[model].Add(row.overhead_multiplier);
       fidelity[model].Add(row.fidelity);
       utility[model].Add(row.utility);

@@ -25,8 +25,11 @@ void RunTab1() {
 
   TablePrinter table({"model", "overhead", "log bytes", "DF", "DE", "DU",
                       "failure?", "diagnosed"});
+  BenchJsonWriter json("tab1_case_study_summary");
   for (DeterminismModel model : AllDeterminismModels()) {
-    table.AddRow(RowCells(harness.RunModel(model)));
+    const ExperimentRow row = harness.RunModel(model);
+    EmitExperimentRowJson(json, harness.scenario().name, row);
+    table.AddRow(RowCells(row));
   }
   table.Print(std::cout);
 

@@ -158,13 +158,8 @@ ReplayTarget ExperimentHarness::MakeReplayTarget() const {
   return target;
 }
 
-ExperimentRow ExperimentHarness::RunModel(DeterminismModel model) {
+RecordedExecution ExperimentHarness::Record(DeterminismModel model) {
   CHECK(prepared_) << "call Prepare() first";
-  ExperimentRow row;
-  row.model = model;
-  row.model_name = std::string(DeterminismModelName(model));
-
-  // 1. Record the production execution.
   std::unique_ptr<Recorder> recorder = MakeRecorder(model);
   ProductionRun recorded = RunProduction(recorder.get(), nullptr);
 
@@ -178,11 +173,20 @@ ExperimentRow ExperimentHarness::RunModel(DeterminismModel model) {
   recording.intercepted_events = recorder->intercepted_events();
   recording.recorded_events = recorder->recorded_events();
   recording.original_outcome = recorded.outcome;
+  return recording;
+}
 
+ExperimentRow ExperimentHarness::ReplayAndScore(DeterminismModel model,
+                                                const RecordedExecution& recording,
+                                                double original_wall_seconds) {
+  CHECK(prepared_) << "call Prepare() first";
+  ExperimentRow row;
+  row.model = model;
+  row.model_name = std::string(DeterminismModelName(model));
   row.overhead_multiplier = recording.OverheadMultiplier();
   row.log_bytes = recording.TotalLogBytes();
   row.recorded_events = recording.recorded_events;
-  row.original_wall_seconds = recorded.wall_seconds;
+  row.original_wall_seconds = original_wall_seconds;
 
   // 2. Replay from the recording alone.
   Replayer replayer(MakeReplayTarget(), scenario_.inference_budget);
@@ -204,6 +208,39 @@ ExperimentRow ExperimentHarness::RunModel(DeterminismModel model) {
     last_rcse_row_ = row;
   }
   return row;
+}
+
+ExperimentRow ExperimentHarness::RunModel(DeterminismModel model) {
+  RecordedExecution recording = Record(model);
+  return ReplayAndScore(model, recording,
+                        recording.original_outcome.stats.wall_seconds);
+}
+
+Status ExperimentHarness::SaveRecording(const RecordedExecution& recording,
+                                        const std::string& path,
+                                        TraceWriteOptions options) const {
+  options.scenario = scenario_.name;
+  options.original_wall_seconds = recording.original_outcome.stats.wall_seconds;
+  return TraceStore::Save(path, recording, options);
+}
+
+Result<RecordedExecution> ExperimentHarness::LoadRecording(
+    const std::string& path, double* original_wall_seconds) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+  if (original_wall_seconds != nullptr) {
+    *original_wall_seconds = reader.metadata().original_wall_seconds;
+  }
+  return reader.ReadRecordedExecution();
+}
+
+Result<ExperimentRow> ExperimentHarness::RunModelFromFile(
+    DeterminismModel model, const std::string& path) {
+  RecordedExecution recording = Record(model);
+  RETURN_IF_ERROR(SaveRecording(recording, path));
+  double original_wall_seconds = 0.0;
+  ASSIGN_OR_RETURN(RecordedExecution loaded,
+                   LoadRecording(path, &original_wall_seconds));
+  return ReplayAndScore(model, loaded, original_wall_seconds);
 }
 
 std::vector<ExperimentRow> ExperimentHarness::RunAllModels() {

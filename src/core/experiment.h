@@ -34,6 +34,7 @@
 #include "src/record/model_recorders.h"
 #include "src/record/recorded_execution.h"
 #include "src/replay/replayer.h"
+#include "src/trace/trace_store.h"
 
 namespace ddr {
 
@@ -121,6 +122,34 @@ class ExperimentHarness {
 
   ExperimentRow RunModel(DeterminismModel model);
   std::vector<ExperimentRow> RunAllModels();
+
+  // The two halves of RunModel, exposed so recordings can cross a process
+  // (or machine) boundary between them as trace files.
+  //
+  // Record() re-runs the production execution with `model`'s recorder
+  // attached and packages the RecordedExecution; ReplayAndScore() replays
+  // from the recording alone and scores it. RunModel(m) ==
+  // ReplayAndScore(m, Record(m), <production wall seconds>).
+  RecordedExecution Record(DeterminismModel model);
+  ExperimentRow ReplayAndScore(DeterminismModel model,
+                               const RecordedExecution& recording,
+                               double original_wall_seconds);
+
+  // Persistence hooks (src/trace/): SaveRecording stamps the scenario name
+  // and production wall time into trace metadata; LoadRecording restores
+  // the recording (the harness-side ground-truth Outcome never ships — see
+  // recorded_execution.h).
+  Status SaveRecording(const RecordedExecution& recording,
+                       const std::string& path,
+                       TraceWriteOptions options = {}) const;
+  static Result<RecordedExecution> LoadRecording(
+      const std::string& path, double* original_wall_seconds = nullptr);
+
+  // Full disk round-trip: record -> save to `path` -> load -> replay ->
+  // score. Replay results are bit-identical to the in-memory RunModel path
+  // because the trace format round-trips the log and snapshot exactly.
+  Result<ExperimentRow> RunModelFromFile(DeterminismModel model,
+                                         const std::string& path);
 
   // Accessors (valid after Prepare()).
   uint64_t production_sched_seed() const { return production_sched_seed_; }

@@ -91,6 +91,7 @@ bool LogReplayDirector::OverrideRngDraw(Environment& env, RngPurpose purpose,
   }
   *value = rng_values_.front();
   rng_values_.pop_front();
+  ++rng_consumed_;
   return true;
 }
 
@@ -106,6 +107,7 @@ bool LogReplayDirector::OverrideInput(Environment& env, ObjectId source,
   }
   *value = it->second.front();
   it->second.pop_front();
+  ++inputs_consumed_;
   return true;
 }
 
@@ -121,6 +123,7 @@ bool LogReplayDirector::OverrideSharedRead(Environment& env, ObjectId cell,
   }
   *value = it->second.front();
   it->second.pop_front();
+  ++reads_consumed_;
   return true;
 }
 

@@ -50,6 +50,14 @@ class LogReplayDirector : public ExecutionDirector {
   uint64_t schedule_cursor() const { return cursor_; }
   size_t schedule_length() const { return switches_.size(); }
 
+  // Playback-cursor state: how many recorded values each stream has
+  // consumed so far. Together with schedule_cursor() this is what a
+  // ReplayCheckpoint captures (src/trace/checkpoint.h); partial replay
+  // compares these against the checkpoint at the fast-forward boundary.
+  uint64_t rng_cursor() const { return rng_consumed_; }
+  uint64_t input_cursor() const { return inputs_consumed_; }
+  uint64_t read_cursor() const { return reads_consumed_; }
+
  private:
   struct SwitchRec {
     uint64_t decision = 0;
@@ -67,6 +75,9 @@ class LogReplayDirector : public ExecutionDirector {
   std::deque<uint64_t> rng_values_;
   std::map<ObjectId, std::deque<uint64_t>> input_values_;
   std::map<ObjectId, std::deque<uint64_t>> read_values_;
+  uint64_t rng_consumed_ = 0;
+  uint64_t inputs_consumed_ = 0;
+  uint64_t reads_consumed_ = 0;
 
   size_t rr_cursor_ = 0;  // fallback round-robin state
 };

@@ -6,6 +6,61 @@
 
 namespace ddr {
 
+namespace {
+
+// Log-replay configuration for a direct replay mode.
+LogReplayConfig ConfigForMode(ReplayMode mode) {
+  LogReplayConfig config;  // everything on
+  if (mode == ReplayMode::kRcse) {
+    // Schedule + RNG + recorded (control-plane) inputs are enforced;
+    // shared reads re-execute — the relaxed data plane is re-synthesized.
+    config.override_shared_reads = false;
+  }
+  return config;
+}
+
+// Observation gate for checkpointed partial replay: suppresses collection
+// of the fast-forwarded prefix, fingerprints it for verification against
+// the checkpoint, and samples the director's cursors at the boundary.
+class CheckpointGateSink : public TraceSink {
+ public:
+  CheckpointGateSink(const ReplayCheckpoint& checkpoint,
+                     const LogReplayDirector& director)
+      : checkpoint_(checkpoint), director_(director) {}
+
+  void OnEvent(const Event& event) override {
+    if (seen_ < checkpoint_.resume_seq) {
+      prefix_fp_.Mix(event.SemanticHash());
+    } else {
+      suffix_.push_back(event);
+    }
+    ++seen_;
+    if (seen_ == checkpoint_.resume_seq) {
+      // Boundary: the prefix is fully replayed, the first suffix event has
+      // not consumed any overrides yet.
+      cursors_ok_ = director_.schedule_cursor() == checkpoint_.schedule_cursor &&
+                    director_.rng_cursor() == checkpoint_.rng_cursor &&
+                    director_.input_cursor() == checkpoint_.input_cursor &&
+                    director_.read_cursor() == checkpoint_.read_cursor;
+    }
+  }
+
+  std::vector<Event> TakeSuffix() { return std::move(suffix_); }
+  bool Verified() const {
+    return prefix_fp_.value() == checkpoint_.prefix_fingerprint && cursors_ok_;
+  }
+
+ private:
+  const ReplayCheckpoint checkpoint_;
+  const LogReplayDirector& director_;
+  uint64_t seen_ = 0;
+  Fingerprint prefix_fp_;
+  std::vector<Event> suffix_;
+  bool cursors_ok_ = false;
+};
+
+}  // namespace
+
 std::string_view ReplayModeName(ReplayMode mode) {
   switch (mode) {
     case ReplayMode::kPerfect:
@@ -26,21 +81,10 @@ std::string_view ReplayModeName(ReplayMode mode) {
 
 ReplayResult Replayer::Replay(const RecordedExecution& recording, ReplayMode mode) {
   switch (mode) {
-    case ReplayMode::kPerfect: {
-      LogReplayConfig config;  // everything on
-      return DirectReplay(recording, config, ReplayModeName(mode));
-    }
-    case ReplayMode::kValue: {
-      LogReplayConfig config;
-      return DirectReplay(recording, config, ReplayModeName(mode));
-    }
-    case ReplayMode::kRcse: {
-      LogReplayConfig config;
-      // Schedule + RNG + recorded (control-plane) inputs are enforced;
-      // shared reads re-execute — the relaxed data plane is re-synthesized.
-      config.override_shared_reads = false;
-      return DirectReplay(recording, config, ReplayModeName(mode));
-    }
+    case ReplayMode::kPerfect:
+    case ReplayMode::kValue:
+    case ReplayMode::kRcse:
+      return DirectReplay(recording, ConfigForMode(mode), ReplayModeName(mode));
     case ReplayMode::kOutputOnly:
     case ReplayMode::kOutputHeavy:
     case ReplayMode::kFailure:
@@ -50,9 +94,25 @@ ReplayResult Replayer::Replay(const RecordedExecution& recording, ReplayMode mod
   return ReplayResult{};
 }
 
+ReplayResult Replayer::PartialReplay(const RecordedExecution& recording,
+                                     const CheckpointIndex& index,
+                                     uint64_t target_event, ReplayMode mode) {
+  CHECK(mode == ReplayMode::kPerfect || mode == ReplayMode::kValue ||
+        mode == ReplayMode::kRcse)
+      << "partial replay requires a direct (log-driven) mode";
+  const ReplayCheckpoint* checkpoint = index.NearestBefore(target_event);
+  if (checkpoint == nullptr || checkpoint->event_index == 0) {
+    return DirectReplay(recording, ConfigForMode(mode), ReplayModeName(mode));
+  }
+  return DirectReplay(recording, ConfigForMode(mode), ReplayModeName(mode),
+                      &index, checkpoint);
+}
+
 ReplayResult Replayer::DirectReplay(const RecordedExecution& recording,
                                     const LogReplayConfig& config,
-                                    std::string_view name) {
+                                    std::string_view name,
+                                    const CheckpointIndex* index,
+                                    const ReplayCheckpoint* checkpoint) {
   const auto start = std::chrono::steady_clock::now();
   ReplayResult result;
   result.model = std::string(name);
@@ -64,12 +124,27 @@ ReplayResult Replayer::DirectReplay(const RecordedExecution& recording,
   LogReplayDirector director(recording.log, config);
   env.SetDirector(&director);
 
+  // Full replay observes everything; partial replay gates observation
+  // behind the checkpoint's resume point.
   CollectingSink sink;
-  env.AddTraceSink(&sink);
+  std::unique_ptr<CheckpointGateSink> gate;
+  if (checkpoint != nullptr) {
+    gate = std::make_unique<CheckpointGateSink>(*checkpoint, director);
+    env.AddTraceSink(gate.get());
+  } else {
+    env.AddTraceSink(&sink);
+  }
 
   std::unique_ptr<SimProgram> program = target_.make_program(kReplayWorldSeed);
   result.outcome = env.Run(*program);
-  result.trace = sink.events();
+  if (gate != nullptr) {
+    result.trace = gate->TakeSuffix();
+    result.partial = true;
+    result.started_from_event = checkpoint->event_index;
+    result.fast_forward_verified = index->full_stream && gate->Verified();
+  } else {
+    result.trace = sink.events();
+  }
   result.divergences = director.divergences();
   result.failure_reproduced = recording.snapshot.MatchesFailureOf(result.outcome);
   result.wall_seconds =

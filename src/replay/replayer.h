@@ -15,6 +15,7 @@
 #include "src/record/recorded_execution.h"
 #include "src/replay/inference.h"
 #include "src/replay/log_replay_director.h"
+#include "src/trace/checkpoint.h"
 
 namespace ddr {
 
@@ -44,6 +45,16 @@ struct ReplayResult {
   std::vector<int64_t> input_assignment;
   // Total tool time to produce the replayed execution (drives DE).
   double wall_seconds = 0.0;
+
+  // Partial (checkpointed) replay bookkeeping. When `partial` is set, the
+  // prefix [0, started_from_event) was fast-forwarded with observation
+  // disabled and `trace` holds only the suffix events.
+  bool partial = false;
+  uint64_t started_from_event = 0;
+  // The fast-forwarded prefix matched the checkpoint's recorded state
+  // (prefix fingerprint + director cursors). Only checkable for
+  // full-stream logs; false also when the log is a subset.
+  bool fast_forward_verified = false;
 };
 
 // Environment/world seeds used for replay runs; deliberately unrelated to
@@ -58,9 +69,23 @@ class Replayer {
 
   ReplayResult Replay(const RecordedExecution& recording, ReplayMode mode);
 
+  // Checkpointed partial replay (direct modes only): fast-forwards to the
+  // latest checkpoint at or before `target_event`, observing (collecting,
+  // fingerprinting) only the suffix from there on. In this re-execution
+  // substrate a checkpoint does not skip prefix execution — it skips prefix
+  // *observation* and verifies the fast-forward against the checkpoint's
+  // recorded cursor state, so the debugging session can trust it landed on
+  // the recorded path. Falls back to full replay when `index` has no usable
+  // checkpoint.
+  ReplayResult PartialReplay(const RecordedExecution& recording,
+                             const CheckpointIndex& index, uint64_t target_event,
+                             ReplayMode mode = ReplayMode::kPerfect);
+
  private:
   ReplayResult DirectReplay(const RecordedExecution& recording,
-                            const LogReplayConfig& config, std::string_view name);
+                            const LogReplayConfig& config, std::string_view name,
+                            const CheckpointIndex* index = nullptr,
+                            const ReplayCheckpoint* checkpoint = nullptr);
   ReplayResult InferredReplay(const RecordedExecution& recording, ReplayMode mode);
 
   ReplayTarget target_;

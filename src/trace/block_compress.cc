@@ -1,0 +1,152 @@
+#include "src/trace/block_compress.h"
+
+#include <cstring>
+
+#include "src/util/codec.h"
+
+namespace ddr {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxChainSteps = 16;  // bounded match search per position
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  // Multiplicative hash of the 4-byte window.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, const uint8_t* end) {
+  const uint8_t* start = a;
+  while (a < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<size_t>(a - start);
+}
+
+void EmitToken(Encoder* out, const uint8_t* literals, size_t literal_len,
+               size_t match_len, size_t distance) {
+  out->PutVarint64(literal_len);
+  out->PutVarint64(match_len);
+  for (size_t i = 0; i < literal_len; ++i) {
+    out->PutFixed8(literals[i]);
+  }
+  if (match_len > 0) {
+    out->PutVarint64(distance);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> CompressBlock(const std::vector<uint8_t>& input) {
+  Encoder out;
+  const uint8_t* data = input.data();
+  const size_t size = input.size();
+  if (size < kMinMatch + 1) {
+    if (size > 0) {
+      EmitToken(&out, data, size, 0, 0);
+    }
+    return out.TakeBuffer();
+  }
+
+  // head[h] = most recent position with hash h; prev[i] = previous position
+  // sharing i's hash (a chain through the block).
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(size, -1);
+
+  const uint8_t* const end = data + size;
+  size_t pos = 0;
+  size_t literal_start = 0;
+  const size_t hash_limit = size - kMinMatch + 1;
+
+  while (pos < hash_limit) {
+    const uint32_t h = HashAt(data + pos);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int32_t candidate = head[h];
+    for (size_t step = 0; candidate >= 0 && step < kMaxChainSteps; ++step) {
+      const size_t len =
+          MatchLength(data + pos, data + candidate, end);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - static_cast<size_t>(candidate);
+      }
+      candidate = prev[candidate];
+    }
+
+    if (best_len >= kMinMatch) {
+      EmitToken(&out, data + literal_start, pos - literal_start, best_len,
+                best_dist);
+      // Insert the covered positions into the chains so later matches can
+      // reference them.
+      const size_t match_end = pos + best_len;
+      while (pos < match_end && pos < hash_limit) {
+        const uint32_t mh = HashAt(data + pos);
+        prev[pos] = head[mh];
+        head[mh] = static_cast<int32_t>(pos);
+        ++pos;
+      }
+      pos = match_end;
+      literal_start = pos;
+    } else {
+      prev[pos] = head[h];
+      head[h] = static_cast<int32_t>(pos);
+      ++pos;
+    }
+  }
+
+  if (literal_start < size) {
+    EmitToken(&out, data + literal_start, size - literal_start, 0, 0);
+  }
+  return out.TakeBuffer();
+}
+
+Result<std::vector<uint8_t>> DecompressBlock(const uint8_t* data, size_t size,
+                                             size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  Decoder decoder(data, size);
+  while (out.size() < expected_size) {
+    ASSIGN_OR_RETURN(uint64_t literal_len, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(uint64_t match_len, decoder.GetVarint64());
+    if (literal_len > decoder.remaining()) {
+      return InvalidArgumentError("ddrz: literal run past end of block");
+    }
+    // Guard without summing: huge lengths must not wrap uint64 past the
+    // size check and unleash an unbounded copy loop.
+    const uint64_t space = expected_size - out.size();
+    if (literal_len > space || match_len > space - literal_len) {
+      return InvalidArgumentError("ddrz: token overruns declared size");
+    }
+    // Bulk-copy the literal run (bounds established above).
+    ASSIGN_OR_RETURN(const uint8_t* literals,
+                     decoder.GetBytes(static_cast<size_t>(literal_len)));
+    out.insert(out.end(), literals, literals + literal_len);
+    if (match_len > 0) {
+      if (match_len < kMinMatch) {
+        return InvalidArgumentError("ddrz: match shorter than minimum");
+      }
+      ASSIGN_OR_RETURN(uint64_t distance, decoder.GetVarint64());
+      if (distance == 0 || distance > out.size()) {
+        return InvalidArgumentError("ddrz: match distance out of range");
+      }
+      // Byte-by-byte copy: overlapping matches (distance < match_len)
+      // replicate the repeated pattern, as in LZ77.
+      size_t from = out.size() - static_cast<size_t>(distance);
+      for (uint64_t i = 0; i < match_len; ++i) {
+        out.push_back(out[from + i]);
+      }
+    }
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("ddrz: trailing bytes after final token");
+  }
+  return out;
+}
+
+}  // namespace ddr

@@ -1,0 +1,128 @@
+#include "src/trace/trace_format.h"
+
+#include "src/trace/block_compress.h"
+#include "src/util/crc32.h"
+
+namespace ddr {
+
+std::vector<uint8_t> TraceMetadata::Encode() const {
+  Encoder encoder;
+  encoder.PutString(model);
+  encoder.PutString(scenario);
+  encoder.PutVarint64(event_count);
+  encoder.PutVarint64(events_per_chunk);
+  encoder.PutVarint64(recorded_bytes);
+  encoder.PutZigzag64(overhead_nanos);
+  encoder.PutZigzag64(cpu_nanos);
+  encoder.PutVarint64(intercepted_events);
+  encoder.PutVarint64(recorded_events);
+  encoder.PutDouble(original_wall_seconds);
+  return encoder.TakeBuffer();
+}
+
+Result<TraceMetadata> TraceMetadata::Decode(const std::vector<uint8_t>& bytes) {
+  Decoder decoder(bytes);
+  TraceMetadata meta;
+  ASSIGN_OR_RETURN(meta.model, decoder.GetString());
+  ASSIGN_OR_RETURN(meta.scenario, decoder.GetString());
+  ASSIGN_OR_RETURN(meta.event_count, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(meta.events_per_chunk, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(meta.recorded_bytes, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(meta.overhead_nanos, decoder.GetZigzag64());
+  ASSIGN_OR_RETURN(meta.cpu_nanos, decoder.GetZigzag64());
+  ASSIGN_OR_RETURN(meta.intercepted_events, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(meta.recorded_events, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(meta.original_wall_seconds, decoder.GetDouble());
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after trace metadata");
+  }
+  return meta;
+}
+
+std::vector<uint8_t> TraceFooter::Encode() const {
+  Encoder encoder;
+  encoder.PutFixed64(metadata_offset);
+  encoder.PutFixed64(snapshot_offset);
+  encoder.PutFixed64(checkpoint_offset);
+  encoder.PutVarint64(total_events);
+  encoder.PutVarint64(chunks.size());
+  for (const TraceChunkInfo& chunk : chunks) {
+    encoder.PutVarint64(chunk.file_offset);
+    encoder.PutVarint64(chunk.first_event);
+    encoder.PutVarint64(chunk.event_count);
+  }
+  return encoder.TakeBuffer();
+}
+
+Result<TraceFooter> TraceFooter::Decode(const std::vector<uint8_t>& bytes) {
+  Decoder decoder(bytes);
+  TraceFooter footer;
+  ASSIGN_OR_RETURN(footer.metadata_offset, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(footer.snapshot_offset, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(footer.checkpoint_offset, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(footer.total_events, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t chunk_count, decoder.GetVarint64());
+  for (uint64_t i = 0; i < chunk_count; ++i) {
+    TraceChunkInfo chunk;
+    ASSIGN_OR_RETURN(chunk.file_offset, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(chunk.first_event, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(chunk.event_count, decoder.GetVarint64());
+    footer.chunks.push_back(chunk);
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after trace footer");
+  }
+  return footer;
+}
+
+uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
+                            const std::vector<uint8_t>& payload,
+                            bool allow_compress) {
+  const uint64_t offset = out->size();
+  TraceCodec codec = TraceCodec::kRaw;
+  const std::vector<uint8_t>* stored = &payload;
+  std::vector<uint8_t> compressed;
+  if (allow_compress && !payload.empty()) {
+    compressed = CompressBlock(payload);
+    if (compressed.size() < payload.size()) {
+      codec = TraceCodec::kDdrz;
+      stored = &compressed;
+    }
+  }
+
+  Encoder encoder;
+  encoder.PutFixed8(static_cast<uint8_t>(kind));
+  encoder.PutFixed8(static_cast<uint8_t>(codec));
+  encoder.PutVarint64(payload.size());
+  encoder.PutVarint64(stored->size());
+  const std::vector<uint8_t>& framing = encoder.buffer();
+  out->insert(out->end(), framing.begin(), framing.end());
+  out->insert(out->end(), stored->begin(), stored->end());
+
+  const uint32_t crc = Crc32(stored->data(), stored->size());
+  Encoder crc_encoder;
+  crc_encoder.PutFixed32(crc);
+  const std::vector<uint8_t>& crc_bytes = crc_encoder.buffer();
+  out->insert(out->end(), crc_bytes.begin(), crc_bytes.end());
+  return offset;
+}
+
+Result<TraceSectionHeader> DecodeTraceSectionHeader(Decoder* decoder) {
+  TraceSectionHeader header;
+  ASSIGN_OR_RETURN(uint8_t kind, decoder->GetFixed8());
+  if (kind < static_cast<uint8_t>(TraceSection::kMetadata) ||
+      kind > static_cast<uint8_t>(TraceSection::kFooter)) {
+    return InvalidArgumentError("unknown trace section kind");
+  }
+  header.kind = static_cast<TraceSection>(kind);
+  ASSIGN_OR_RETURN(uint8_t codec, decoder->GetFixed8());
+  if (codec > static_cast<uint8_t>(TraceCodec::kDdrz)) {
+    return InvalidArgumentError("unknown trace section codec");
+  }
+  header.codec = static_cast<TraceCodec>(codec);
+  ASSIGN_OR_RETURN(header.uncompressed_size, decoder->GetVarint64());
+  ASSIGN_OR_RETURN(header.stored_size, decoder->GetVarint64());
+  return header;
+}
+
+}  // namespace ddr

@@ -1,0 +1,115 @@
+// On-disk trace file format (DDRT v1).
+//
+// A trace file is a RecordedExecution made durable: what a production site
+// ships to the developer running replay. Layout:
+//
+//   [header]      12 bytes: magic "DDRT", version, flags
+//   [metadata]    section: model, scenario, counts, overhead ledger
+//   [snapshot]    section: FailureSnapshot (the bug report)
+//   [chunk]*      sections: event chunks, `events_per_chunk` events each
+//   [checkpoints] section: CheckpointIndex for partial replay
+//   [footer]      section: offsets of everything above + per-chunk table
+//   [trailer]     12 bytes: footer offset + magic "TRDD"
+//
+// Every section is independently framed, optionally block-compressed
+// (src/trace/block_compress.h) and CRC-32 checked, so a reader can verify
+// or decode any chunk without touching the rest of the file, and a
+// truncated/corrupt file fails with a Status instead of garbage.
+//
+//   section := kind u8 | codec u8 | uncompressed_size varint |
+//              stored_size varint | payload[stored_size] | crc32 fixed32
+//
+// The trailer is fixed-width so `Open` can find the footer by reading the
+// last 12 bytes; the footer then gives random access to all sections.
+
+#ifndef SRC_TRACE_TRACE_FORMAT_H_
+#define SRC_TRACE_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/codec.h"
+#include "src/util/status.h"
+
+namespace ddr {
+
+inline constexpr uint32_t kTraceFileMagic = 0x54524444u;   // "DDRT"
+inline constexpr uint32_t kTraceTrailerMagic = 0x44445254u;  // "TRDD"
+inline constexpr uint32_t kTraceFormatVersion = 1;
+inline constexpr size_t kTraceHeaderBytes = 12;   // magic + version + flags
+inline constexpr size_t kTraceTrailerBytes = 12;  // footer offset + magic
+
+enum class TraceSection : uint8_t {
+  kMetadata = 1,
+  kSnapshot = 2,
+  kEventChunk = 3,
+  kCheckpointIndex = 4,
+  kFooter = 5,
+};
+
+enum class TraceCodec : uint8_t {
+  kRaw = 0,
+  kDdrz = 1,  // block LZ from src/trace/block_compress.h
+};
+
+// Everything about the recording that is not the event payload itself.
+struct TraceMetadata {
+  std::string model;     // determinism model that produced the log
+  std::string scenario;  // BugScenario name (lets `ddr-trace replay` rebuild
+                         // the program); empty if unknown
+  uint64_t event_count = 0;
+  uint64_t events_per_chunk = 0;
+  uint64_t recorded_bytes = 0;
+  int64_t overhead_nanos = 0;
+  int64_t cpu_nanos = 0;
+  uint64_t intercepted_events = 0;
+  uint64_t recorded_events = 0;
+  // Production-run wall time, carried so a reloaded recording scores
+  // debugging efficiency identically. The full harness-side ground truth
+  // (Outcome) deliberately does not ship: replayers must work from the log
+  // and snapshot alone.
+  double original_wall_seconds = 0.0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<TraceMetadata> Decode(const std::vector<uint8_t>& bytes);
+};
+
+// Footer entry describing one event chunk.
+struct TraceChunkInfo {
+  uint64_t file_offset = 0;  // offset of the chunk's section framing
+  uint64_t first_event = 0;
+  uint64_t event_count = 0;
+};
+
+struct TraceFooter {
+  uint64_t metadata_offset = 0;
+  uint64_t snapshot_offset = 0;
+  uint64_t checkpoint_offset = 0;
+  uint64_t total_events = 0;
+  std::vector<TraceChunkInfo> chunks;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<TraceFooter> Decode(const std::vector<uint8_t>& bytes);
+};
+
+// Appends a framed section to `out`. Compresses with ddrz when
+// `allow_compress` and compression actually shrinks the payload.
+// Returns the section's offset within `out`.
+uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
+                            const std::vector<uint8_t>& payload,
+                            bool allow_compress);
+
+// Parsed section framing (not including payload bytes).
+struct TraceSectionHeader {
+  TraceSection kind = TraceSection::kMetadata;
+  TraceCodec codec = TraceCodec::kRaw;
+  uint64_t uncompressed_size = 0;
+  uint64_t stored_size = 0;
+};
+
+Result<TraceSectionHeader> DecodeTraceSectionHeader(Decoder* decoder);
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_TRACE_FORMAT_H_

@@ -1,0 +1,293 @@
+#include "src/trace/trace_reader.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/trace/block_compress.h"
+#include "src/util/crc32.h"
+#include "src/util/hash.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+namespace {
+
+// Section framing never exceeds kind + codec + two max-width varints.
+constexpr size_t kMaxSectionHeaderBytes = 2 + 10 + 10;
+
+// Sanity bound for section payloads: a section larger than the file is
+// corrupt framing, not a big trace.
+Status CheckSize(uint64_t claimed, uint64_t file_size, const char* what) {
+  if (claimed > file_size) {
+    return InvalidArgumentError(StrPrintf(
+        "trace %s size %llu exceeds file size %llu", what,
+        static_cast<unsigned long long>(claimed),
+        static_cast<unsigned long long>(file_size)));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<TraceReader> TraceReader::Open(const std::string& path) {
+  TraceReader reader;
+  reader.path_ = path;
+  reader.stream_.open(path, std::ios::binary);
+  if (!reader.stream_) {
+    return NotFoundError("cannot open trace file: " + path);
+  }
+  reader.stream_.seekg(0, std::ios::end);
+  reader.file_size_ = static_cast<uint64_t>(reader.stream_.tellg());
+  if (reader.file_size_ < kTraceHeaderBytes + kTraceTrailerBytes) {
+    return InvalidArgumentError("trace file too small: " + path);
+  }
+
+  // Header.
+  std::vector<uint8_t> header(kTraceHeaderBytes);
+  reader.stream_.seekg(0);
+  reader.stream_.read(reinterpret_cast<char*>(header.data()),
+                      static_cast<std::streamsize>(header.size()));
+  if (!reader.stream_) {
+    return UnavailableError("short read on trace header");
+  }
+  reader.bytes_read_ += header.size();
+  {
+    Decoder decoder(header);
+    ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
+    if (magic != kTraceFileMagic) {
+      return InvalidArgumentError("bad trace file magic");
+    }
+    ASSIGN_OR_RETURN(uint32_t version, decoder.GetFixed32());
+    if (version != kTraceFormatVersion) {
+      return InvalidArgumentError(
+          StrPrintf("unsupported trace format version %u", version));
+    }
+  }
+
+  // Trailer -> footer.
+  std::vector<uint8_t> trailer(kTraceTrailerBytes);
+  reader.stream_.seekg(
+      static_cast<std::streamoff>(reader.file_size_ - kTraceTrailerBytes));
+  reader.stream_.read(reinterpret_cast<char*>(trailer.data()),
+                      static_cast<std::streamsize>(trailer.size()));
+  if (!reader.stream_) {
+    return UnavailableError("short read on trace trailer");
+  }
+  reader.bytes_read_ += trailer.size();
+  uint64_t footer_offset = 0;
+  {
+    Decoder decoder(trailer);
+    ASSIGN_OR_RETURN(footer_offset, decoder.GetFixed64());
+    ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
+    if (magic != kTraceTrailerMagic) {
+      return InvalidArgumentError("bad trace trailer magic (truncated file?)");
+    }
+  }
+  RETURN_IF_ERROR(CheckSize(footer_offset, reader.file_size_, "footer offset"));
+
+  ASSIGN_OR_RETURN(std::vector<uint8_t> footer_bytes,
+                   reader.ReadSection(footer_offset, TraceSection::kFooter));
+  ASSIGN_OR_RETURN(reader.footer_, TraceFooter::Decode(footer_bytes));
+
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> meta_bytes,
+      reader.ReadSection(reader.footer_.metadata_offset, TraceSection::kMetadata));
+  ASSIGN_OR_RETURN(reader.metadata_, TraceMetadata::Decode(meta_bytes));
+
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> snapshot_bytes,
+      reader.ReadSection(reader.footer_.snapshot_offset, TraceSection::kSnapshot));
+  ASSIGN_OR_RETURN(reader.snapshot_, FailureSnapshot::Decode(snapshot_bytes));
+
+  ASSIGN_OR_RETURN(std::vector<uint8_t> checkpoint_bytes,
+                   reader.ReadSection(reader.footer_.checkpoint_offset,
+                                      TraceSection::kCheckpointIndex));
+  ASSIGN_OR_RETURN(reader.checkpoints_,
+                   CheckpointIndex::Decode(checkpoint_bytes));
+
+  return reader;
+}
+
+Result<std::vector<uint8_t>> TraceReader::ReadSection(uint64_t offset,
+                                                      TraceSection expected_kind) {
+  if (offset >= file_size_) {
+    return InvalidArgumentError("trace section offset past end of file");
+  }
+  const size_t header_bytes = static_cast<size_t>(
+      std::min<uint64_t>(kMaxSectionHeaderBytes, file_size_ - offset));
+  std::vector<uint8_t> header(header_bytes);
+  stream_.clear();
+  stream_.seekg(static_cast<std::streamoff>(offset));
+  stream_.read(reinterpret_cast<char*>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+  if (!stream_) {
+    return UnavailableError("short read on trace section header");
+  }
+  bytes_read_ += header.size();
+
+  Decoder decoder(header);
+  ASSIGN_OR_RETURN(TraceSectionHeader section, DecodeTraceSectionHeader(&decoder));
+  if (section.kind != expected_kind) {
+    return InvalidArgumentError("trace section kind mismatch");
+  }
+  RETURN_IF_ERROR(CheckSize(section.stored_size, file_size_, "section"));
+  RETURN_IF_ERROR(
+      CheckSize(section.uncompressed_size, /*file_size=*/1u << 30, "section"));
+  const uint64_t payload_offset = offset + (header.size() - decoder.remaining());
+  if (payload_offset + section.stored_size + 4 > file_size_) {
+    return InvalidArgumentError("trace section payload past end of file");
+  }
+
+  std::vector<uint8_t> stored(static_cast<size_t>(section.stored_size) + 4);
+  stream_.seekg(static_cast<std::streamoff>(payload_offset));
+  stream_.read(reinterpret_cast<char*>(stored.data()),
+               static_cast<std::streamsize>(stored.size()));
+  if (!stream_) {
+    return UnavailableError("short read on trace section payload");
+  }
+  bytes_read_ += stored.size();
+
+  // Trailing fixed32 CRC covers the stored payload bytes.
+  Decoder crc_decoder(stored.data() + section.stored_size, 4);
+  ASSIGN_OR_RETURN(uint32_t expected_crc, crc_decoder.GetFixed32());
+  stored.resize(static_cast<size_t>(section.stored_size));
+  const uint32_t actual_crc = Crc32(stored.data(), stored.size());
+  if (actual_crc != expected_crc) {
+    return InvalidArgumentError(
+        StrPrintf("trace section CRC mismatch: stored %08x, computed %08x",
+                  expected_crc, actual_crc));
+  }
+
+  if (section.codec == TraceCodec::kRaw) {
+    if (stored.size() != section.uncompressed_size) {
+      return InvalidArgumentError("raw trace section size mismatch");
+    }
+    return stored;
+  }
+  return DecompressBlock(stored.data(), stored.size(),
+                         static_cast<size_t>(section.uncompressed_size));
+}
+
+Result<std::vector<Event>> TraceReader::DecodeChunk(const TraceChunkInfo& chunk) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                   ReadSection(chunk.file_offset, TraceSection::kEventChunk));
+  Decoder decoder(payload);
+  ASSIGN_OR_RETURN(uint64_t first, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  if (first != chunk.first_event || count != chunk.event_count) {
+    return InvalidArgumentError("chunk payload disagrees with footer index");
+  }
+  std::vector<Event> events;
+  // Cap the reservation by the actual decoded payload (an event encodes to
+  // several bytes, so payload size strictly bounds the event count): a
+  // crafted count in a self-consistent chunk+footer must fail in the decode
+  // loop below, not abort inside reserve().
+  events.reserve(static_cast<size_t>(std::min<uint64_t>(count, payload.size())));
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(Event event, Event::DecodeFrom(&decoder));
+    events.push_back(event);
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after chunk events");
+  }
+  return events;
+}
+
+Result<EventLog> TraceReader::ReadAllEvents() {
+  EventLog log;
+  for (const TraceChunkInfo& chunk : footer_.chunks) {
+    ASSIGN_OR_RETURN(std::vector<Event> events, DecodeChunk(chunk));
+    for (const Event& event : events) {
+      log.Append(event);
+    }
+  }
+  if (log.size() != footer_.total_events) {
+    return InvalidArgumentError("decoded event count disagrees with footer");
+  }
+  return log;
+}
+
+Result<std::vector<Event>> TraceReader::ReadEvents(uint64_t first_event,
+                                                   uint64_t count) {
+  std::vector<Event> out;
+  if (count == 0) {
+    return out;
+  }
+  // Saturating end: first_event + count may wrap for "rest of the trace"
+  // style requests.
+  const uint64_t end = first_event + count < first_event
+                           ? std::numeric_limits<uint64_t>::max()
+                           : first_event + count;
+  for (const TraceChunkInfo& chunk : footer_.chunks) {
+    const uint64_t chunk_end = chunk.first_event + chunk.event_count;
+    if (chunk_end <= first_event || chunk.first_event >= end) {
+      continue;  // no overlap: this chunk is never read from disk
+    }
+    ASSIGN_OR_RETURN(std::vector<Event> events, DecodeChunk(chunk));
+    for (uint64_t i = 0; i < events.size(); ++i) {
+      const uint64_t index = chunk.first_event + i;
+      if (index >= first_event && index < end) {
+        out.push_back(events[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<RecordedExecution> TraceReader::ReadRecordedExecution() {
+  RecordedExecution recording;
+  recording.model = metadata_.model;
+  ASSIGN_OR_RETURN(recording.log, ReadAllEvents());
+  recording.snapshot = snapshot_;
+  recording.recorded_bytes = metadata_.recorded_bytes;
+  recording.overhead_nanos = metadata_.overhead_nanos;
+  recording.cpu_nanos = metadata_.cpu_nanos;
+  recording.intercepted_events = metadata_.intercepted_events;
+  recording.recorded_events = metadata_.recorded_events;
+  return recording;
+}
+
+Status TraceReader::Verify() {
+  // Chunk table: contiguous coverage of [0, total_events).
+  uint64_t next_event = 0;
+  for (const TraceChunkInfo& chunk : footer_.chunks) {
+    if (chunk.first_event != next_event) {
+      return InvalidArgumentError(
+          StrPrintf("chunk table gap at event %llu",
+                    static_cast<unsigned long long>(next_event)));
+    }
+    next_event += chunk.event_count;
+  }
+  if (next_event != footer_.total_events) {
+    return InvalidArgumentError("chunk table does not cover all events");
+  }
+  if (metadata_.event_count != footer_.total_events) {
+    return InvalidArgumentError("metadata event count disagrees with footer");
+  }
+
+  // Decode everything (exercises every CRC and every event decoder) and
+  // recompute checkpoint prefix fingerprints + cursor state.
+  ASSIGN_OR_RETURN(EventLog log, ReadAllEvents());
+  const CheckpointIndex recomputed = BuildCheckpointIndex(
+      log, checkpoints_.interval, metadata_.events_per_chunk,
+      checkpoints_.full_stream);
+  if (recomputed.checkpoints.size() != checkpoints_.checkpoints.size()) {
+    return InvalidArgumentError("checkpoint count disagrees with log");
+  }
+  for (size_t i = 0; i < recomputed.checkpoints.size(); ++i) {
+    const ReplayCheckpoint& stored = checkpoints_.checkpoints[i];
+    const ReplayCheckpoint& fresh = recomputed.checkpoints[i];
+    if (stored.event_index != fresh.event_index ||
+        stored.prefix_fingerprint != fresh.prefix_fingerprint ||
+        stored.schedule_cursor != fresh.schedule_cursor ||
+        stored.rng_cursor != fresh.rng_cursor ||
+        stored.input_cursor != fresh.input_cursor ||
+        stored.read_cursor != fresh.read_cursor) {
+      return InvalidArgumentError(StrPrintf(
+          "checkpoint %zu disagrees with recomputation from the log", i));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace ddr

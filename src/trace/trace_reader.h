@@ -1,0 +1,71 @@
+// TraceReader: random-access reader for DDRT v1 trace files.
+//
+// Open() reads only the header, trailer, footer, metadata, snapshot, and
+// checkpoint index (all small). Event chunks are read on demand, so
+// inspecting a trace or decoding a mid-trace range does not pull the whole
+// file through memory — `bytes_read()` exposes exactly how much I/O a
+// given access pattern cost.
+
+#ifndef SRC_TRACE_TRACE_READER_H_
+#define SRC_TRACE_TRACE_READER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/record/recorded_execution.h"
+#include "src/trace/checkpoint.h"
+#include "src/trace/trace_format.h"
+
+namespace ddr {
+
+class TraceReader {
+ public:
+  static Result<TraceReader> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const TraceMetadata& metadata() const { return metadata_; }
+  const FailureSnapshot& snapshot() const { return snapshot_; }
+  const CheckpointIndex& checkpoints() const { return checkpoints_; }
+  const std::vector<TraceChunkInfo>& chunks() const { return footer_.chunks; }
+  uint64_t total_events() const { return footer_.total_events; }
+  uint64_t file_size() const { return file_size_; }
+  // Total payload + framing bytes pulled from disk so far.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  // Decodes every chunk into an EventLog.
+  Result<EventLog> ReadAllEvents();
+
+  // Decodes only the chunks covering [first_event, first_event + count),
+  // returning exactly those events.
+  Result<std::vector<Event>> ReadEvents(uint64_t first_event, uint64_t count);
+
+  // Reassembles the full RecordedExecution (original_outcome stays
+  // default-initialized: ground truth does not ship in trace files).
+  Result<RecordedExecution> ReadRecordedExecution();
+
+  // Full structural verification: every section CRC, every event decodes,
+  // chunk table contiguity, and checkpoint fingerprints recompute.
+  Status Verify();
+
+ private:
+  TraceReader() = default;
+
+  Result<std::vector<uint8_t>> ReadSection(uint64_t offset,
+                                           TraceSection expected_kind);
+  Result<std::vector<Event>> DecodeChunk(const TraceChunkInfo& chunk);
+
+  std::string path_;
+  mutable std::ifstream stream_;
+  uint64_t file_size_ = 0;
+  uint64_t bytes_read_ = 0;
+
+  TraceFooter footer_;
+  TraceMetadata metadata_;
+  FailureSnapshot snapshot_;
+  CheckpointIndex checkpoints_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_TRACE_READER_H_

@@ -1,0 +1,26 @@
+#include "src/trace/trace_store.h"
+
+namespace ddr {
+
+Status TraceStore::Save(const std::string& path,
+                        const RecordedExecution& recording,
+                        const TraceWriteOptions& options) {
+  return TraceWriter(options).WriteFile(path, recording);
+}
+
+Result<RecordedExecution> TraceStore::Load(const std::string& path) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+  return reader.ReadRecordedExecution();
+}
+
+Result<CheckpointIndex> TraceStore::LoadCheckpoints(const std::string& path) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+  return reader.checkpoints();
+}
+
+Status TraceStore::Verify(const std::string& path) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+  return reader.Verify();
+}
+
+}  // namespace ddr

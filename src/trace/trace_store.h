@@ -1,0 +1,37 @@
+// TraceStore: the one-call surface for persisting recordings.
+//
+//   TraceStore::Save("bug.ddrt", recording);
+//   ASSIGN_OR_RETURN(RecordedExecution loaded, TraceStore::Load("bug.ddrt"));
+//
+// Save/Load round-trip bit-identically: the reloaded recording replays to
+// the same failure and output fingerprints as the in-memory original
+// (asserted by tests/trace_test.cc). Use TraceReader directly for partial
+// access (metadata only, event ranges, checkpoints).
+
+#ifndef SRC_TRACE_TRACE_STORE_H_
+#define SRC_TRACE_TRACE_STORE_H_
+
+#include <string>
+
+#include "src/trace/trace_reader.h"
+#include "src/trace/trace_writer.h"
+
+namespace ddr {
+
+class TraceStore {
+ public:
+  static Status Save(const std::string& path, const RecordedExecution& recording,
+                     const TraceWriteOptions& options = {});
+
+  static Result<RecordedExecution> Load(const std::string& path);
+
+  // Loads just the checkpoint index (small, no event chunks touched).
+  static Result<CheckpointIndex> LoadCheckpoints(const std::string& path);
+
+  // Full structural + CRC + checkpoint verification.
+  static Status Verify(const std::string& path);
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_TRACE_STORE_H_

@@ -1,0 +1,52 @@
+// TraceWriter: serializes a RecordedExecution into the DDRT v1 chunked
+// file format (see trace_format.h).
+
+#ifndef SRC_TRACE_TRACE_WRITER_H_
+#define SRC_TRACE_TRACE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/record/recorded_execution.h"
+#include "src/trace/checkpoint.h"
+#include "src/trace/trace_format.h"
+
+namespace ddr {
+
+struct TraceWriteOptions {
+  // Events per chunk; the unit of partial decode. Small chunks seek finer,
+  // large chunks compress better.
+  uint64_t events_per_chunk = 512;
+  // Emit a ReplayCheckpoint every N log events (0 = no checkpoints).
+  uint64_t checkpoint_interval = 256;
+  // Block-compress sections that shrink (incompressible sections are
+  // stored raw automatically).
+  bool compress = true;
+  // Scenario name stamped into metadata so `ddr-trace replay` can rebuild
+  // the program. Optional.
+  std::string scenario;
+  // Production-run wall time for post-reload efficiency scoring. Optional.
+  double original_wall_seconds = 0.0;
+};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(TraceWriteOptions options = {})
+      : options_(std::move(options)) {}
+
+  // Serializes `recording` to the complete file image (header..trailer).
+  std::vector<uint8_t> Serialize(const RecordedExecution& recording) const;
+
+  // Serializes and writes atomically-ish (write to path, fail on I/O error).
+  Status WriteFile(const std::string& path,
+                   const RecordedExecution& recording) const;
+
+  const TraceWriteOptions& options() const { return options_; }
+
+ private:
+  TraceWriteOptions options_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_TRACE_WRITER_H_

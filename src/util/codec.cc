@@ -106,12 +106,23 @@ Result<double> Decoder::GetDouble() {
 
 Result<std::string> Decoder::GetString() {
   ASSIGN_OR_RETURN(uint64_t size, GetVarint64());
-  if (pos_ + size > size_) {
+  // Compare against the remaining bytes (pos_ + size could wrap for a
+  // corrupt length prefix near UINT64_MAX).
+  if (size > size_ - pos_) {
     return OutOfRangeError("truncated string");
   }
   std::string out(reinterpret_cast<const char*>(data_ + pos_),
                   static_cast<size_t>(size));
   pos_ += static_cast<size_t>(size);
+  return out;
+}
+
+Result<const uint8_t*> Decoder::GetBytes(size_t size) {
+  if (size > size_ - pos_) {
+    return OutOfRangeError("truncated byte run");
+  }
+  const uint8_t* out = data_ + pos_;
+  pos_ += size;
   return out;
 }
 

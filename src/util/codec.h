@@ -53,6 +53,9 @@ class Decoder {
   Result<double> GetDouble();
   Result<std::string> GetString();
   Result<bool> GetBool();
+  // Zero-copy read of the next `size` raw bytes: returns a pointer into the
+  // underlying buffer and advances past them.
+  Result<const uint8_t*> GetBytes(size_t size);
 
   size_t remaining() const { return size_ - pos_; }
   bool Done() const { return pos_ == size_; }

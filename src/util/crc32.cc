@@ -1,0 +1,41 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace ddr {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ table[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace ddr

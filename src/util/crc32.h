@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+// trace-file sections. Like the fingerprints in hash.h, CRCs must be stable
+// across platforms: the implementation is byte-order independent.
+
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddr {
+
+// One-shot CRC of a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: feed `Crc32Update` the running value (start from
+// `kCrc32Init`) and finish with `Crc32Finish`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+inline constexpr uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_CRC32_H_

@@ -60,6 +60,46 @@ TEST(EventLogTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(EventLog::Decode(garbage).ok());
 }
 
+TEST(EventLogTest, DecodeRejectsTruncation) {
+  EventLog log;
+  for (uint64_t i = 0; i < 10; ++i) {
+    log.Append(MakeEvent(EventType::kInput, i));
+  }
+  std::vector<uint8_t> bytes = log.Encode();
+  // Every proper prefix must fail cleanly with a Status, never crash.
+  for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + keep);
+    EXPECT_FALSE(EventLog::Decode(truncated).ok()) << "prefix " << keep;
+  }
+}
+
+TEST(EventLogTest, DecodeRejectsTrailingBytes) {
+  EventLog log;
+  log.Append(MakeEvent(EventType::kOutput, 1));
+  std::vector<uint8_t> bytes = log.Encode();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(EventLog::Decode(bytes).ok());
+}
+
+TEST(EventLogTest, DecodeRejectsOverstatedCount) {
+  // Header claims more events than the payload carries: must error out
+  // when the stream runs dry, not read past the end.
+  Encoder encoder;
+  encoder.PutFixed32(0x6464524cu);  // event-log magic
+  encoder.PutVarint64(1u << 20);
+  EventLog log;
+  log.Append(MakeEvent(EventType::kRngDraw, 1));
+  const std::vector<uint8_t> one_event = log.Encode();
+  // Append the single encoded event body (skip magic + count).
+  Decoder skip(one_event);
+  (void)skip.GetFixed32();
+  (void)skip.GetVarint64();
+  const size_t body_offset = one_event.size() - skip.remaining();
+  std::vector<uint8_t> bytes = encoder.TakeBuffer();
+  bytes.insert(bytes.end(), one_event.begin() + body_offset, one_event.end());
+  EXPECT_FALSE(EventLog::Decode(bytes).ok());
+}
+
 TEST(EventLogTest, EventsOfTypeFilters) {
   EventLog log;
   log.Append(MakeEvent(EventType::kOutput, 1));

@@ -1,0 +1,480 @@
+// Tests for src/trace: the DDRT file format (chunking, compression, CRCs,
+// footer index), checkpoint index construction, TraceStore round-trips,
+// harness save/load hooks, and checkpointed partial replay.
+//
+// The acceptance property: a RecordedExecution saved via TraceStore and
+// reloaded from disk replays to the same failure fingerprint and output
+// fingerprint as the in-memory original, and partial replay from a
+// mid-trace checkpoint reaches the same outcome as full replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/scenarios.h"
+#include "src/core/experiment.h"
+#include "src/trace/block_compress.h"
+#include "src/trace/checkpoint.h"
+#include "src/trace/trace_reader.h"
+#include "src/trace/trace_store.h"
+#include "src/trace/trace_writer.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+namespace {
+
+// Temp-file helper: unique path in the test working directory, removed on
+// scope exit.
+class ScopedTracePath {
+ public:
+  explicit ScopedTracePath(const std::string& tag)
+      : path_("trace_test_" + tag + ".ddrt") {}
+  ~ScopedTracePath() { std::remove(path_.c_str()); }
+  const std::string& get() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+RecordedExecution MakeSyntheticRecording(uint64_t num_events,
+                                         uint64_t seed = 99) {
+  RecordedExecution recording;
+  recording.model = "synthetic";
+  Rng rng(seed);
+  for (uint64_t seq = 0; seq < num_events; ++seq) {
+    Event event;
+    event.seq = seq;
+    event.time = seq * 37;
+    event.fiber = static_cast<FiberId>(seq % 4);
+    event.obj = 5 + seq % 7;
+    event.value = rng.NextIndex(1 << 20);
+    switch (seq % 4) {
+      case 0:
+        event.type = EventType::kSharedRead;
+        break;
+      case 1:
+        event.type = EventType::kContextSwitch;
+        event.aux = PackSwitchAux(seq, SwitchCause::kPreempt);
+        break;
+      case 2:
+        event.type = EventType::kRngDraw;
+        break;
+      default:
+        event.type = EventType::kInput;
+        break;
+    }
+    recording.log.Append(event);
+  }
+  recording.recorded_events = num_events;
+  recording.intercepted_events = num_events;
+  recording.recorded_bytes = recording.log.encoded_size_bytes();
+  recording.cpu_nanos = 1000;
+  recording.overhead_nanos = 150;
+  return recording;
+}
+
+// ---------------------------------------------------------------- Compress
+
+TEST(BlockCompressTest, RoundtripCompressible) {
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 4000; ++i) {
+    input.push_back(static_cast<uint8_t>(i % 16));
+  }
+  const std::vector<uint8_t> compressed = CompressBlock(input);
+  EXPECT_LT(compressed.size(), input.size());
+  auto out = DecompressBlock(compressed.data(), compressed.size(), input.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(BlockCompressTest, RoundtripIncompressibleAndTiny) {
+  Rng rng(7);
+  for (size_t size : {0u, 1u, 3u, 5u, 100u, 5000u}) {
+    std::vector<uint8_t> input;
+    for (size_t i = 0; i < size; ++i) {
+      input.push_back(static_cast<uint8_t>(rng.NextIndex(256)));
+    }
+    const std::vector<uint8_t> compressed = CompressBlock(input);
+    auto out =
+        DecompressBlock(compressed.data(), compressed.size(), input.size());
+    ASSERT_TRUE(out.ok()) << "size " << size << ": " << out.status();
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(BlockCompressTest, RoundtripOverlappingRuns) {
+  // RLE-like data exercises overlapping match copies (distance < length).
+  std::vector<uint8_t> input(3000, 0xAA);
+  const std::vector<uint8_t> compressed = CompressBlock(input);
+  EXPECT_LT(compressed.size(), 100u);
+  auto out = DecompressBlock(compressed.data(), compressed.size(), input.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(BlockCompressTest, CorruptStreamsFailCleanly) {
+  std::vector<uint8_t> input(1000, 0x42);
+  std::vector<uint8_t> compressed = CompressBlock(input);
+  // Truncations.
+  for (size_t keep = 0; keep < compressed.size(); keep += 3) {
+    auto out = DecompressBlock(compressed.data(), keep, input.size());
+    EXPECT_FALSE(out.ok()) << "prefix " << keep;
+  }
+  // Wrong declared size.
+  EXPECT_FALSE(
+      DecompressBlock(compressed.data(), compressed.size(), input.size() + 1)
+          .ok());
+  // Bogus distance: a match token pointing before the start of the block.
+  Encoder bogus;
+  bogus.PutVarint64(0);   // no literals
+  bogus.PutVarint64(8);   // match of 8
+  bogus.PutVarint64(50);  // distance 50 with empty history
+  EXPECT_FALSE(
+      DecompressBlock(bogus.buffer().data(), bogus.buffer().size(), 8).ok());
+
+  // Huge match length crafted to wrap the size guard: must be rejected,
+  // not enter an unbounded copy loop.
+  Encoder wrap;
+  wrap.PutVarint64(1);      // one literal
+  wrap.PutVarint64(~0ull);  // match_len that wraps out.size()+lit+match
+  wrap.PutFixed8('x');
+  wrap.PutVarint64(1);  // distance 1
+  EXPECT_FALSE(
+      DecompressBlock(wrap.buffer().data(), wrap.buffer().size(), 100).ok());
+
+  // Same for a wrapping literal length.
+  Encoder wrap_lit;
+  wrap_lit.PutVarint64(~0ull);
+  wrap_lit.PutVarint64(0);
+  EXPECT_FALSE(
+      DecompressBlock(wrap_lit.buffer().data(), wrap_lit.buffer().size(), 100)
+          .ok());
+}
+
+// -------------------------------------------------------------- Checkpoint
+
+TEST(CheckpointIndexTest, BuildCountsCursorsAndFingerprints) {
+  const RecordedExecution recording = MakeSyntheticRecording(100);
+  const CheckpointIndex index =
+      BuildCheckpointIndex(recording.log, /*interval=*/25,
+                           /*events_per_chunk=*/40, /*full_stream=*/true);
+  ASSERT_EQ(index.checkpoints.size(), 3u);  // before events 25, 50, 75
+  EXPECT_TRUE(index.full_stream);
+
+  const ReplayCheckpoint& cp = index.checkpoints[1];
+  EXPECT_EQ(cp.event_index, 50u);
+  EXPECT_EQ(cp.chunk_index, 1u);  // event 50 lives in chunk [40, 80)
+  EXPECT_EQ(cp.resume_seq, recording.log.events()[50].seq);
+
+  // Cursor state must equal the per-type counts of the prefix.
+  uint64_t switches = 0, rngs = 0, inputs = 0, reads = 0;
+  Fingerprint fp;
+  for (size_t i = 0; i < 50; ++i) {
+    const Event& event = recording.log.events()[i];
+    fp.Mix(event.SemanticHash());
+    switches += event.type == EventType::kContextSwitch;
+    rngs += event.type == EventType::kRngDraw;
+    inputs += event.type == EventType::kInput;
+    reads += event.type == EventType::kSharedRead;
+  }
+  EXPECT_EQ(cp.schedule_cursor, switches);
+  EXPECT_EQ(cp.rng_cursor, rngs);
+  EXPECT_EQ(cp.input_cursor, inputs);
+  EXPECT_EQ(cp.read_cursor, reads);
+  EXPECT_EQ(cp.prefix_fingerprint, fp.value());
+}
+
+TEST(CheckpointIndexTest, NearestBefore) {
+  const RecordedExecution recording = MakeSyntheticRecording(100);
+  const CheckpointIndex index =
+      BuildCheckpointIndex(recording.log, 25, 40, true);
+  EXPECT_EQ(index.NearestBefore(10), nullptr);
+  ASSERT_NE(index.NearestBefore(30), nullptr);
+  EXPECT_EQ(index.NearestBefore(30)->event_index, 25u);
+  EXPECT_EQ(index.NearestBefore(75)->event_index, 75u);
+  EXPECT_EQ(index.NearestBefore(~0ull)->event_index, 75u);
+}
+
+TEST(CheckpointIndexTest, EncodeDecodeRoundtrip) {
+  const RecordedExecution recording = MakeSyntheticRecording(100);
+  const CheckpointIndex index =
+      BuildCheckpointIndex(recording.log, 25, 40, true);
+  auto decoded = CheckpointIndex::Decode(index.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->full_stream, index.full_stream);
+  EXPECT_EQ(decoded->interval, index.interval);
+  ASSERT_EQ(decoded->checkpoints.size(), index.checkpoints.size());
+  for (size_t i = 0; i < index.checkpoints.size(); ++i) {
+    EXPECT_EQ(decoded->checkpoints[i].prefix_fingerprint,
+              index.checkpoints[i].prefix_fingerprint);
+    EXPECT_EQ(decoded->checkpoints[i].schedule_cursor,
+              index.checkpoints[i].schedule_cursor);
+  }
+}
+
+// -------------------------------------------------------------- TraceStore
+
+TEST(TraceStoreTest, SaveLoadRoundtripsEveryField) {
+  const RecordedExecution recording = MakeSyntheticRecording(1000);
+  ScopedTracePath path("roundtrip");
+  TraceWriteOptions options;
+  options.events_per_chunk = 128;
+  options.checkpoint_interval = 100;
+  ASSERT_TRUE(TraceStore::Save(path.get(), recording, options).ok());
+
+  auto loaded = TraceStore::Load(path.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->model, recording.model);
+  ASSERT_EQ(loaded->log.size(), recording.log.size());
+  EXPECT_EQ(loaded->log.encoded_size_bytes(), recording.log.encoded_size_bytes());
+  for (size_t i = 0; i < recording.log.size(); ++i) {
+    EXPECT_EQ(loaded->log.events()[i].SemanticHash(),
+              recording.log.events()[i].SemanticHash());
+    EXPECT_EQ(loaded->log.events()[i].seq, recording.log.events()[i].seq);
+    EXPECT_EQ(loaded->log.events()[i].time, recording.log.events()[i].time);
+  }
+  EXPECT_EQ(loaded->snapshot.failure_fingerprint,
+            recording.snapshot.failure_fingerprint);
+  EXPECT_EQ(loaded->snapshot.output_fingerprint,
+            recording.snapshot.output_fingerprint);
+  EXPECT_EQ(loaded->recorded_bytes, recording.recorded_bytes);
+  EXPECT_EQ(loaded->overhead_nanos, recording.overhead_nanos);
+  EXPECT_EQ(loaded->cpu_nanos, recording.cpu_nanos);
+  EXPECT_EQ(loaded->intercepted_events, recording.intercepted_events);
+  EXPECT_EQ(loaded->recorded_events, recording.recorded_events);
+  EXPECT_DOUBLE_EQ(loaded->OverheadMultiplier(), recording.OverheadMultiplier());
+
+  EXPECT_TRUE(TraceStore::Verify(path.get()).ok());
+}
+
+TEST(TraceStoreTest, SerializeIsDeterministic) {
+  const RecordedExecution recording = MakeSyntheticRecording(500);
+  const TraceWriter writer;
+  EXPECT_EQ(writer.Serialize(recording), writer.Serialize(recording));
+}
+
+TEST(TraceStoreTest, EmptyLogRoundtrips) {
+  RecordedExecution recording;
+  recording.model = "failure";  // ESD-style: snapshot only, no events
+  recording.snapshot.has_failure = true;
+  recording.snapshot.kind = FailureKind::kCrash;
+  recording.snapshot.message = "boom";
+  recording.snapshot.failure_fingerprint = 0xDEAD;
+  ScopedTracePath path("empty");
+  ASSERT_TRUE(TraceStore::Save(path.get(), recording).ok());
+  auto loaded = TraceStore::Load(path.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->log.size(), 0u);
+  EXPECT_EQ(loaded->snapshot.message, "boom");
+  EXPECT_TRUE(TraceStore::Verify(path.get()).ok());
+}
+
+TEST(TraceStoreTest, MissingFileIsNotFound) {
+  auto loaded = TraceStore::Load("no_such_trace_file.ddrt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceStoreTest, DetectsCorruptionAndTruncation) {
+  const RecordedExecution recording = MakeSyntheticRecording(1000);
+  ScopedTracePath path("corrupt");
+  TraceWriteOptions options;
+  options.events_per_chunk = 100;
+  ASSERT_TRUE(TraceStore::Save(path.get(), recording, options).ok());
+
+  // Read the good image.
+  const TraceWriter writer(options);
+  std::vector<uint8_t> image = writer.Serialize(recording);
+
+  // Flip one byte in the middle (inside some event chunk): load must fail
+  // with a CRC mismatch, not produce garbage events.
+  {
+    std::vector<uint8_t> bad = image;
+    bad[bad.size() / 2] ^= 0x40;
+    std::FILE* f = std::fopen(path.get().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bad.data(), 1, bad.size(), f);
+    std::fclose(f);
+    auto loaded = TraceStore::Load(path.get());
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_FALSE(TraceStore::Verify(path.get()).ok());
+  }
+
+  // Truncations at many points: Open or Load must fail cleanly.
+  for (size_t keep = 0; keep < image.size(); keep += image.size() / 17 + 1) {
+    std::FILE* f = std::fopen(path.get().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(image.data(), 1, keep, f);
+    std::fclose(f);
+    EXPECT_FALSE(TraceStore::Load(path.get()).ok()) << "prefix " << keep;
+  }
+}
+
+TEST(TraceReaderTest, PartialRangeReadsTouchOnlyCoveringChunks) {
+  const RecordedExecution recording = MakeSyntheticRecording(10000);
+  ScopedTracePath path("partial");
+  TraceWriteOptions options;
+  options.events_per_chunk = 256;
+  options.checkpoint_interval = 512;
+  ASSERT_TRUE(TraceStore::Save(path.get(), recording, options).ok());
+
+  auto reader = TraceReader::Open(path.get());
+  ASSERT_TRUE(reader.ok());
+  const uint64_t open_bytes = reader->bytes_read();
+  EXPECT_LT(open_bytes, reader->file_size() / 2);
+
+  auto events = reader->ReadEvents(5000, 100);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 100u);
+  EXPECT_EQ((*events)[0].seq, recording.log.events()[5000].seq);
+  // One chunk of 256 events decoded; nowhere near the whole file.
+  EXPECT_LT(reader->bytes_read() - open_bytes, reader->file_size() / 10);
+
+  // A count that would wrap first_event + count saturates to "rest of the
+  // trace" instead of silently matching nothing.
+  auto tail = reader->ReadEvents(9990, ~0ull);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 10u);
+}
+
+// ------------------------------------------------- Harness + acceptance
+
+// Saved-and-reloaded recording replays to the same failure and output
+// fingerprints as the in-memory original, for every determinism model's
+// direct replay path + the inference paths.
+TEST(TraceRoundtripReplayTest, ReloadedRecordingReplaysIdentically) {
+  BugScenario scenario = MakeSumScenario();
+  ExperimentHarness harness(scenario);
+  ASSERT_TRUE(harness.Prepare().ok());
+
+  for (DeterminismModel model :
+       {DeterminismModel::kPerfect, DeterminismModel::kValue,
+        DeterminismModel::kFailure}) {
+    const RecordedExecution recording = harness.Record(model);
+    ScopedTracePath path(std::string("replay_") +
+                         std::string(DeterminismModelName(model)));
+    ASSERT_TRUE(harness.SaveRecording(recording, path.get()).ok());
+    auto loaded = ExperimentHarness::LoadRecording(path.get());
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+    ReplayTarget target;
+    target.make_program = scenario.make_program;
+    target.env_options = scenario.env_options;
+    target.candidate_fault_plans = scenario.candidate_fault_plans;
+    target.input_domains = scenario.input_domains;
+    target.symbolic_model = scenario.symbolic_model;
+
+    const ReplayMode mode = ReplayModeFor(model);
+    ReplayResult original = Replayer(target).Replay(recording, mode);
+    ReplayResult reloaded = Replayer(target).Replay(*loaded, mode);
+
+    EXPECT_EQ(reloaded.failure_reproduced, original.failure_reproduced)
+        << DeterminismModelName(model);
+    EXPECT_EQ(reloaded.outcome.output_fingerprint,
+              original.outcome.output_fingerprint)
+        << DeterminismModelName(model);
+    EXPECT_EQ(reloaded.outcome.trace_fingerprint,
+              original.outcome.trace_fingerprint)
+        << DeterminismModelName(model);
+    const FailureInfo* original_failure = original.outcome.primary_failure();
+    const FailureInfo* reloaded_failure = reloaded.outcome.primary_failure();
+    ASSERT_EQ(original_failure == nullptr, reloaded_failure == nullptr);
+    if (original_failure != nullptr) {
+      EXPECT_EQ(reloaded_failure->Fingerprint(), original_failure->Fingerprint());
+    }
+    EXPECT_EQ(reloaded.divergences, original.divergences);
+  }
+}
+
+// The harness-level one-call disk round trip scores like the in-memory path.
+TEST(TraceRoundtripReplayTest, RunModelFromFileMatchesRunModel) {
+  ExperimentHarness harness(MakeSumScenario());
+  ASSERT_TRUE(harness.Prepare().ok());
+
+  const ExperimentRow in_memory = harness.RunModel(DeterminismModel::kPerfect);
+  ScopedTracePath path("runmodel");
+  auto from_file =
+      harness.RunModelFromFile(DeterminismModel::kPerfect, path.get());
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+
+  EXPECT_EQ(from_file->failure_reproduced, in_memory.failure_reproduced);
+  EXPECT_EQ(from_file->divergences, in_memory.divergences);
+  EXPECT_EQ(from_file->log_bytes, in_memory.log_bytes);
+  EXPECT_EQ(from_file->recorded_events, in_memory.recorded_events);
+  EXPECT_DOUBLE_EQ(from_file->fidelity, in_memory.fidelity);
+  EXPECT_EQ(from_file->diagnosed_cause, in_memory.diagnosed_cause);
+}
+
+// Partial replay from a mid-trace checkpoint reaches the same outcome as
+// full replay, verifies the fast-forward against the checkpoint, and
+// collects exactly the suffix of the full trace.
+TEST(PartialReplayTest, CheckpointedReplayMatchesFullReplay) {
+  BugScenario scenario = MakeMsgDropScenario();
+  ExperimentHarness harness(scenario);
+  ASSERT_TRUE(harness.Prepare().ok());
+
+  const RecordedExecution recording = harness.Record(DeterminismModel::kPerfect);
+  ASSERT_GT(recording.log.size(), 64u) << "scenario too small to checkpoint";
+
+  // Persist with a checkpoint interval that guarantees mid-trace points.
+  ScopedTracePath path("checkpointed");
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+  options.checkpoint_interval = recording.log.size() / 4;
+  ASSERT_TRUE(harness.SaveRecording(recording, path.get(), options).ok());
+
+  auto reader = TraceReader::Open(path.get());
+  ASSERT_TRUE(reader.ok());
+  const CheckpointIndex& index = reader->checkpoints();
+  ASSERT_GE(index.checkpoints.size(), 2u);
+  ASSERT_TRUE(index.full_stream);
+  auto recording_or = reader->ReadRecordedExecution();
+  ASSERT_TRUE(recording_or.ok());
+
+  ReplayTarget target;
+  target.make_program = scenario.make_program;
+  target.env_options = scenario.env_options;
+
+  Replayer full_replayer(target);
+  const ReplayResult full =
+      full_replayer.Replay(*recording_or, ReplayMode::kPerfect);
+
+  // Partial replay from every checkpoint: identical outcome, suffix trace.
+  for (const ReplayCheckpoint& cp : index.checkpoints) {
+    Replayer partial_replayer(target);
+    const ReplayResult partial = partial_replayer.PartialReplay(
+        *recording_or, index, cp.event_index, ReplayMode::kPerfect);
+
+    EXPECT_TRUE(partial.partial);
+    EXPECT_EQ(partial.started_from_event, cp.event_index);
+    EXPECT_TRUE(partial.fast_forward_verified)
+        << "checkpoint @" << cp.event_index
+        << ": fast-forward did not land on the recorded state";
+
+    // Same outcome as full replay.
+    EXPECT_EQ(partial.outcome.trace_fingerprint, full.outcome.trace_fingerprint);
+    EXPECT_EQ(partial.outcome.output_fingerprint,
+              full.outcome.output_fingerprint);
+    EXPECT_EQ(partial.failure_reproduced, full.failure_reproduced);
+    EXPECT_EQ(partial.divergences, full.divergences);
+
+    // The collected trace is exactly the suffix of the full trace.
+    ASSERT_EQ(partial.trace.size() + cp.resume_seq, full.trace.size());
+    for (size_t i = 0; i < partial.trace.size(); ++i) {
+      ASSERT_EQ(partial.trace[i].SemanticHash(),
+                full.trace[cp.resume_seq + i].SemanticHash())
+          << "suffix event " << i;
+    }
+  }
+
+  // A target before the first checkpoint falls back to full replay.
+  Replayer fallback_replayer(target);
+  const ReplayResult fallback =
+      fallback_replayer.PartialReplay(*recording_or, index, 1);
+  EXPECT_FALSE(fallback.partial);
+  EXPECT_EQ(fallback.trace.size(), full.trace.size());
+}
+
+}  // namespace
+}  // namespace ddr

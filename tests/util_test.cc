@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/util/codec.h"
+#include "src/util/crc32.h"
 #include "src/util/hash.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
@@ -265,6 +266,99 @@ TEST(CodecTest, StringRoundtripWithBinary) {
   encoder.PutString(binary);
   Decoder decoder(encoder.buffer());
   EXPECT_EQ(decoder.GetString().value(), binary);
+}
+
+TEST(CodecTest, TruncatedVarintFails) {
+  // A continuation bit with nothing after it.
+  std::vector<uint8_t> bytes{0x80};
+  Decoder decoder(bytes);
+  auto result = decoder.GetVarint64();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodecTest, VarintOverflowFails) {
+  // Ten continuation bytes push past 64 bits: the tenth byte may only
+  // contribute one bit.
+  std::vector<uint8_t> bytes(10, 0xFF);
+  bytes.push_back(0x01);
+  Decoder decoder(bytes);
+  auto result = decoder.GetVarint64();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, MaxVarintStillDecodes) {
+  Encoder encoder;
+  encoder.PutVarint64(~0ull);
+  Decoder decoder(encoder.buffer());
+  EXPECT_EQ(decoder.GetVarint64().value(), ~0ull);
+}
+
+TEST(CodecTest, StringLengthBeyondBufferFails) {
+  // Claims a 1 GiB string with 3 bytes of payload behind it.
+  Encoder encoder;
+  encoder.PutVarint64(1ull << 30);
+  encoder.PutFixed8('a');
+  encoder.PutFixed8('b');
+  encoder.PutFixed8('c');
+  Decoder decoder(encoder.buffer());
+  auto result = decoder.GetString();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodecTest, StringLengthOverflowDoesNotWrap) {
+  // A length so large that pos + size would wrap uint64: must fail, not
+  // read out of bounds.
+  Encoder encoder;
+  encoder.PutVarint64(~0ull);
+  Decoder decoder(encoder.buffer());
+  EXPECT_FALSE(decoder.GetString().ok());
+}
+
+TEST(CodecTest, BoolByteOutOfRangeFails) {
+  std::vector<uint8_t> bytes{2};
+  Decoder decoder(bytes);
+  auto result = decoder.GetBool();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, EmptyBufferFailsEveryGetter) {
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(Decoder(empty).GetVarint64().ok());
+  EXPECT_FALSE(Decoder(empty).GetZigzag64().ok());
+  EXPECT_FALSE(Decoder(empty).GetFixed8().ok());
+  EXPECT_FALSE(Decoder(empty).GetFixed32().ok());
+  EXPECT_FALSE(Decoder(empty).GetFixed64().ok());
+  EXPECT_FALSE(Decoder(empty).GetDouble().ok());
+  EXPECT_FALSE(Decoder(empty).GetString().ok());
+  EXPECT_FALSE(Decoder(empty).GetBool().ok());
+}
+
+// ------------------------------------------------------------------- Crc32
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE CRC-32 check value.
+  const char kCheck[] = "123456789";
+  EXPECT_EQ(Crc32(kCheck, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char kData[] = "debug determinism sweet spot";
+  const size_t size = sizeof(kData) - 1;
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, kData, 10);
+  state = Crc32Update(state, kData + 10, size - 10);
+  EXPECT_EQ(Crc32Finish(state), Crc32(kData, size));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(128, 0x5A);
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[64] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
 }
 
 // ------------------------------------------------------------ VectorClock

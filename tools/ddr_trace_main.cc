@@ -1,0 +1,338 @@
+// ddr-trace: inspect, verify, and replay DDRT trace files.
+//
+//   ddr-trace info <file>                     header, metadata, chunk +
+//                                             checkpoint tables, sizes
+//   ddr-trace dump <file> [--from N] [--count M]
+//                                             print events; reads only the
+//                                             chunks covering the range
+//   ddr-trace verify <file>                   full structural/CRC check
+//   ddr-trace replay <file> [--target N]      rebuild the scenario named in
+//                                             metadata and replay (from the
+//                                             nearest checkpoint <= N when
+//                                             --target is given)
+//   ddr-trace record <scenario> <file> [--model NAME] [--chunk N] [--ckpt N]
+//                                             run a bundled bug scenario and
+//                                             save its recording
+//
+// Exit status: 0 on success/OK, 1 on usage error, 2 on a failed
+// verification or replay.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/apps/scenarios.h"
+#include "src/trace/trace_reader.h"
+#include "src/trace/trace_store.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: ddr-trace <command> <file> [options]\n"
+               "  info   <file>                   show metadata and layout\n"
+               "  dump   <file> [--from N] [--count M]   print events\n"
+               "  verify <file>                   verify CRCs and structure\n"
+               "  replay <file> [--target N]      replay the recording\n"
+               "  record <scenario> <file> [--model NAME] [--chunk N] "
+               "[--ckpt N]\n"
+               "         scenarios: sum msgdrop overflow hypertable;\n"
+               "         models: perfect value output output-heavy failure "
+               "debug-rcse\n");
+}
+
+// The scenario registry `replay` uses to rebuild the program a trace was
+// recorded from.
+std::map<std::string, BugScenario> ScenarioRegistry() {
+  std::map<std::string, BugScenario> registry;
+  for (BugScenario scenario :
+       {MakeSumScenario(), MakeMsgDropScenario(), MakeOverflowScenario(),
+        MakeHypertableScenario()}) {
+    std::string name = scenario.name;
+    registry.emplace(std::move(name), std::move(scenario));
+  }
+  return registry;
+}
+
+uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const uint64_t value = std::strtoull(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "ddr-trace: invalid value '%s' for %s\n",
+                     argv[i + 1], flag);
+        std::exit(1);
+      }
+      return value;
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Info(const std::string& path) {
+  auto reader_or = TraceReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
+    return 2;
+  }
+  TraceReader& reader = *reader_or;
+  const TraceMetadata& meta = reader.metadata();
+  std::printf("file:              %s\n", path.c_str());
+  std::printf("file size:         %llu bytes\n",
+              static_cast<unsigned long long>(reader.file_size()));
+  std::printf("model:             %s\n", meta.model.c_str());
+  std::printf("scenario:          %s\n",
+              meta.scenario.empty() ? "(unknown)" : meta.scenario.c_str());
+  std::printf("events:            %llu (%llu intercepted, %llu recorded)\n",
+              static_cast<unsigned long long>(meta.event_count),
+              static_cast<unsigned long long>(meta.intercepted_events),
+              static_cast<unsigned long long>(meta.recorded_events));
+  std::printf("bytes/event:       %.2f on disk (%llu recorded bytes in-sim)\n",
+              meta.event_count == 0
+                  ? 0.0
+                  : static_cast<double>(reader.file_size()) /
+                        static_cast<double>(meta.event_count),
+              static_cast<unsigned long long>(meta.recorded_bytes));
+  std::printf("overhead:          %lld ns on %lld ns cpu\n",
+              static_cast<long long>(meta.overhead_nanos),
+              static_cast<long long>(meta.cpu_nanos));
+  std::printf("chunks:            %zu (%llu events/chunk)\n",
+              reader.chunks().size(),
+              static_cast<unsigned long long>(meta.events_per_chunk));
+  const CheckpointIndex& index = reader.checkpoints();
+  std::printf("checkpoints:       %zu (every %llu events, %s stream)\n",
+              index.checkpoints.size(),
+              static_cast<unsigned long long>(index.interval),
+              index.full_stream ? "full" : "subset");
+  for (const ReplayCheckpoint& cp : index.checkpoints) {
+    std::printf("  @%-8llu chunk %-4llu seq %-8llu vtime %-10llu fp %016llx\n",
+                static_cast<unsigned long long>(cp.event_index),
+                static_cast<unsigned long long>(cp.chunk_index),
+                static_cast<unsigned long long>(cp.resume_seq),
+                static_cast<unsigned long long>(cp.virtual_time),
+                static_cast<unsigned long long>(cp.prefix_fingerprint));
+  }
+  const FailureSnapshot& snapshot = reader.snapshot();
+  if (snapshot.has_failure) {
+    std::printf("failure:           %s \"%s\" on node %u (fp %016llx)\n",
+                std::string(FailureKindName(snapshot.kind)).c_str(),
+                snapshot.message.c_str(), snapshot.node,
+                static_cast<unsigned long long>(snapshot.failure_fingerprint));
+  } else {
+    std::printf("failure:           none (clean run)\n");
+  }
+  std::printf("output:            %llu records, fp %016llx\n",
+              static_cast<unsigned long long>(snapshot.output_count),
+              static_cast<unsigned long long>(snapshot.output_fingerprint));
+  return 0;
+}
+
+int Dump(const std::string& path, uint64_t from, uint64_t count) {
+  auto reader_or = TraceReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
+    return 2;
+  }
+  TraceReader& reader = *reader_or;
+  if (count == 0) {
+    count = reader.total_events() > from ? reader.total_events() - from : 0;
+  }
+  auto events_or = reader.ReadEvents(from, count);
+  if (!events_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", events_or.status().ToString().c_str());
+    return 2;
+  }
+  uint64_t index = from;
+  for (const Event& event : *events_or) {
+    std::printf("%8llu  %s\n", static_cast<unsigned long long>(index++),
+                event.ToString().c_str());
+  }
+  std::fprintf(stderr, "dump: %zu events, %llu of %llu file bytes read\n",
+               events_or->size(),
+               static_cast<unsigned long long>(reader.bytes_read()),
+               static_cast<unsigned long long>(reader.file_size()));
+  return 0;
+}
+
+int VerifyFile(const std::string& path) {
+  const Status status = TraceStore::Verify(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ddr-trace: verify FAILED: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  std::printf("%s: OK\n", path.c_str());
+  return 0;
+}
+
+int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
+  auto reader_or = TraceReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
+    return 2;
+  }
+  TraceReader& reader = *reader_or;
+  const std::string scenario_name = reader.metadata().scenario;
+  auto registry = ScenarioRegistry();
+  auto it = registry.find(scenario_name);
+  if (it == registry.end()) {
+    std::fprintf(stderr,
+                 "ddr-trace: unknown scenario '%s' in trace metadata; cannot "
+                 "rebuild the program\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  auto recording_or = reader.ReadRecordedExecution();
+  if (!recording_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n",
+                 recording_or.status().ToString().c_str());
+    return 2;
+  }
+
+  const BugScenario& scenario = it->second;
+  ReplayTarget replay_target;
+  replay_target.make_program = scenario.make_program;
+  replay_target.env_options = scenario.env_options;
+  Replayer replayer(std::move(replay_target));
+
+  // Direct replay mode from the recorder name in metadata: RCSE logs
+  // re-execute their relaxed data plane; everything else replays the log
+  // as-is. (Inference-based models need scenario hints; `ddr-trace` only
+  // does log-driven replay.)
+  const ReplayMode mode =
+      reader.metadata().model.find("rcse") != std::string::npos
+          ? ReplayMode::kRcse
+          : ReplayMode::kPerfect;
+
+  ReplayResult result;
+  if (has_target) {
+    result =
+        replayer.PartialReplay(*recording_or, reader.checkpoints(), target, mode);
+  } else {
+    result = replayer.Replay(*recording_or, mode);
+  }
+
+  std::printf("scenario:            %s\n", scenario_name.c_str());
+  std::printf("replayed events:     %zu%s\n", result.trace.size(),
+              result.partial ? " (suffix only)" : "");
+  if (result.partial) {
+    std::printf("fast-forwarded to:   event %llu (%s)\n",
+                static_cast<unsigned long long>(result.started_from_event),
+                result.fast_forward_verified ? "checkpoint verified"
+                                             : "unverified");
+  }
+  std::printf("divergences:         %llu\n",
+              static_cast<unsigned long long>(result.divergences));
+  std::printf("failure reproduced:  %s\n",
+              result.failure_reproduced ? "yes" : "no");
+  return result.failure_reproduced || !reader.snapshot().has_failure ? 0 : 2;
+}
+
+int RecordScenario(const std::string& scenario_name, const std::string& path,
+                   int argc, char** argv) {
+  auto registry = ScenarioRegistry();
+  auto it = registry.find(scenario_name);
+  if (it == registry.end()) {
+    std::fprintf(stderr, "ddr-trace: unknown scenario '%s'\n",
+                 scenario_name.c_str());
+    return 1;
+  }
+
+  std::string model_name = "perfect";
+  for (int i = 4; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0) {
+      model_name = argv[i + 1];
+    }
+  }
+  DeterminismModel model = DeterminismModel::kPerfect;
+  bool model_found = false;
+  for (DeterminismModel candidate : AllDeterminismModels()) {
+    if (DeterminismModelName(candidate) == model_name) {
+      model = candidate;
+      model_found = true;
+    }
+  }
+  // Shell-friendly alias for "debug (RCSE)".
+  if (!model_found && (model_name == "debug-rcse" || model_name == "rcse")) {
+    model = DeterminismModel::kDebugRcse;
+    model_found = true;
+  }
+  if (!model_found) {
+    std::fprintf(stderr, "ddr-trace: unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+
+  ExperimentHarness harness(it->second);
+  const Status prepared = harness.Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", prepared.ToString().c_str());
+    return 2;
+  }
+  const RecordedExecution recording = harness.Record(model);
+
+  TraceWriteOptions options;
+  options.events_per_chunk = ParseFlag(argc, argv, "--chunk", 512);
+  options.checkpoint_interval = ParseFlag(argc, argv, "--ckpt", 256);
+  const Status saved = harness.SaveRecording(recording, path, options);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", saved.ToString().c_str());
+    return 2;
+  }
+  std::printf("recorded %s/%s: %zu events -> %s\n", scenario_name.c_str(),
+              model_name.c_str(), recording.log.size(), path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command == "info") {
+    return Info(path);
+  }
+  if (command == "dump") {
+    return Dump(path, ParseFlag(argc, argv, "--from", 0),
+                ParseFlag(argc, argv, "--count", 0));
+  }
+  if (command == "verify") {
+    return VerifyFile(path);
+  }
+  if (command == "replay") {
+    return ReplayFile(path, ParseFlag(argc, argv, "--target", 0),
+                      HasFlag(argc, argv, "--target"));
+  }
+  if (command == "record") {
+    if (argc < 4) {
+      PrintUsage();
+      return 1;
+    }
+    return RecordScenario(/*scenario_name=*/argv[2], /*path=*/argv[3], argc,
+                          argv);
+  }
+  PrintUsage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace ddr
+
+int main(int argc, char** argv) { return ddr::Main(argc, argv); }
