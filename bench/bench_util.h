@@ -41,32 +41,8 @@ inline void PrintBanner(const std::string& title) {
 // DDR_BENCH_JSON; set DDR_BENCH_JSON=off to disable).
 // ---------------------------------------------------------------------------
 
-inline std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Builds one JSON line with insertion-ordered fields.
+// Builds one JSON line with insertion-ordered fields. String escaping
+// comes from src/util/string_util.h (JsonEscape).
 class JsonLine {
  public:
   JsonLine& Str(const std::string& key, const std::string& value) {

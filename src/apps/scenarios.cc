@@ -211,6 +211,25 @@ BugScenario MakeOverflowScenario() {
   return scenario;
 }
 
+std::vector<BugScenario> AllBugScenarios() {
+  std::vector<BugScenario> scenarios;
+  scenarios.push_back(MakeSumScenario());
+  scenarios.push_back(MakeMsgDropScenario());
+  scenarios.push_back(MakeOverflowScenario());
+  scenarios.push_back(MakeHypertableScenario());
+  return scenarios;
+}
+
+Result<BugScenario> FindBugScenario(const std::string& name) {
+  for (BugScenario& scenario : AllBugScenarios()) {
+    if (scenario.name == name) {
+      return std::move(scenario);
+    }
+  }
+  return NotFoundError("unknown scenario '" + name +
+                       "' (expected sum, msgdrop, overflow, or hypertable)");
+}
+
 BugScenario MakeHypertableScenario() { return MakeHypertableScenario(HtConfig()); }
 
 BugScenario MakeHypertableScenario(const HtConfig& config) {

@@ -31,6 +31,15 @@ BugScenario MakeHypertableScenario();
 // Same, with an explicit config (tests use smaller workloads).
 BugScenario MakeHypertableScenario(const HtConfig& config);
 
+// The scenario registry: every bundled BugScenario, in a stable order.
+// This is what `ddr-trace corpus build` fans out over and what `replay`
+// uses to rebuild the program a trace's metadata names.
+std::vector<BugScenario> AllBugScenarios();
+
+// Registry lookup by scenario name ("sum", "msgdrop", "overflow",
+// "hypertable"); NotFound for anything else.
+Result<BugScenario> FindBugScenario(const std::string& name);
+
 }  // namespace ddr
 
 #endif  // SRC_APPS_SCENARIOS_H_

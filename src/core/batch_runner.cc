@@ -1,0 +1,281 @@
+#include "src/core/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "src/trace/corpus.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+namespace {
+
+// Runs `count` independent tasks on up to `threads` workers. Tasks are
+// claimed through an atomic counter, so placement of results (indexed by
+// task) is identical whatever the interleaving.
+void RunTasks(int threads, size_t count,
+              const std::function<void(size_t)>& task) {
+  const size_t workers = static_cast<size_t>(std::max(threads, 1));
+  if (workers <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  const size_t spawned = std::min(workers, count);
+  pool.reserve(spawned);
+  for (size_t w = 0; w < spawned; ++w) {
+    pool.emplace_back([&]() {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        task(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+}
+
+}  // namespace
+
+std::string BatchReport::ToJsonLines() const {
+  std::string out;
+  for (const BatchCell& cell : cells) {
+    const ExperimentRow& row = cell.row;
+    out += StrPrintf(
+        "{\"scenario\":\"%s\",\"recording\":\"%s\",\"model\":\"%s\","
+        "\"overhead\":%.6g,\"log_bytes\":%llu,\"recorded_events\":%llu,"
+        "\"fidelity\":%.6g,\"efficiency\":%.6g,\"utility\":%.6g,"
+        "\"failure_reproduced\":%s,\"diagnosed\":\"%s\","
+        "\"divergences\":%llu,\"original_wall_seconds\":%.6g,"
+        "\"replay_wall_seconds\":%.6g}\n",
+        JsonEscape(cell.scenario).c_str(),
+        JsonEscape(cell.recording_name).c_str(),
+        JsonEscape(row.model_name).c_str(), row.overhead_multiplier,
+        static_cast<unsigned long long>(row.log_bytes),
+        static_cast<unsigned long long>(row.recorded_events), row.fidelity,
+        row.efficiency, row.utility, row.failure_reproduced ? "true" : "false",
+        JsonEscape(row.diagnosed_cause.value_or("")).c_str(),
+        static_cast<unsigned long long>(row.divergences),
+        row.original_wall_seconds, row.replay_wall_seconds);
+  }
+  return out;
+}
+
+Status BatchReport::WriteJsonLines(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open batch report for writing: " + path);
+  }
+  const std::string body = ToJsonLines();
+  const bool written = std::fwrite(body.data(), 1, body.size(), file) ==
+                       body.size();
+  std::fclose(file);
+  if (!written) {
+    return UnavailableError("short write to batch report: " + path);
+  }
+  return OkStatus();
+}
+
+std::string RowSignature(const BatchCell& cell) {
+  const ExperimentRow& row = cell.row;
+  // Inference attempt/event counters are deliberately excluded: the
+  // inference search is bounded by a wall-clock budget
+  // (InferenceBudget::max_wall_seconds), so on a loaded machine those
+  // counters can legitimately differ between runs that reach the same
+  // verdict. Everything below is a pure function of the recording.
+  std::string signature = StrPrintf(
+      "%s|%s|%s|%.17g|%llu|%llu|%d|%s|%llu|%.17g",
+      cell.scenario.c_str(), cell.recording_name.c_str(),
+      row.model_name.c_str(), row.overhead_multiplier,
+      static_cast<unsigned long long>(row.log_bytes),
+      static_cast<unsigned long long>(row.recorded_events),
+      row.failure_reproduced ? 1 : 0,
+      row.diagnosed_cause.value_or("<none>").c_str(),
+      static_cast<unsigned long long>(row.divergences), row.fidelity);
+  for (int64_t value : row.input_assignment) {
+    signature += StrPrintf("|%lld", static_cast<long long>(value));
+  }
+  return signature;
+}
+
+BatchRunner::BatchRunner(std::vector<BugScenario> scenarios,
+                         BatchOptions options)
+    : scenarios_(std::move(scenarios)), options_(std::move(options)) {}
+
+Result<BatchReport> BatchRunner::Run() {
+  // Dedup the model list up front (aliases like "rcse"/"debug-rcse" parse
+  // to the same model): duplicate cells would only collide on corpus
+  // entry names after the whole grid had already run.
+  std::vector<DeterminismModel> models =
+      options_.models.empty() ? AllDeterminismModels() : options_.models;
+  std::vector<DeterminismModel> unique_models;
+  for (DeterminismModel model : models) {
+    if (std::find(unique_models.begin(), unique_models.end(), model) ==
+        unique_models.end()) {
+      unique_models.push_back(model);
+    }
+  }
+  models = std::move(unique_models);
+
+  // Phase 1: prep every scenario once, in parallel. The training run only
+  // matters to RCSE recorders, so it is skipped for grids without them.
+  const bool needs_training =
+      std::find(models.begin(), models.end(), DeterminismModel::kDebugRcse) !=
+      models.end();
+  std::vector<std::shared_ptr<const ScenarioPrep>> preps(scenarios_.size());
+  std::vector<Status> prep_status(scenarios_.size());
+  RunTasks(options_.threads, scenarios_.size(), [&](size_t i) {
+    auto prep = ScenarioPrep::Compute(scenarios_[i], needs_training);
+    if (prep.ok()) {
+      preps[i] = std::make_shared<const ScenarioPrep>(std::move(*prep));
+    } else {
+      prep_status[i] = prep.status();
+    }
+  });
+  for (const Status& status : prep_status) {
+    RETURN_IF_ERROR(status);
+  }
+
+  // Phase 2: one task per scenario x model cell. Each worker records on
+  // its own harness (sharing the scenario's prep), scores, and — when a
+  // corpus is requested — serializes the recording to a DDRT image so the
+  // bundle write below is pure ordered I/O.
+  struct TaskOutput {
+    BatchCell cell;
+    std::vector<uint8_t> image;
+    std::string recorder_model;
+    uint64_t event_count = 0;
+    double wall_seconds = 0.0;
+  };
+  const size_t task_count = scenarios_.size() * models.size();
+  std::vector<TaskOutput> outputs(task_count);
+  RunTasks(options_.threads, task_count, [&](size_t t) {
+    const size_t s = t / models.size();
+    const DeterminismModel model = models[t % models.size()];
+    ExperimentHarness harness(scenarios_[s], preps[s]);
+    const RecordedExecution recording = harness.Record(model);
+
+    TaskOutput& out = outputs[t];
+    out.cell.scenario = scenarios_[s].name;
+    out.cell.recording_name = scenarios_[s].name + "/" + recording.model;
+    out.recorder_model = recording.model;
+    out.event_count = recording.log.size();
+    out.wall_seconds = recording.original_outcome.stats.wall_seconds;
+    out.cell.row =
+        harness.ReplayAndScore(model, recording, out.wall_seconds);
+
+    if (!options_.corpus_path.empty()) {
+      TraceWriteOptions trace_options = options_.trace_options;
+      trace_options.scenario = scenarios_[s].name;
+      trace_options.original_wall_seconds = out.wall_seconds;
+      out.image = TraceWriter(trace_options).Serialize(recording);
+    }
+  });
+
+  // Bundle write, in deterministic task order.
+  if (!options_.corpus_path.empty()) {
+    CorpusWriter corpus(options_.corpus_path);
+    RETURN_IF_ERROR(corpus.Begin());
+    for (const TaskOutput& out : outputs) {
+      RETURN_IF_ERROR(corpus.AddImage(out.cell.recording_name, out.image,
+                                      out.recorder_model, out.cell.scenario,
+                                      out.event_count, out.wall_seconds));
+    }
+    RETURN_IF_ERROR(corpus.Finish());
+  }
+
+  BatchReport report;
+  report.cells.reserve(task_count);
+  for (TaskOutput& out : outputs) {
+    report.cells.push_back(std::move(out.cell));
+  }
+  return report;
+}
+
+Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
+                                 const std::vector<BugScenario>& scenarios,
+                                 int threads) {
+  ASSIGN_OR_RETURN(CorpusReader corpus, CorpusReader::Open(corpus_path));
+
+  // Map each entry to its scenario; prepare each needed scenario once.
+  std::map<std::string, size_t> scenario_index;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    scenario_index[scenarios[i].name] = i;
+  }
+  std::vector<size_t> entry_scenario(corpus.entries().size());
+  std::map<size_t, std::shared_ptr<const ScenarioPrep>> preps;
+  for (size_t e = 0; e < corpus.entries().size(); ++e) {
+    const CorpusEntry& entry = corpus.entries()[e];
+    auto it = scenario_index.find(entry.scenario);
+    if (it == scenario_index.end()) {
+      return NotFoundError("corpus entry '" + entry.name +
+                           "' names unknown scenario '" + entry.scenario + "'");
+    }
+    entry_scenario[e] = it->second;
+    preps.emplace(it->second, nullptr);
+  }
+  {
+    std::vector<size_t> needed;
+    for (const auto& [index, prep] : preps) {
+      needed.push_back(index);
+    }
+    std::vector<Status> prep_status(needed.size());
+    RunTasks(threads, needed.size(), [&](size_t i) {
+      // Replaying never records, so the RCSE training artifacts are never
+      // consumed here — skip the training run regardless of entry models.
+      auto prep = ScenarioPrep::Compute(scenarios[needed[i]],
+                                        /*include_training=*/false);
+      if (prep.ok()) {
+        preps.at(needed[i]) =
+            std::make_shared<const ScenarioPrep>(std::move(*prep));
+      } else {
+        prep_status[i] = prep.status();
+      }
+    });
+    for (const Status& status : prep_status) {
+      RETURN_IF_ERROR(status);
+    }
+  }
+
+  // Score every entry from the bundle alone.
+  std::vector<BatchCell> cells(corpus.entries().size());
+  std::vector<Status> cell_status(corpus.entries().size());
+  RunTasks(threads, corpus.entries().size(), [&](size_t e) {
+    const CorpusEntry& entry = corpus.entries()[e];
+    auto model = ParseDeterminismModel(entry.model);
+    if (!model.ok()) {
+      cell_status[e] = model.status();
+      return;
+    }
+    double original_wall_seconds = 0.0;
+    auto recording = corpus.LoadRecording(entry.name, &original_wall_seconds);
+    if (!recording.ok()) {
+      cell_status[e] = recording.status();
+      return;
+    }
+    // .at(): the key set was fixed before the fan-out; an absent key is a
+    // bug, not a request to insert concurrently.
+    ExperimentHarness harness(scenarios[entry_scenario[e]],
+                              preps.at(entry_scenario[e]));
+    cells[e].scenario = entry.scenario;
+    cells[e].recording_name = entry.name;
+    cells[e].row =
+        harness.ReplayAndScore(*model, *recording, original_wall_seconds);
+  });
+  for (const Status& status : cell_status) {
+    RETURN_IF_ERROR(status);
+  }
+
+  BatchReport report;
+  report.cells = std::move(cells);
+  return report;
+}
+
+}  // namespace ddr

@@ -1,0 +1,89 @@
+// BatchRunner: scenario x determinism-model grids at scale.
+//
+// The paper's argument is an aggregate claim — fidelity/efficiency
+// trade-offs only mean something measured across many bugs and workloads —
+// so the unit of evaluation is a corpus run, not a single scenario.
+// BatchRunner fans the ExperimentHarness pipeline out over a worker
+// thread pool in two phases:
+//
+//   1. prep: each scenario's ScenarioPrep (seed search + training run) is
+//      computed once, in parallel across scenarios, and shared immutably;
+//   2. tasks: every scenario x model cell records, replays, and scores on
+//      its own harness around the shared prep. When a corpus path is set,
+//      each worker also serializes its recording to a DDRT image and the
+//      bundle is written in deterministic task order afterwards.
+//
+// Every cell is an independent, deterministic computation, and results
+// land in a pre-sized matrix indexed by task — so the report's
+// deterministic fields are bit-identical whatever the thread count (only
+// the wall-clock-derived timings vary run to run; see RowSignature).
+
+#ifndef SRC_CORE_BATCH_RUNNER_H_
+#define SRC_CORE_BATCH_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace ddr {
+
+struct BatchOptions {
+  // Worker threads for both phases. 1 = fully sequential.
+  int threads = 1;
+  // Models run for every scenario; empty = all six.
+  std::vector<DeterminismModel> models;
+  // When non-empty, every recording is written into this DDRC bundle
+  // (entry names are "<scenario>/<model>").
+  std::string corpus_path;
+  // Chunking/compression/filter for corpus recordings.
+  TraceWriteOptions trace_options;
+};
+
+// One scenario x model cell of the grid.
+struct BatchCell {
+  std::string scenario;
+  std::string recording_name;  // corpus entry name: "<scenario>/<model>"
+  ExperimentRow row;
+};
+
+struct BatchReport {
+  std::vector<BatchCell> cells;  // scenario-major, model-minor order
+
+  // One JSON object per cell (the machine-readable aggregate report).
+  std::string ToJsonLines() const;
+  Status WriteJsonLines(const std::string& path) const;
+};
+
+// The deterministic content of a row: everything except wall-clock-derived
+// values (replay seconds, efficiency, utility, and the inference counters,
+// whose search is cut off by a wall-clock budget). Equal signatures <=>
+// the runs recorded, replayed, and diagnosed identically.
+std::string RowSignature(const BatchCell& cell);
+
+class BatchRunner {
+ public:
+  BatchRunner(std::vector<BugScenario> scenarios, BatchOptions options);
+
+  // Runs the full grid. Fails if any scenario fails to prepare or any
+  // corpus write fails; individual cells cannot fail (recording + scoring
+  // are total functions of the prep).
+  Result<BatchReport> Run();
+
+ private:
+  std::vector<BugScenario> scenarios_;
+  BatchOptions options_;
+};
+
+// Replays every recording of a DDRC corpus through the scoring pipeline:
+// entries are grouped by their stamped scenario name, each scenario is
+// prepared once (from `scenarios`), and each entry is loaded from the
+// bundle and scored with ReplayAndScore — the serve-side half of the
+// batch pipeline. Entry order is preserved.
+Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
+                                 const std::vector<BugScenario>& scenarios,
+                                 int threads = 1);
+
+}  // namespace ddr
+
+#endif  // SRC_CORE_BATCH_RUNNER_H_

@@ -56,6 +56,20 @@ ReplayMode ReplayModeFor(DeterminismModel model) {
   return ReplayMode::kPerfect;
 }
 
+Result<DeterminismModel> ParseDeterminismModel(std::string_view name) {
+  for (DeterminismModel model : AllDeterminismModels()) {
+    if (DeterminismModelName(model) == name) {
+      return model;
+    }
+  }
+  if (name == "rcse" || name == "debug-rcse" ||
+      name.substr(0, 5) == "rcse-") {
+    return DeterminismModel::kDebugRcse;
+  }
+  return InvalidArgumentError("unknown determinism model '" +
+                              std::string(name) + "'");
+}
+
 const std::vector<DeterminismModel>& AllDeterminismModels() {
   static const std::vector<DeterminismModel> kModels = {
       DeterminismModel::kPerfect,     DeterminismModel::kValue,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/replay/replayer.h"
+#include "src/util/status.h"
 
 namespace ddr {
 
@@ -25,6 +26,11 @@ enum class DeterminismModel {
 
 std::string_view DeterminismModelName(DeterminismModel model);
 std::string_view DeterminismModelSystem(DeterminismModel model);  // e.g. "iDNA"
+
+// Inverse of DeterminismModelName, also accepting recorder model-name
+// strings ("rcse-code", "rcse-combined", ...) and the shell-friendly
+// aliases "rcse" / "debug-rcse" for kDebugRcse.
+Result<DeterminismModel> ParseDeterminismModel(std::string_view name);
 
 // The replay strategy implied by each model.
 ReplayMode ReplayModeFor(DeterminismModel model);

@@ -1,6 +1,5 @@
 #include "src/core/experiment.h"
 
-#include <chrono>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -12,43 +11,43 @@ ExperimentHarness::ExperimentHarness(BugScenario scenario)
   CHECK(scenario_.make_program != nullptr) << "scenario needs make_program";
 }
 
+ExperimentHarness::ExperimentHarness(BugScenario scenario,
+                                     std::shared_ptr<const ScenarioPrep> prep)
+    : scenario_(std::move(scenario)), prep_(std::move(prep)) {
+  CHECK(scenario_.make_program != nullptr) << "scenario needs make_program";
+  CHECK(prep_ != nullptr) << "shared prep must be non-null";
+}
+
+const ScenarioPrep& ExperimentHarness::prep() const {
+  CHECK(prep_ != nullptr) << "call Prepare() first";
+  return *prep_;
+}
+
+const std::set<RegionId>& ExperimentHarness::control_regions() const {
+  static const std::set<RegionId> kNoRegions;
+  if (training_ != nullptr) {
+    return training_->control_regions;
+  }
+  if (prep_ != nullptr && prep_->training != nullptr) {
+    return prep_->training->control_regions;
+  }
+  return kNoRegions;
+}
+
 Status ExperimentHarness::Prepare() {
-  if (prepared_) {
+  if (prep_ != nullptr) {
     return OkStatus();
   }
-  uint64_t first_seed = scenario_.production_sched_seed;
-  uint64_t last_seed = scenario_.production_sched_seed;
-  if (scenario_.production_sched_seed == 0) {
-    first_seed = BugScenario::kProductionSeedBase + 1;
-    last_seed = BugScenario::kProductionSeedBase + scenario_.max_seed_search;
-  }
-  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
-    Environment::Options options = scenario_.env_options;
-    options.seed = seed;
-    Environment env(options);
-    CollectingSink sink;
-    env.AddTraceSink(&sink);
-    std::unique_ptr<SimProgram> program =
-        scenario_.make_program(scenario_.production_world_seed);
-    Outcome outcome = env.Run(*program);
-    if (outcome.Failed()) {
-      production_sched_seed_ = seed;
-      production_outcome_ = std::move(outcome);
-      production_trace_ = sink.events();
-      production_wall_seconds_ = production_outcome_.stats.wall_seconds;
-      prepared_ = true;
-      return OkStatus();
-    }
-  }
-  return NotFoundError("no failing production execution found for scenario '" +
-                       scenario_.name + "'");
+  ASSIGN_OR_RETURN(ScenarioPrep prep, ScenarioPrep::Compute(scenario_));
+  prep_ = std::make_shared<const ScenarioPrep>(std::move(prep));
+  return OkStatus();
 }
 
 ExperimentHarness::ProductionRun ExperimentHarness::RunProduction(
     Recorder* recorder, CollectingSink* sink) {
-  CHECK(prepared_) << "call Prepare() first";
+  const ScenarioPrep& prepared = prep();
   Environment::Options options = scenario_.env_options;
-  options.seed = production_sched_seed_;
+  options.seed = prepared.production_sched_seed;
   Environment env(options);
   if (recorder != nullptr) {
     recorder->AttachEnvironment(&env);
@@ -66,52 +65,10 @@ ExperimentHarness::ProductionRun ExperimentHarness::RunProduction(
   run.recorded_bytes = env.recorded_bytes();
   run.wall_seconds = run.outcome.stats.wall_seconds;
   // Recording must never perturb the execution.
-  CHECK_EQ(run.outcome.trace_fingerprint, production_outcome_.trace_fingerprint)
+  CHECK_EQ(run.outcome.trace_fingerprint,
+           prepared.production_outcome.trace_fingerprint)
       << "recorder perturbed the production execution";
   return run;
-}
-
-void ExperimentHarness::RunTrainingIfNeeded() {
-  if (trained_) {
-    return;
-  }
-  trained_ = true;
-
-  Environment::Options options = scenario_.env_options;
-  options.seed = scenario_.training_sched_seed;
-  Environment env(options);
-  PlaneProfiler profiler;
-  CollectingSink sink;
-  env.AddTraceSink(&profiler);
-  env.AddTraceSink(&sink);
-  std::unique_ptr<SimProgram> program =
-      scenario_.make_program(scenario_.training_world_seed);
-  (void)env.Run(*program);
-
-  region_names_.clear();
-  for (size_t i = 0; i < env.num_regions(); ++i) {
-    region_names_.push_back(env.region_name(static_cast<RegionId>(i)));
-  }
-
-  control_regions_.clear();
-  if (!scenario_.control_region_names.empty()) {
-    for (size_t i = 0; i < region_names_.size(); ++i) {
-      for (const std::string& name : scenario_.control_region_names) {
-        if (region_names_[i] == name) {
-          control_regions_.insert(static_cast<RegionId>(i));
-        }
-      }
-    }
-  } else {
-    for (RegionId region : PlaneClassifier::ControlRegions(
-             profiler.profiles(), scenario_.classifier_options)) {
-      control_regions_.insert(region);
-    }
-  }
-
-  InvariantInference inference(/*range_slack=*/0.1);
-  inference.ObserveTrace(sink.events());
-  trained_invariants_ = inference.Infer();
 }
 
 std::unique_ptr<Recorder> ExperimentHarness::MakeRecorder(DeterminismModel model) {
@@ -127,16 +84,24 @@ std::unique_ptr<Recorder> ExperimentHarness::MakeRecorder(DeterminismModel model
     case DeterminismModel::kFailure:
       return std::make_unique<FailureRecorder>();
     case DeterminismModel::kDebugRcse: {
-      RunTrainingIfNeeded();
+      // Training is lazy: non-RCSE users never pay for it. Adopt the
+      // prep's artifacts when it was computed with training (the batch
+      // runner front-loads that for RCSE grids); otherwise run the
+      // training run now, once per harness.
+      if (training_ == nullptr) {
+        training_ = prep().training != nullptr
+                        ? prep().training
+                        : ComputeTrainingArtifacts(scenario_);
+      }
       RcseOptions options;
       options.mode = scenario_.rcse_mode;
-      options.control_regions = control_regions_;
+      options.control_regions = training_->control_regions;
       options.dial_down_after = scenario_.rcse_dial_down_after;
       auto triggers = std::make_unique<TriggerSet>();
       if (scenario_.rcse_mode != RcseMode::kCodeBased) {
         triggers->Add(std::make_unique<RaceTrigger>());
         if (scenario_.configure_triggers) {
-          scenario_.configure_triggers(triggers.get(), trained_invariants_);
+          scenario_.configure_triggers(triggers.get(), training_->invariants);
         }
       }
       return std::make_unique<RcseRecorder>(options, std::move(triggers));
@@ -159,7 +124,6 @@ ReplayTarget ExperimentHarness::MakeReplayTarget() const {
 }
 
 RecordedExecution ExperimentHarness::Record(DeterminismModel model) {
-  CHECK(prepared_) << "call Prepare() first";
   std::unique_ptr<Recorder> recorder = MakeRecorder(model);
   ProductionRun recorded = RunProduction(recorder.get(), nullptr);
 
@@ -176,10 +140,35 @@ RecordedExecution ExperimentHarness::Record(DeterminismModel model) {
   return recording;
 }
 
+TraceFinishInfo ExperimentHarness::MakeFinishInfo(
+    const Recorder& recorder, const ProductionRun& run) const {
+  TraceFinishInfo info;
+  info.model = recorder.model_name();
+  info.snapshot = FailureSnapshot::FromOutcome(run.outcome);
+  info.recorded_bytes = run.recorded_bytes;
+  info.overhead_nanos = run.overhead_nanos;
+  info.cpu_nanos = run.cpu_nanos;
+  info.intercepted_events = recorder.intercepted_events();
+  info.recorded_events = recorder.recorded_events();
+  info.scenario = scenario_.name;
+  info.original_wall_seconds = run.wall_seconds;
+  return info;
+}
+
+Result<TraceFinishInfo> ExperimentHarness::RecordStreaming(
+    DeterminismModel model, StreamingTraceWriter* writer) {
+  std::unique_ptr<Recorder> recorder = MakeRecorder(model);
+  recorder->SetStreamSink(writer,
+                          static_cast<size_t>(writer->events_per_chunk()));
+  ProductionRun recorded = RunProduction(recorder.get(), nullptr);
+  RETURN_IF_ERROR(recorder->FlushStream());
+  return MakeFinishInfo(*recorder, recorded);
+}
+
 ExperimentRow ExperimentHarness::ReplayAndScore(DeterminismModel model,
                                                 const RecordedExecution& recording,
                                                 double original_wall_seconds) {
-  CHECK(prepared_) << "call Prepare() first";
+  (void)prep();  // must be prepared
   ExperimentRow row;
   row.model = model;
   row.model_name = std::string(DeterminismModelName(model));

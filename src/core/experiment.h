@@ -2,9 +2,10 @@
 //
 // Given a BugScenario (a program with a known defect, its root-cause
 // catalog, and inference hints), the harness:
-//   1. finds a failing "production" execution (seed search over schedules
-//      with the production world seed — the nondeterministic failure
-//      manifesting in production);
+//   1. prepares the scenario (ScenarioPrep: seed search for the failing
+//      "production" execution; the pre-release training run is added
+//      lazily when RCSE first needs it) — immutable work computed once
+//      and shareable across harnesses and threads;
 //   2. for each determinism model: re-runs the identical production
 //      execution with that model's recorder attached (recording observes,
 //      never perturbs — the harness verifies the trace fingerprint is
@@ -14,77 +15,28 @@
 //      scenario's root-cause catalog.
 //
 // This is the API the paper's figures are generated through, and the main
-// entry point for library users.
+// entry point for library users. BatchRunner (src/core/batch_runner.h)
+// fans this pipeline out over scenario x model grids.
 
 #ifndef SRC_CORE_EXPERIMENT_H_
 #define SRC_CORE_EXPERIMENT_H_
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "src/analysis/invariants.h"
-#include "src/analysis/plane_classifier.h"
-#include "src/analysis/root_cause.h"
+#include "src/core/bug_scenario.h"
 #include "src/core/determinism_model.h"
 #include "src/core/metrics.h"
-#include "src/core/rcse.h"
+#include "src/core/scenario_prep.h"
 #include "src/record/model_recorders.h"
 #include "src/record/recorded_execution.h"
 #include "src/replay/replayer.h"
+#include "src/trace/streaming_writer.h"
 #include "src/trace/trace_store.h"
 
 namespace ddr {
-
-struct BugScenario {
-  std::string name;
-
-  // Builds a fresh program whose external input generators are seeded with
-  // `world_seed`. Programs must create objects deterministically (see
-  // src/sim/program.h).
-  std::function<std::unique_ptr<SimProgram>(uint64_t world_seed)> make_program;
-
-  // Template environment options (seed is overridden per run).
-  Environment::Options env_options;
-
-  // The "real world" of the production run.
-  uint64_t production_world_seed = 2024;
-  // If nonzero, use this schedule seed directly; otherwise search
-  // [kProductionSeedBase + 1, kProductionSeedBase + max_seed_search] for the
-  // first failing schedule. The base keeps the production schedule space
-  // disjoint from the small seed range inference is allowed to search —
-  // a replayer must not be able to "guess" the production schedule.
-  static constexpr uint64_t kProductionSeedBase = 1000;
-  uint64_t production_sched_seed = 0;
-  uint64_t max_seed_search = 400;
-
-  // Ground truth for fidelity scoring.
-  RootCauseCatalog catalog;
-
-  // Inference hints (see ReplayTarget).
-  std::vector<FaultPlan> candidate_fault_plans;
-  std::vector<ReplayTarget::InputDomain> input_domains;
-  std::function<std::unique_ptr<CspProblem>(const std::vector<uint64_t>&)> symbolic_model;
-  uint64_t world_seeds_to_try = 3;
-  uint64_t sched_seeds_to_try = 10;
-  InferenceBudget inference_budget;
-
-  // RCSE configuration.
-  RcseMode rcse_mode = RcseMode::kCodeBased;
-  // Region names to treat as control plane; empty = auto-classify with the
-  // plane profiler on a training run.
-  std::vector<std::string> control_region_names;
-  PlaneClassifierOptions classifier_options;
-  SimDuration rcse_dial_down_after = 10 * kMillisecond;
-  // Optional extra triggers for data-based/combined RCSE. Receives the
-  // invariants learned from the training run.
-  std::function<void(TriggerSet*, const InvariantSet&)> configure_triggers;
-  // World/schedule seeds for the pre-release training run.
-  uint64_t training_world_seed = 77;
-  uint64_t training_sched_seed = 7;
-};
 
 struct ExperimentRow {
   DeterminismModel model = DeterminismModel::kPerfect;
@@ -117,7 +69,16 @@ class ExperimentHarness {
  public:
   explicit ExperimentHarness(BugScenario scenario);
 
-  // Locates the failing production execution. Must succeed before RunModel.
+  // Shares a previously computed prep (e.g. across batch-runner workers):
+  // the harness is immediately prepared and never recomputes the seed
+  // search. `prep` must be non-null.
+  ExperimentHarness(BugScenario scenario,
+                    std::shared_ptr<const ScenarioPrep> prep);
+
+  // Locates the failing production execution. Must succeed before
+  // RunModel. The RCSE training run is deferred to the first kDebugRcse
+  // recording (non-RCSE users never pay for it), so control_regions() is
+  // empty until then.
   Status Prepare();
 
   ExperimentRow RunModel(DeterminismModel model);
@@ -134,6 +95,18 @@ class ExperimentHarness {
   ExperimentRow ReplayAndScore(DeterminismModel model,
                                const RecordedExecution& recording,
                                double original_wall_seconds);
+
+  // Streaming record: the recorder spills event chunks into `writer` as it
+  // observes (recorder memory stays bounded by one chunk) and the run's
+  // metadata + snapshot come back as the returned TraceFinishInfo. The
+  // caller owns the writer's lifecycle — it must have called Begin()
+  // already and passes the returned info to writer->Finish() (bare trace
+  // file) or CorpusWriter::FinishRecording() (bundle entry), so streaming
+  // composes with either destination. The finished trace is identical to
+  // SaveRecording(Record(model), ...) with the same options except for the
+  // production wall-time stamp (real time, so it differs run to run).
+  Result<TraceFinishInfo> RecordStreaming(DeterminismModel model,
+                                          StreamingTraceWriter* writer);
 
   // Persistence hooks (src/trace/): SaveRecording stamps the scenario name
   // and production wall time into trace metadata; LoadRecording restores
@@ -152,11 +125,17 @@ class ExperimentHarness {
                                          const std::string& path);
 
   // Accessors (valid after Prepare()).
-  uint64_t production_sched_seed() const { return production_sched_seed_; }
-  const Outcome& production_outcome() const { return production_outcome_; }
-  const std::vector<Event>& production_trace() const { return production_trace_; }
-  double production_wall_seconds() const { return production_wall_seconds_; }
-  const std::set<RegionId>& control_regions() const { return control_regions_; }
+  uint64_t production_sched_seed() const { return prep().production_sched_seed; }
+  const Outcome& production_outcome() const { return prep().production_outcome; }
+  const std::vector<Event>& production_trace() const {
+    return prep().production_trace;
+  }
+  double production_wall_seconds() const {
+    return prep().production_wall_seconds;
+  }
+  // Control-plane regions from the training run; empty until training has
+  // happened (first RCSE recording, or a prep computed with training).
+  const std::set<RegionId>& control_regions() const;
   const BugScenario& scenario() const { return scenario_; }
   // Stats of the most recent RCSE recording (valid after RunModel(kDebugRcse)).
   const std::optional<ExperimentRow>& last_rcse_row() const { return last_rcse_row_; }
@@ -170,25 +149,21 @@ class ExperimentHarness {
     double wall_seconds = 0.0;
   };
 
+  const ScenarioPrep& prep() const;
+
   // Re-runs the production execution (same seeds), optionally with a
   // recorder and/or extra sink attached.
   ProductionRun RunProduction(Recorder* recorder, CollectingSink* sink);
-  // Pre-release training run used for plane classification and invariants.
-  void RunTrainingIfNeeded();
   std::unique_ptr<Recorder> MakeRecorder(DeterminismModel model);
   ReplayTarget MakeReplayTarget() const;
+  TraceFinishInfo MakeFinishInfo(const Recorder& recorder,
+                                 const ProductionRun& run) const;
 
   BugScenario scenario_;
-  bool prepared_ = false;
-  uint64_t production_sched_seed_ = 0;
-  Outcome production_outcome_;
-  std::vector<Event> production_trace_;
-  double production_wall_seconds_ = 0.0;
-
-  bool trained_ = false;
-  std::set<RegionId> control_regions_;
-  InvariantSet trained_invariants_;
-  std::vector<std::string> region_names_;  // index = RegionId
+  std::shared_ptr<const ScenarioPrep> prep_;
+  // Training artifacts, adopted from the prep or computed lazily on the
+  // first RCSE recording (never copies the prep's production trace).
+  std::shared_ptr<const TrainingArtifacts> training_;
 
   std::optional<ExperimentRow> last_rcse_row_;
 };

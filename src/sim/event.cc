@@ -79,6 +79,12 @@ Result<Event> Event::DecodeFrom(Decoder* decoder) {
   ASSIGN_OR_RETURN(uint64_t node, decoder->GetVarint64());
   event.node = static_cast<NodeId>(node);
   ASSIGN_OR_RETURN(uint8_t type, decoder->GetFixed8());
+  // Validate at the decode chokepoint: EventLog's per-type counters index
+  // by type, so a crafted byte must fail here with a Status, never reach
+  // an out-of-bounds counter write.
+  if (type > static_cast<uint8_t>(EventType::kNodeCrash)) {
+    return InvalidArgumentError("unknown event type in encoded event");
+  }
   event.type = static_cast<EventType>(type);
   ASSIGN_OR_RETURN(event.obj, decoder->GetVarint64());
   ASSIGN_OR_RETURN(event.value, decoder->GetVarint64());

@@ -1,0 +1,166 @@
+#include "src/trace/chunk_codec.h"
+
+#include <algorithm>
+
+namespace ddr {
+
+namespace {
+
+// Columnar body: field arrays in this fixed order. seq and time are
+// monotone per chunk, so they delta well; the rest are raw varints whose
+// win comes from transposition (runs of equal bytes).
+void EncodeColumnar(const Event* events, uint64_t count, Encoder* encoder) {
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seq = events[i].seq;
+    encoder->PutZigzag64(static_cast<int64_t>(seq - prev));
+    prev = seq;
+  }
+  prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t time = static_cast<uint64_t>(events[i].time);
+    encoder->PutZigzag64(static_cast<int64_t>(time - prev));
+    prev = time;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].fiber);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].node);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutFixed8(static_cast<uint8_t>(events[i].type));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].obj);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].value);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].aux);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].region);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    encoder->PutVarint64(events[i].bytes);
+  }
+}
+
+Result<std::vector<Event>> DecodeColumnar(Decoder* decoder, uint64_t count) {
+  std::vector<Event> events(static_cast<size_t>(count));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(int64_t delta, decoder->GetZigzag64());
+    prev += static_cast<uint64_t>(delta);
+    events[i].seq = prev;
+  }
+  prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(int64_t delta, decoder->GetZigzag64());
+    prev += static_cast<uint64_t>(delta);
+    events[i].time = static_cast<SimTime>(prev);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint64_t fiber, decoder->GetVarint64());
+    events[i].fiber = static_cast<FiberId>(fiber);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint64_t node, decoder->GetVarint64());
+    events[i].node = static_cast<NodeId>(node);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint8_t type, decoder->GetFixed8());
+    if (type > static_cast<uint8_t>(EventType::kNodeCrash)) {
+      return InvalidArgumentError("unknown event type in columnar chunk");
+    }
+    events[i].type = static_cast<EventType>(type);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint64_t obj, decoder->GetVarint64());
+    events[i].obj = static_cast<ObjectId>(obj);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(events[i].value, decoder->GetVarint64());
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(events[i].aux, decoder->GetVarint64());
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint64_t region, decoder->GetVarint64());
+    events[i].region = static_cast<RegionId>(region);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint64_t bytes, decoder->GetVarint64());
+    if (bytes > UINT32_MAX) {
+      return InvalidArgumentError("event byte count overflows in chunk");
+    }
+    events[i].bytes = static_cast<uint32_t>(bytes);
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeEventChunkPayload(const Event* events,
+                                             uint64_t count,
+                                             uint64_t first_event,
+                                             TraceFilter filter) {
+  Encoder encoder;
+  encoder.PutVarint64(first_event);
+  encoder.PutVarint64(count);
+  switch (filter) {
+    case TraceFilter::kNone:
+      for (uint64_t i = 0; i < count; ++i) {
+        events[i].EncodeTo(&encoder);
+      }
+      break;
+    case TraceFilter::kVarintDelta:
+      EncodeColumnar(events, count, &encoder);
+      break;
+  }
+  return encoder.TakeBuffer();
+}
+
+Result<std::vector<Event>> DecodeEventChunkPayload(
+    const std::vector<uint8_t>& payload, TraceFilter filter,
+    uint64_t expected_first, uint64_t expected_count) {
+  Decoder decoder(payload);
+  ASSIGN_OR_RETURN(uint64_t first, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  if (first != expected_first || count != expected_count) {
+    return InvalidArgumentError("chunk payload disagrees with footer index");
+  }
+  // Decoders allocate event storage up front, so a crafted count must
+  // fail here with a Status, never abort inside the allocation. Two
+  // bounds: every encoded event occupies >= 10 payload bytes in either
+  // layout (one byte per field), and no conforming writer produces chunks
+  // past the format ceiling — which caps the worst crafted-but-decodable
+  // payload (e.g. 1 GiB of zeros, a valid varint stream) at a sane
+  // allocation.
+  if (count > payload.size() / 10 || count > kMaxChunkEvents) {
+    return InvalidArgumentError("chunk event count exceeds payload or ceiling");
+  }
+  std::vector<Event> events;
+  switch (filter) {
+    case TraceFilter::kNone: {
+      events.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        ASSIGN_OR_RETURN(Event event, Event::DecodeFrom(&decoder));
+        events.push_back(event);
+      }
+      break;
+    }
+    case TraceFilter::kVarintDelta: {
+      ASSIGN_OR_RETURN(events, DecodeColumnar(&decoder, count));
+      break;
+    }
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after chunk events");
+  }
+  return events;
+}
+
+}  // namespace ddr

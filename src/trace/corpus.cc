@@ -1,0 +1,368 @@
+#include "src/trace/corpus.h"
+
+#include <algorithm>
+
+#include "src/trace/trace_writer.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+namespace {
+
+std::vector<uint8_t> EncodeCorpusIndex(const std::vector<CorpusEntry>& entries) {
+  Encoder encoder;
+  encoder.PutVarint64(entries.size());
+  for (const CorpusEntry& entry : entries) {
+    encoder.PutString(entry.name);
+    encoder.PutVarint64(entry.offset);
+    encoder.PutVarint64(entry.length);
+    encoder.PutString(entry.model);
+    encoder.PutString(entry.scenario);
+    encoder.PutVarint64(entry.event_count);
+    encoder.PutDouble(entry.original_wall_seconds);
+  }
+  return encoder.TakeBuffer();
+}
+
+Result<std::vector<CorpusEntry>> DecodeCorpusIndex(
+    const std::vector<uint8_t>& bytes) {
+  Decoder decoder(bytes);
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  std::vector<CorpusEntry> entries;
+  // The smallest possible entry (empty strings, 1-byte varints, the
+  // fixed-width double) encodes to 14 bytes, so the payload bounds the
+  // count; the reserve is additionally capped so memory grows with
+  // *decoded* entries, not the claimed count (each CorpusEntry is an
+  // order of magnitude larger than its minimal encoding, and a crafted
+  // count must fail in the decode loop with a Status, not abort inside
+  // the allocation).
+  if (count > bytes.size() / 14) {
+    return InvalidArgumentError("corpus index count exceeds payload");
+  }
+  entries.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    CorpusEntry entry;
+    ASSIGN_OR_RETURN(entry.name, decoder.GetString());
+    ASSIGN_OR_RETURN(entry.offset, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(entry.length, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(entry.model, decoder.GetString());
+    ASSIGN_OR_RETURN(entry.scenario, decoder.GetString());
+    ASSIGN_OR_RETURN(entry.event_count, decoder.GetVarint64());
+    ASSIGN_OR_RETURN(entry.original_wall_seconds, decoder.GetDouble());
+    entries.push_back(std::move(entry));
+  }
+  if (!decoder.Done()) {
+    return InvalidArgumentError("trailing bytes after corpus index");
+  }
+  return entries;
+}
+
+}  // namespace
+
+// Forwards an embedded DDRT stream into the corpus file. Close() is a
+// no-op: the embedded image ends, the corpus file stays open for the next
+// recording and the index.
+class CorpusEmbeddedSink : public TraceByteSink {
+ public:
+  explicit CorpusEmbeddedSink(CorpusWriter* owner) : owner_(owner) {}
+
+  using TraceByteSink::Append;
+  Status Append(const uint8_t* data, size_t size) override {
+    RETURN_IF_ERROR(owner_->sink_.Append(data, size));
+    owner_->offset_ += size;
+    return OkStatus();
+  }
+  Status Close() override { return OkStatus(); }
+
+ private:
+  CorpusWriter* owner_;
+};
+
+CorpusWriter::CorpusWriter(std::string path)
+    : path_(std::move(path)), sink_(path_) {}
+
+Status CorpusWriter::Begin() {
+  if (begun_) {
+    return FailedPreconditionError("CorpusWriter::Begin called twice");
+  }
+  begun_ = true;
+  Encoder encoder;
+  encoder.PutFixed32(kCorpusFileMagic);
+  encoder.PutFixed32(kCorpusFormatVersion);
+  encoder.PutFixed32(0);  // flags, reserved
+  status_ = sink_.Append(encoder.buffer());
+  if (status_.ok()) {
+    offset_ = encoder.size();
+  }
+  return status_;
+}
+
+Status CorpusWriter::CheckOpenForNewEntry(const std::string& name) {
+  if (!begun_ || finished_) {
+    return FailedPreconditionError("corpus writer not open for new entries");
+  }
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (active_writer_ != nullptr) {
+    return FailedPreconditionError(
+        "corpus already has a streaming recording in progress");
+  }
+  if (name.empty()) {
+    return InvalidArgumentError("corpus entry name must not be empty");
+  }
+  if (names_.count(name) != 0) {
+    return AlreadyExistsError("duplicate corpus entry name: " + name);
+  }
+  return OkStatus();
+}
+
+Result<StreamingTraceWriter*> CorpusWriter::BeginRecording(
+    const std::string& name, TraceWriteOptions options) {
+  RETURN_IF_ERROR(CheckOpenForNewEntry(name));
+  active_name_ = name;
+  active_start_ = offset_;
+  active_sink_ = std::make_unique<CorpusEmbeddedSink>(this);
+  active_writer_ = std::make_unique<StreamingTraceWriter>(active_sink_.get(),
+                                                          std::move(options));
+  Status begun = active_writer_->Begin();
+  if (!begun.ok()) {
+    status_ = begun;
+    active_writer_.reset();
+    active_sink_.reset();
+    return begun;
+  }
+  return active_writer_.get();
+}
+
+Status CorpusWriter::FinishRecording(const TraceFinishInfo& info) {
+  if (active_writer_ == nullptr) {
+    return FailedPreconditionError("no streaming recording in progress");
+  }
+  const TraceWriteOptions& options = active_writer_->options();
+  Status finished = active_writer_->Finish(info);
+  if (!finished.ok()) {
+    status_ = finished;
+  } else {
+    CorpusEntry entry;
+    entry.name = active_name_;
+    entry.offset = active_start_;
+    entry.length = offset_ - active_start_;
+    entry.model = info.model;
+    entry.scenario = info.scenario.empty() ? options.scenario : info.scenario;
+    entry.event_count = active_writer_->events_written();
+    entry.original_wall_seconds = info.original_wall_seconds != 0.0
+                                      ? info.original_wall_seconds
+                                      : options.original_wall_seconds;
+    entries_.push_back(std::move(entry));
+    names_.insert(active_name_);
+  }
+  active_writer_.reset();
+  active_sink_.reset();
+  return finished;
+}
+
+Status CorpusWriter::Add(const std::string& name,
+                         const RecordedExecution& recording,
+                         const TraceWriteOptions& options) {
+  ASSIGN_OR_RETURN(StreamingTraceWriter * writer, BeginRecording(name, options));
+  Status appended = writer->AppendEvents(recording.log.events());
+  if (!appended.ok()) {
+    status_ = appended;
+    active_writer_.reset();
+    active_sink_.reset();
+    return appended;
+  }
+  return FinishRecording(FinishInfoFor(recording));
+}
+
+Status CorpusWriter::AddImage(const std::string& name,
+                              const std::vector<uint8_t>& image,
+                              const std::string& model,
+                              const std::string& scenario,
+                              uint64_t event_count,
+                              double original_wall_seconds) {
+  RETURN_IF_ERROR(CheckOpenForNewEntry(name));
+  if (image.size() < kTraceHeaderBytes + kTraceTrailerBytes) {
+    return InvalidArgumentError("corpus entry image too small to be a trace");
+  }
+  Status appended = sink_.Append(image.data(), image.size());
+  if (!appended.ok()) {
+    status_ = appended;
+    return appended;
+  }
+  CorpusEntry entry;
+  entry.name = name;
+  entry.offset = offset_;
+  entry.length = image.size();
+  entry.model = model;
+  entry.scenario = scenario;
+  entry.event_count = event_count;
+  entry.original_wall_seconds = original_wall_seconds;
+  offset_ += image.size();
+  entries_.push_back(std::move(entry));
+  names_.insert(name);
+  return OkStatus();
+}
+
+Status CorpusWriter::Finish() {
+  if (!begun_) {
+    return FailedPreconditionError("CorpusWriter::Finish before Begin");
+  }
+  if (finished_) {
+    return FailedPreconditionError("CorpusWriter::Finish called twice");
+  }
+  if (active_writer_ != nullptr) {
+    return FailedPreconditionError(
+        "corpus still has a streaming recording in progress");
+  }
+  if (!status_.ok()) {
+    return status_;
+  }
+  finished_ = true;
+
+  const std::vector<uint8_t> index_section = EncodeTraceSection(
+      TraceSection::kCorpusIndex, EncodeCorpusIndex(entries_),
+      /*allow_compress=*/true);
+  RETURN_IF_ERROR(sink_.Append(index_section));
+  const uint64_t index_offset = offset_;
+  offset_ += index_section.size();
+
+  Encoder encoder;
+  encoder.PutFixed64(index_offset);
+  encoder.PutFixed32(kCorpusTrailerMagic);
+  RETURN_IF_ERROR(sink_.Append(encoder.buffer()));
+  offset_ += encoder.size();
+  return sink_.Close();
+}
+
+// ---------------------------------------------------------------- Reader
+
+Result<CorpusReader> CorpusReader::Open(const std::string& path) {
+  CorpusReader reader;
+  reader.path_ = path;
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return NotFoundError("cannot open corpus file: " + path);
+  }
+  stream.seekg(0, std::ios::end);
+  reader.file_size_ = static_cast<uint64_t>(stream.tellg());
+  if (reader.file_size_ < kCorpusHeaderBytes + kCorpusTrailerBytes) {
+    return InvalidArgumentError("corpus file too small: " + path);
+  }
+
+  // Header.
+  std::vector<uint8_t> header(kCorpusHeaderBytes);
+  stream.seekg(0);
+  stream.read(reinterpret_cast<char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+  if (!stream) {
+    return UnavailableError("short read on corpus header");
+  }
+  {
+    Decoder decoder(header);
+    ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
+    if (magic != kCorpusFileMagic) {
+      return InvalidArgumentError("bad corpus file magic");
+    }
+    ASSIGN_OR_RETURN(uint32_t version, decoder.GetFixed32());
+    if (version != kCorpusFormatVersion) {
+      return InvalidArgumentError(
+          StrPrintf("unsupported corpus format version %u", version));
+    }
+  }
+
+  // Trailer -> index.
+  std::vector<uint8_t> trailer(kCorpusTrailerBytes);
+  stream.seekg(
+      static_cast<std::streamoff>(reader.file_size_ - kCorpusTrailerBytes));
+  stream.read(reinterpret_cast<char*>(trailer.data()),
+              static_cast<std::streamsize>(trailer.size()));
+  if (!stream) {
+    return UnavailableError("short read on corpus trailer");
+  }
+  uint64_t index_offset = 0;
+  {
+    Decoder decoder(trailer);
+    ASSIGN_OR_RETURN(index_offset, decoder.GetFixed64());
+    ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
+    if (magic != kCorpusTrailerMagic) {
+      return InvalidArgumentError("bad corpus trailer magic (truncated file?)");
+    }
+  }
+
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> index_bytes,
+      ReadTraceSectionFromStream(stream, /*base=*/0, index_offset,
+                                 reader.file_size_, TraceSection::kCorpusIndex,
+                                 /*filter_out=*/nullptr, /*bytes_read=*/nullptr));
+  ASSIGN_OR_RETURN(reader.entries_, DecodeCorpusIndex(index_bytes));
+
+  // Every entry window must lie between the header and the index. The
+  // subtraction form keeps a crafted huge length from wrapping the sum
+  // past the bound.
+  for (const CorpusEntry& entry : reader.entries_) {
+    if (entry.offset < kCorpusHeaderBytes || entry.offset > index_offset ||
+        entry.length < kTraceHeaderBytes + kTraceTrailerBytes ||
+        entry.length > index_offset - entry.offset) {
+      return InvalidArgumentError("corpus entry window out of bounds: " +
+                                  entry.name);
+    }
+  }
+  return reader;
+}
+
+const CorpusEntry* CorpusReader::Find(const std::string& name) const {
+  for (const CorpusEntry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Result<TraceReader> CorpusReader::OpenTrace(const CorpusEntry& entry) const {
+  return TraceReader::OpenAt(path_, entry.offset, entry.length);
+}
+
+Result<TraceReader> CorpusReader::OpenTrace(const std::string& name) const {
+  const CorpusEntry* entry = Find(name);
+  if (entry == nullptr) {
+    return NotFoundError("no corpus entry named '" + name + "'");
+  }
+  return OpenTrace(*entry);
+}
+
+Result<RecordedExecution> CorpusReader::LoadRecording(
+    const std::string& name, double* original_wall_seconds) const {
+  ASSIGN_OR_RETURN(TraceReader trace, OpenTrace(name));
+  if (original_wall_seconds != nullptr) {
+    *original_wall_seconds = trace.metadata().original_wall_seconds;
+  }
+  return trace.ReadRecordedExecution();
+}
+
+Status CorpusReader::VerifyAll() const {
+  for (const CorpusEntry& entry : entries_) {
+    auto trace = OpenTrace(entry);
+    if (!trace.ok()) {
+      return trace.status();
+    }
+    Status verified = trace->Verify();
+    if (!verified.ok()) {
+      return Status(verified.code(),
+                    "corpus entry '" + entry.name + "': " + verified.message());
+    }
+    if (trace->metadata().event_count != entry.event_count ||
+        trace->metadata().model != entry.model ||
+        trace->metadata().scenario != entry.scenario ||
+        trace->metadata().original_wall_seconds !=
+            entry.original_wall_seconds) {
+      return InvalidArgumentError(
+          "corpus index metadata disagrees with embedded trace: " + entry.name);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace ddr

@@ -1,0 +1,155 @@
+// DDRC v1 corpus bundles: many named DDRT recordings in one file.
+//
+// A corpus is how replay traffic ships at scale: instead of one trace file
+// per bug, a site packs every scenario x determinism-model recording of an
+// evaluation run into a single indexed bundle. Layout:
+//
+//   [header]   12 bytes: magic "DDRC", version, flags
+//   [image]*   complete DDRT file images (header..trailer), back to back
+//   [index]    section (kind kCorpusIndex): name -> (offset, length) plus
+//              skim metadata (model, scenario, event count), CRC-checked
+//              and framed exactly like a DDRT section
+//   [trailer]  12 bytes: index offset + magic "CRDD"
+//
+// Because each embedded image is a complete, self-contained DDRT stream,
+// all of the trace machinery applies per entry for free: TraceReader
+// opens an entry through a (offset, length) window, partial reads touch
+// only covering chunks, and Verify runs every CRC. The corpus file itself
+// is written through AtomicFileSink, so an interrupted build never leaves
+// a half-indexed bundle at the target path.
+//
+//   CorpusWriter writer("eval.ddrc");
+//   CHECK(writer.Begin().ok());
+//   CHECK(writer.Add("sum/perfect", recording, options).ok());
+//   CHECK(writer.Finish().ok());
+//
+//   ASSIGN_OR_RETURN(CorpusReader corpus, CorpusReader::Open("eval.ddrc"));
+//   ASSIGN_OR_RETURN(TraceReader trace, corpus.OpenTrace("sum/perfect"));
+
+#ifndef SRC_TRACE_CORPUS_H_
+#define SRC_TRACE_CORPUS_H_
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/trace/streaming_writer.h"
+#include "src/trace/trace_reader.h"
+
+namespace ddr {
+
+inline constexpr uint32_t kCorpusFileMagic = 0x43524444u;    // "DDRC"
+inline constexpr uint32_t kCorpusTrailerMagic = 0x44445243u;  // "CRDD"
+inline constexpr uint32_t kCorpusFormatVersion = 1;
+inline constexpr size_t kCorpusHeaderBytes = 12;   // magic + version + flags
+inline constexpr size_t kCorpusTrailerBytes = 12;  // index offset + magic
+
+// One recording in the bundle. The metadata fields mirror the embedded
+// trace's own metadata section so listing a corpus does not decode any
+// entry.
+struct CorpusEntry {
+  std::string name;     // unique within the corpus, e.g. "msgdrop/perfect"
+  uint64_t offset = 0;  // absolute file offset of the DDRT image
+  uint64_t length = 0;  // image size in bytes
+  std::string model;
+  std::string scenario;
+  uint64_t event_count = 0;
+  double original_wall_seconds = 0.0;
+};
+
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(std::string path);
+
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  // Writes the corpus header. Must be called exactly once, first.
+  Status Begin();
+
+  // Serializes `recording` into the bundle under `name` (unique; reuse is
+  // an error). `options.scenario` / `options.original_wall_seconds` land
+  // in both the embedded trace metadata and the corpus index.
+  Status Add(const std::string& name, const RecordedExecution& recording,
+             const TraceWriteOptions& options = {});
+
+  // Appends a pre-serialized DDRT image (TraceWriter::Serialize output).
+  // The caller supplies the index metadata the image was built from; batch
+  // workers use this so serialization parallelizes while the bundle is
+  // still written in deterministic order.
+  Status AddImage(const std::string& name, const std::vector<uint8_t>& image,
+                  const std::string& model, const std::string& scenario,
+                  uint64_t event_count, double original_wall_seconds);
+
+  // Streaming variant: events are appended chunk-at-a-time to the returned
+  // writer (valid until FinishRecording; owned by the corpus). Exactly one
+  // recording may be open at a time.
+  Result<StreamingTraceWriter*> BeginRecording(const std::string& name,
+                                               TraceWriteOptions options = {});
+  Status FinishRecording(const TraceFinishInfo& info);
+
+  // Writes the index + trailer and renames the bundle into place.
+  Status Finish();
+
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+ private:
+  friend class CorpusEmbeddedSink;
+
+  Status CheckOpenForNewEntry(const std::string& name);
+
+  std::string path_;
+  AtomicFileSink sink_;
+  bool begun_ = false;
+  bool finished_ = false;
+  Status status_;  // first error, sticky
+  uint64_t offset_ = 0;
+
+  std::vector<CorpusEntry> entries_;
+  std::set<std::string> names_;
+
+  // Active streaming recording, if any.
+  std::unique_ptr<TraceByteSink> active_sink_;
+  std::unique_ptr<StreamingTraceWriter> active_writer_;
+  std::string active_name_;
+  uint64_t active_start_ = 0;
+};
+
+class CorpusReader {
+ public:
+  static Result<CorpusReader> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return file_size_; }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+  // nullptr when no entry has that name.
+  const CorpusEntry* Find(const std::string& name) const;
+
+  // Opens the embedded DDRT image as a full-featured TraceReader.
+  Result<TraceReader> OpenTrace(const CorpusEntry& entry) const;
+  Result<TraceReader> OpenTrace(const std::string& name) const;
+
+  // Loads an entry's RecordedExecution. `original_wall_seconds` comes
+  // from the embedded trace's own metadata (VerifyAll checks it agrees
+  // with the index copy).
+  Result<RecordedExecution> LoadRecording(
+      const std::string& name, double* original_wall_seconds = nullptr) const;
+
+  // Structural + CRC verification of every embedded trace (and, via Open,
+  // of the index itself), plus index-vs-embedded-metadata consistency.
+  Status VerifyAll() const;
+
+ private:
+  CorpusReader() = default;
+
+  std::string path_;
+  uint64_t file_size_ = 0;
+  std::vector<CorpusEntry> entries_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_CORPUS_H_

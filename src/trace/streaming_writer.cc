@@ -1,0 +1,241 @@
+#include "src/trace/streaming_writer.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "src/trace/chunk_codec.h"
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+// ------------------------------------------------------------ AtomicFileSink
+
+namespace {
+
+// Unique per process lifetime, so concurrent writers (threads or
+// processes) targeting the same destination get distinct temp files.
+std::string MakeTempPath(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return StrPrintf("%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
+                   static_cast<unsigned long long>(
+                       counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
+AtomicFileSink::AtomicFileSink(std::string path)
+    : path_(std::move(path)), tmp_path_(MakeTempPath(path_)) {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+}
+
+AtomicFileSink::~AtomicFileSink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!closed_) {
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status AtomicFileSink::Append(const uint8_t* data, size_t size) {
+  if (closed_) {
+    return FailedPreconditionError("append to a closed trace file sink");
+  }
+  if (file_ == nullptr) {
+    return UnavailableError("cannot open trace temp file for writing: " +
+                            tmp_path_);
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return UnavailableError("short write to trace temp file: " + tmp_path_);
+  }
+  return OkStatus();
+}
+
+Status AtomicFileSink::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
+  if (file_ == nullptr) {
+    return UnavailableError("cannot open trace temp file for writing: " +
+                            tmp_path_);
+  }
+  const bool flushed = std::fflush(file_) == 0;
+  const bool file_ok = std::ferror(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!flushed || !file_ok) {
+    std::remove(tmp_path_.c_str());
+    return UnavailableError("short write to trace temp file: " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return UnavailableError("cannot rename trace temp file into place: " +
+                            path_);
+  }
+  closed_ = true;
+  return OkStatus();
+}
+
+// ------------------------------------------------------ StreamingTraceWriter
+
+StreamingTraceWriter::StreamingTraceWriter(TraceByteSink* sink,
+                                           TraceWriteOptions options)
+    : sink_(sink),
+      options_(std::move(options)),
+      events_per_chunk_(std::min<uint64_t>(
+          options_.events_per_chunk == 0 ? 512 : options_.events_per_chunk,
+          kMaxChunkEvents)),
+      checkpoints_(options_.checkpoint_interval, events_per_chunk_) {
+  pending_.reserve(static_cast<size_t>(events_per_chunk_));
+}
+
+Status StreamingTraceWriter::Begin() {
+  if (begun_) {
+    return FailedPreconditionError("StreamingTraceWriter::Begin called twice");
+  }
+  begun_ = true;
+  Encoder encoder;
+  encoder.PutFixed32(kTraceFileMagic);
+  encoder.PutFixed32(options_.chunk_filter == TraceFilter::kNone
+                         ? kTraceFormatVersion
+                         : kTraceFormatVersionFiltered);
+  encoder.PutFixed32(0);  // flags, reserved
+  status_ = sink_->Append(encoder.buffer());
+  if (status_.ok()) {
+    offset_ = encoder.size();
+  }
+  return status_;
+}
+
+Result<uint64_t> StreamingTraceWriter::WriteSection(
+    TraceSection kind, const std::vector<uint8_t>& payload, bool allow_compress,
+    TraceFilter filter) {
+  const std::vector<uint8_t> section =
+      EncodeTraceSection(kind, payload, allow_compress, filter);
+  RETURN_IF_ERROR(sink_->Append(section));
+  const uint64_t section_offset = offset_;
+  offset_ += section.size();
+  return section_offset;
+}
+
+Status StreamingTraceWriter::FlushChunk() {
+  if (pending_.empty()) {
+    return OkStatus();
+  }
+  const uint64_t first = total_events_ - pending_.size();
+  const std::vector<uint8_t> payload = EncodeEventChunkPayload(
+      pending_.data(), pending_.size(), first, options_.chunk_filter);
+  ASSIGN_OR_RETURN(uint64_t chunk_offset,
+                   WriteSection(TraceSection::kEventChunk, payload,
+                                options_.compress, options_.chunk_filter));
+  TraceChunkInfo chunk;
+  chunk.file_offset = chunk_offset;
+  chunk.first_event = first;
+  chunk.event_count = pending_.size();
+  footer_.chunks.push_back(chunk);
+  pending_.clear();
+  return OkStatus();
+}
+
+Status StreamingTraceWriter::AppendEvents(const Event* events, size_t count) {
+  if (!begun_ || finished_) {
+    return FailedPreconditionError(
+        "StreamingTraceWriter::AppendEvents outside Begin/Finish");
+  }
+  if (!status_.ok()) {
+    return status_;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    checkpoints_.Observe(events[i]);
+    pending_.push_back(events[i]);
+    ++total_events_;
+    if (pending_.size() >= events_per_chunk_) {
+      status_ = FlushChunk();
+      if (!status_.ok()) {
+        return status_;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status StreamingTraceWriter::Append(const Event& event) {
+  return AppendEvents(&event, 1);
+}
+
+Status StreamingTraceWriter::Finish(const TraceFinishInfo& info) {
+  if (!begun_) {
+    return FailedPreconditionError("StreamingTraceWriter::Finish before Begin");
+  }
+  if (finished_) {
+    return FailedPreconditionError("StreamingTraceWriter::Finish called twice");
+  }
+  if (!status_.ok()) {
+    return status_;
+  }
+  finished_ = true;
+
+  Status status = [&]() -> Status {
+    RETURN_IF_ERROR(FlushChunk());
+    footer_.total_events = total_events_;
+
+    // Metadata.
+    {
+      TraceMetadata meta;
+      meta.model = info.model;
+      meta.scenario = info.scenario.empty() ? options_.scenario : info.scenario;
+      meta.event_count = total_events_;
+      meta.events_per_chunk = events_per_chunk_;
+      meta.recorded_bytes = info.recorded_bytes;
+      meta.overhead_nanos = info.overhead_nanos;
+      meta.cpu_nanos = info.cpu_nanos;
+      meta.intercepted_events = info.intercepted_events;
+      meta.recorded_events = info.recorded_events;
+      meta.original_wall_seconds = info.original_wall_seconds != 0.0
+                                       ? info.original_wall_seconds
+                                       : options_.original_wall_seconds;
+      ASSIGN_OR_RETURN(footer_.metadata_offset,
+                       WriteSection(TraceSection::kMetadata, meta.Encode(),
+                                    options_.compress));
+    }
+
+    // Snapshot.
+    ASSIGN_OR_RETURN(footer_.snapshot_offset,
+                     WriteSection(TraceSection::kSnapshot,
+                                  info.snapshot.Encode(), options_.compress));
+
+    // Checkpoint index. Fingerprint verification during partial replay is
+    // only sound when the log is the full intercepted stream.
+    {
+      const bool full_stream =
+          info.intercepted_events == info.recorded_events &&
+          info.recorded_events == total_events_;
+      const CheckpointIndex index = checkpoints_.Finish(full_stream);
+      ASSIGN_OR_RETURN(footer_.checkpoint_offset,
+                       WriteSection(TraceSection::kCheckpointIndex,
+                                    index.Encode(), options_.compress));
+    }
+
+    // Footer + trailer. The footer is stored raw so its offset math never
+    // depends on compression behavior.
+    ASSIGN_OR_RETURN(const uint64_t footer_offset,
+                     WriteSection(TraceSection::kFooter, footer_.Encode(),
+                                  /*allow_compress=*/false));
+    Encoder encoder;
+    encoder.PutFixed64(footer_offset);
+    encoder.PutFixed32(kTraceTrailerMagic);
+    RETURN_IF_ERROR(sink_->Append(encoder.buffer()));
+    offset_ += encoder.size();
+
+    return sink_->Close();
+  }();
+
+  status_ = status;
+  return status;
+}
+
+}  // namespace ddr

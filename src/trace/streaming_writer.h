@@ -1,0 +1,166 @@
+// StreamingTraceWriter: chunk-at-a-time DDRT serialization.
+//
+// Where TraceWriter::Serialize builds the whole file image from a finished
+// RecordedExecution, the streaming writer accepts events while the
+// recording is still running and flushes each full chunk — compressed,
+// CRC'd, framed — through a TraceByteSink immediately. Recorder memory is
+// bounded by one chunk; the metadata / snapshot / checkpoint / footer
+// sections are emitted by Finish() once the run's totals are known.
+//
+//   AtomicFileSink sink(path);
+//   StreamingTraceWriter writer(&sink, options);
+//   CHECK(writer.Begin().ok());
+//   ... writer.AppendEvents(chunk_of_events) as they are observed ...
+//   CHECK(writer.Finish(info).ok());   // durable, atomically renamed
+//
+// The buffered TraceWriter is a thin wrapper over this class, so streaming
+// and buffered writes produce bit-identical files for the same inputs.
+
+#ifndef SRC_TRACE_STREAMING_WRITER_H_
+#define SRC_TRACE_STREAMING_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/record/event_log.h"
+#include "src/record/snapshot.h"
+#include "src/trace/checkpoint.h"
+#include "src/trace/trace_format.h"
+#include "src/trace/trace_writer_options.h"
+
+namespace ddr {
+
+// Destination for serialized trace bytes. Append-only; offsets in the
+// written stream start at 0 (a corpus embeds the stream at its own base).
+class TraceByteSink {
+ public:
+  virtual ~TraceByteSink() = default;
+  virtual Status Append(const uint8_t* data, size_t size) = 0;
+  // Durably completes the stream (flush / rename). Idempotent.
+  virtual Status Close() = 0;
+
+  Status Append(const std::vector<uint8_t>& bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+};
+
+// Accumulates the stream in memory (TraceWriter::Serialize, tests).
+class BufferByteSink : public TraceByteSink {
+ public:
+  using TraceByteSink::Append;
+  Status Append(const uint8_t* data, size_t size) override {
+    buffer_.insert(buffer_.end(), data, data + size);
+    return OkStatus();
+  }
+  Status Close() override { return OkStatus(); }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Writes to a uniquely named temp file beside `path` and renames into
+// place on Close(), so a crash or error mid-write never leaves a
+// half-written file at `path`, and two concurrent writers targeting the
+// same destination never clobber each other's in-progress temp (last
+// rename wins with a complete file). The destructor discards the temp
+// file if Close() was never reached.
+class AtomicFileSink : public TraceByteSink {
+ public:
+  explicit AtomicFileSink(std::string path);
+  ~AtomicFileSink() override;
+
+  AtomicFileSink(const AtomicFileSink&) = delete;
+  AtomicFileSink& operator=(const AtomicFileSink&) = delete;
+
+  using TraceByteSink::Append;
+  Status Append(const uint8_t* data, size_t size) override;
+  Status Close() override;
+
+  // The in-progress temp path (for tests and diagnostics).
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  bool closed_ = false;
+};
+
+// Everything about a recording that only exists once the run has ended.
+struct TraceFinishInfo {
+  std::string model;
+  FailureSnapshot snapshot;
+  uint64_t recorded_bytes = 0;
+  int64_t overhead_nanos = 0;
+  int64_t cpu_nanos = 0;
+  uint64_t intercepted_events = 0;
+  uint64_t recorded_events = 0;
+  // Override the writer options' scenario / production wall time when set
+  // (a harness knows these only at the end of the recorded run).
+  std::string scenario;
+  double original_wall_seconds = 0.0;
+};
+
+class StreamingTraceWriter : public EventStreamSink {
+ public:
+  // `sink` must outlive the writer; the writer does not own it.
+  StreamingTraceWriter(TraceByteSink* sink, TraceWriteOptions options = {});
+
+  // Writes the file header. Must be called exactly once, first.
+  Status Begin();
+
+  // Buffers events, flushing every completed chunk through the sink.
+  Status Append(const Event& event);
+  Status AppendEvents(const Event* events, size_t count);
+  Status AppendEvents(const std::vector<Event>& events) {
+    return AppendEvents(events.data(), events.size());
+  }
+
+  // EventStreamSink: lets a Recorder stream straight into the writer.
+  Status OnRecordedEvents(const Event* events, size_t count) override {
+    return AppendEvents(events, count);
+  }
+
+  // Flushes the final partial chunk, writes metadata / snapshot /
+  // checkpoint / footer / trailer sections, and closes the sink.
+  Status Finish(const TraceFinishInfo& info);
+
+  uint64_t events_written() const { return total_events_; }
+  // Bytes handed to the sink so far (the eventual file size after Finish).
+  uint64_t bytes_written() const { return offset_; }
+  const TraceWriteOptions& options() const { return options_; }
+  // The effective chunk size: options().events_per_chunk with 0 defaulted
+  // and the kMaxChunkEvents format ceiling applied. Feed this (not the
+  // raw option) to anything that buffers per-chunk, e.g.
+  // Recorder::SetStreamSink.
+  uint64_t events_per_chunk() const { return events_per_chunk_; }
+
+ private:
+  Status FlushChunk();
+  // Appends a framed section and returns its offset in the stream.
+  Result<uint64_t> WriteSection(TraceSection kind,
+                                const std::vector<uint8_t>& payload,
+                                bool allow_compress,
+                                TraceFilter filter = TraceFilter::kNone);
+
+  TraceByteSink* sink_;
+  TraceWriteOptions options_;
+  uint64_t events_per_chunk_;
+  bool begun_ = false;
+  bool finished_ = false;
+  Status status_;  // first sink/serialization error, sticky
+
+  std::vector<Event> pending_;  // current partial chunk
+  uint64_t total_events_ = 0;
+  uint64_t offset_ = 0;  // bytes written to the sink
+  TraceFooter footer_;
+  CheckpointBuilder checkpoints_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_STREAMING_WRITER_H_

@@ -1,7 +1,10 @@
 #include "src/trace/trace_format.h"
 
+#include <algorithm>
+
 #include "src/trace/block_compress.h"
 #include "src/util/crc32.h"
+#include "src/util/string_util.h"
 
 namespace ddr {
 
@@ -75,10 +78,10 @@ Result<TraceFooter> TraceFooter::Decode(const std::vector<uint8_t>& bytes) {
   return footer;
 }
 
-uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
-                            const std::vector<uint8_t>& payload,
-                            bool allow_compress) {
-  const uint64_t offset = out->size();
+std::vector<uint8_t> EncodeTraceSection(TraceSection kind,
+                                        const std::vector<uint8_t>& payload,
+                                        bool allow_compress,
+                                        TraceFilter filter) {
   TraceCodec codec = TraceCodec::kRaw;
   const std::vector<uint8_t>* stored = &payload;
   std::vector<uint8_t> compressed;
@@ -92,18 +95,28 @@ uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
 
   Encoder encoder;
   encoder.PutFixed8(static_cast<uint8_t>(kind));
-  encoder.PutFixed8(static_cast<uint8_t>(codec));
+  encoder.PutFixed8(static_cast<uint8_t>(
+      (static_cast<uint8_t>(filter) << 4) | static_cast<uint8_t>(codec)));
   encoder.PutVarint64(payload.size());
   encoder.PutVarint64(stored->size());
-  const std::vector<uint8_t>& framing = encoder.buffer();
-  out->insert(out->end(), framing.begin(), framing.end());
-  out->insert(out->end(), stored->begin(), stored->end());
+  std::vector<uint8_t> out = encoder.TakeBuffer();
+  out.insert(out.end(), stored->begin(), stored->end());
 
   const uint32_t crc = Crc32(stored->data(), stored->size());
   Encoder crc_encoder;
   crc_encoder.PutFixed32(crc);
   const std::vector<uint8_t>& crc_bytes = crc_encoder.buffer();
-  out->insert(out->end(), crc_bytes.begin(), crc_bytes.end());
+  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  return out;
+}
+
+uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
+                            const std::vector<uint8_t>& payload,
+                            bool allow_compress, TraceFilter filter) {
+  const uint64_t offset = out->size();
+  const std::vector<uint8_t> section =
+      EncodeTraceSection(kind, payload, allow_compress, filter);
+  out->insert(out->end(), section.begin(), section.end());
   return offset;
 }
 
@@ -111,18 +124,109 @@ Result<TraceSectionHeader> DecodeTraceSectionHeader(Decoder* decoder) {
   TraceSectionHeader header;
   ASSIGN_OR_RETURN(uint8_t kind, decoder->GetFixed8());
   if (kind < static_cast<uint8_t>(TraceSection::kMetadata) ||
-      kind > static_cast<uint8_t>(TraceSection::kFooter)) {
+      kind > static_cast<uint8_t>(TraceSection::kCorpusIndex)) {
     return InvalidArgumentError("unknown trace section kind");
   }
   header.kind = static_cast<TraceSection>(kind);
-  ASSIGN_OR_RETURN(uint8_t codec, decoder->GetFixed8());
+  ASSIGN_OR_RETURN(uint8_t packed, decoder->GetFixed8());
+  const uint8_t codec = packed & 0x0F;
+  const uint8_t filter = packed >> 4;
   if (codec > static_cast<uint8_t>(TraceCodec::kDdrz)) {
     return InvalidArgumentError("unknown trace section codec");
   }
+  if (filter > static_cast<uint8_t>(TraceFilter::kVarintDelta)) {
+    return InvalidArgumentError("unknown trace section filter");
+  }
   header.codec = static_cast<TraceCodec>(codec);
+  header.filter = static_cast<TraceFilter>(filter);
   ASSIGN_OR_RETURN(header.uncompressed_size, decoder->GetVarint64());
   ASSIGN_OR_RETURN(header.stored_size, decoder->GetVarint64());
   return header;
+}
+
+namespace {
+
+// Section framing never exceeds kind + filter/codec + two max-width varints.
+constexpr size_t kMaxSectionHeaderBytes = 2 + 10 + 10;
+
+Status CheckSectionSize(uint64_t claimed, uint64_t limit, const char* what) {
+  if (claimed > limit) {
+    return InvalidArgumentError(StrPrintf(
+        "trace %s size %llu exceeds window size %llu", what,
+        static_cast<unsigned long long>(claimed),
+        static_cast<unsigned long long>(limit)));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> ReadTraceSectionFromStream(
+    std::istream& stream, uint64_t base, uint64_t offset, uint64_t limit,
+    TraceSection expected_kind, TraceFilter* filter_out, uint64_t* bytes_read) {
+  if (offset >= limit) {
+    return InvalidArgumentError("trace section offset past end of window");
+  }
+  const size_t header_bytes = static_cast<size_t>(
+      std::min<uint64_t>(kMaxSectionHeaderBytes, limit - offset));
+  std::vector<uint8_t> header(header_bytes);
+  stream.clear();
+  stream.seekg(static_cast<std::streamoff>(base + offset));
+  stream.read(reinterpret_cast<char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+  if (!stream) {
+    return UnavailableError("short read on trace section header");
+  }
+  if (bytes_read != nullptr) {
+    *bytes_read += header.size();
+  }
+
+  Decoder decoder(header);
+  ASSIGN_OR_RETURN(TraceSectionHeader section, DecodeTraceSectionHeader(&decoder));
+  if (section.kind != expected_kind) {
+    return InvalidArgumentError("trace section kind mismatch");
+  }
+  RETURN_IF_ERROR(CheckSectionSize(section.stored_size, limit, "section"));
+  RETURN_IF_ERROR(
+      CheckSectionSize(section.uncompressed_size, /*limit=*/1u << 30, "section"));
+  const uint64_t payload_offset = offset + (header.size() - decoder.remaining());
+  if (payload_offset + section.stored_size + 4 > limit) {
+    return InvalidArgumentError("trace section payload past end of window");
+  }
+
+  std::vector<uint8_t> stored(static_cast<size_t>(section.stored_size) + 4);
+  stream.seekg(static_cast<std::streamoff>(base + payload_offset));
+  stream.read(reinterpret_cast<char*>(stored.data()),
+              static_cast<std::streamsize>(stored.size()));
+  if (!stream) {
+    return UnavailableError("short read on trace section payload");
+  }
+  if (bytes_read != nullptr) {
+    *bytes_read += stored.size();
+  }
+
+  // Trailing fixed32 CRC covers the stored payload bytes.
+  Decoder crc_decoder(stored.data() + section.stored_size, 4);
+  ASSIGN_OR_RETURN(uint32_t expected_crc, crc_decoder.GetFixed32());
+  stored.resize(static_cast<size_t>(section.stored_size));
+  const uint32_t actual_crc = Crc32(stored.data(), stored.size());
+  if (actual_crc != expected_crc) {
+    return InvalidArgumentError(
+        StrPrintf("trace section CRC mismatch: stored %08x, computed %08x",
+                  expected_crc, actual_crc));
+  }
+  if (filter_out != nullptr) {
+    *filter_out = section.filter;
+  }
+
+  if (section.codec == TraceCodec::kRaw) {
+    if (stored.size() != section.uncompressed_size) {
+      return InvalidArgumentError("raw trace section size mismatch");
+    }
+    return stored;
+  }
+  return DecompressBlock(stored.data(), stored.size(),
+                         static_cast<size_t>(section.uncompressed_size));
 }
 
 }  // namespace ddr

@@ -4,28 +4,43 @@
 // ships to the developer running replay. Layout:
 //
 //   [header]      12 bytes: magic "DDRT", version, flags
+//   [chunk]*      sections: event chunks, `events_per_chunk` events each
 //   [metadata]    section: model, scenario, counts, overhead ledger
 //   [snapshot]    section: FailureSnapshot (the bug report)
-//   [chunk]*      sections: event chunks, `events_per_chunk` events each
 //   [checkpoints] section: CheckpointIndex for partial replay
 //   [footer]      section: offsets of everything above + per-chunk table
 //   [trailer]     12 bytes: footer offset + magic "TRDD"
+//
+// Sections are located through the footer, never by position, so their
+// order in the file is a writer choice: the streaming writer emits event
+// chunks first (they exist before the run's metadata does) and the
+// metadata/snapshot/checkpoint sections once the recording finishes.
 //
 // Every section is independently framed, optionally block-compressed
 // (src/trace/block_compress.h) and CRC-32 checked, so a reader can verify
 // or decode any chunk without touching the rest of the file, and a
 // truncated/corrupt file fails with a Status instead of garbage.
 //
-//   section := kind u8 | codec u8 | uncompressed_size varint |
+//   section := kind u8 | filter/codec u8 | uncompressed_size varint |
 //              stored_size varint | payload[stored_size] | crc32 fixed32
+//
+// The second framing byte packs two values: the low nibble is the byte
+// codec (raw / ddrz), the high nibble the payload pre-filter id (event
+// chunks may be varint-delta filtered before compression). Files written
+// before filters existed carry a zero high nibble and decode unchanged.
 //
 // The trailer is fixed-width so `Open` can find the footer by reading the
 // last 12 bytes; the footer then gives random access to all sections.
+//
+// A corpus bundle (DDRC v1, src/trace/corpus.h) embeds whole DDRT images
+// back to back and indexes them with a kCorpusIndex section; the shared
+// section framing (and CRC discipline) is what makes that reuse free.
 
 #ifndef SRC_TRACE_TRACE_FORMAT_H_
 #define SRC_TRACE_TRACE_FORMAT_H_
 
 #include <cstdint>
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -37,8 +52,22 @@ namespace ddr {
 inline constexpr uint32_t kTraceFileMagic = 0x54524444u;   // "DDRT"
 inline constexpr uint32_t kTraceTrailerMagic = 0x44445254u;  // "TRDD"
 inline constexpr uint32_t kTraceFormatVersion = 1;
+// Stamped instead of kTraceFormatVersion when any chunk pre-filter is in
+// use, so a version-1-only reader reports a clean "unsupported version"
+// for filtered files rather than a corruption-shaped codec error.
+// Unfiltered files keep version 1 and stay readable by older readers.
+inline constexpr uint32_t kTraceFormatVersionFiltered = 2;
 inline constexpr size_t kTraceHeaderBytes = 12;   // magic + version + flags
 inline constexpr size_t kTraceTrailerBytes = 12;  // footer offset + magic
+
+// Format ceiling on events per chunk, enforced by writers (options are
+// clamped) and readers (larger counts are rejected). Decoders allocate
+// event storage up front, so without a ceiling a crafted-but-decodable
+// chunk (e.g. a tiny ddrz block inflating to 1 GiB of zeros, which *is* a
+// valid varint stream) could demand tens of gigabytes; with it, the worst
+// crafted allocation is ~300 MB — the same order as the section payload
+// cap itself.
+inline constexpr uint64_t kMaxChunkEvents = 1ull << 22;  // 4M events
 
 enum class TraceSection : uint8_t {
   kMetadata = 1,
@@ -46,11 +75,20 @@ enum class TraceSection : uint8_t {
   kEventChunk = 3,
   kCheckpointIndex = 4,
   kFooter = 5,
+  kCorpusIndex = 6,  // DDRC bundles only (src/trace/corpus.h)
 };
 
 enum class TraceCodec : uint8_t {
   kRaw = 0,
   kDdrz = 1,  // block LZ from src/trace/block_compress.h
+};
+
+// Payload pre-filter applied before the byte codec. Filters re-encode the
+// section payload into a form that compresses better; kVarintDelta is the
+// columnar delta event-chunk encoding from src/trace/chunk_codec.h.
+enum class TraceFilter : uint8_t {
+  kNone = 0,
+  kVarintDelta = 1,
 };
 
 // Everything about the recording that is not the event payload itself.
@@ -93,22 +131,42 @@ struct TraceFooter {
   static Result<TraceFooter> Decode(const std::vector<uint8_t>& bytes);
 };
 
-// Appends a framed section to `out`. Compresses with ddrz when
-// `allow_compress` and compression actually shrinks the payload.
-// Returns the section's offset within `out`.
+// Encodes a complete framed section (framing + payload + CRC). Compresses
+// with ddrz when `allow_compress` and compression actually shrinks the
+// payload. `filter` records how the payload bytes were pre-filtered — the
+// caller applies the filter, this only stamps its id into the framing.
+std::vector<uint8_t> EncodeTraceSection(TraceSection kind,
+                                        const std::vector<uint8_t>& payload,
+                                        bool allow_compress,
+                                        TraceFilter filter = TraceFilter::kNone);
+
+// Appends a framed section to `out`; returns the section's offset in `out`.
 uint64_t AppendTraceSection(std::vector<uint8_t>* out, TraceSection kind,
                             const std::vector<uint8_t>& payload,
-                            bool allow_compress);
+                            bool allow_compress,
+                            TraceFilter filter = TraceFilter::kNone);
 
 // Parsed section framing (not including payload bytes).
 struct TraceSectionHeader {
   TraceSection kind = TraceSection::kMetadata;
   TraceCodec codec = TraceCodec::kRaw;
+  TraceFilter filter = TraceFilter::kNone;
   uint64_t uncompressed_size = 0;
   uint64_t stored_size = 0;
 };
 
 Result<TraceSectionHeader> DecodeTraceSectionHeader(Decoder* decoder);
+
+// Reads, CRC-checks, and decompresses one framed section from an open
+// stream. `base + offset` is the section's absolute file position and
+// `limit` the number of bytes in the window it must fit inside (the file
+// size for a bare trace, the embedded image length for a corpus entry).
+// On success the decoded (post-codec, still pre-filter) payload is
+// returned; `filter_out`/`bytes_read` report the recorded pre-filter and
+// the framing + payload bytes pulled from the stream.
+Result<std::vector<uint8_t>> ReadTraceSectionFromStream(
+    std::istream& stream, uint64_t base, uint64_t offset, uint64_t limit,
+    TraceSection expected_kind, TraceFilter* filter_out, uint64_t* bytes_read);
 
 }  // namespace ddr
 

@@ -3,17 +3,13 @@
 #include <algorithm>
 #include <limits>
 
-#include "src/trace/block_compress.h"
-#include "src/util/crc32.h"
+#include "src/trace/chunk_codec.h"
 #include "src/util/hash.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
 
 namespace {
-
-// Section framing never exceeds kind + codec + two max-width varints.
-constexpr size_t kMaxSectionHeaderBytes = 2 + 10 + 10;
 
 // Sanity bound for section payloads: a section larger than the file is
 // corrupt framing, not a big trace.
@@ -30,21 +26,37 @@ Status CheckSize(uint64_t claimed, uint64_t file_size, const char* what) {
 }  // namespace
 
 Result<TraceReader> TraceReader::Open(const std::string& path) {
+  return OpenAt(path, /*base_offset=*/0, /*image_size=*/0);
+}
+
+Result<TraceReader> TraceReader::OpenAt(const std::string& path,
+                                        uint64_t base_offset,
+                                        uint64_t image_size) {
   TraceReader reader;
   reader.path_ = path;
+  reader.base_offset_ = base_offset;
   reader.stream_.open(path, std::ios::binary);
   if (!reader.stream_) {
     return NotFoundError("cannot open trace file: " + path);
   }
   reader.stream_.seekg(0, std::ios::end);
-  reader.file_size_ = static_cast<uint64_t>(reader.stream_.tellg());
+  const uint64_t total_size = static_cast<uint64_t>(reader.stream_.tellg());
+  if (base_offset > total_size) {
+    return InvalidArgumentError("trace image offset past end of file: " + path);
+  }
+  reader.file_size_ =
+      image_size == 0 ? total_size - base_offset : image_size;
+  // Subtraction form: a crafted huge image_size must not wrap the sum.
+  if (reader.file_size_ > total_size - base_offset) {
+    return InvalidArgumentError("trace image extends past end of file: " + path);
+  }
   if (reader.file_size_ < kTraceHeaderBytes + kTraceTrailerBytes) {
     return InvalidArgumentError("trace file too small: " + path);
   }
 
   // Header.
   std::vector<uint8_t> header(kTraceHeaderBytes);
-  reader.stream_.seekg(0);
+  reader.stream_.seekg(static_cast<std::streamoff>(base_offset));
   reader.stream_.read(reinterpret_cast<char*>(header.data()),
                       static_cast<std::streamsize>(header.size()));
   if (!reader.stream_) {
@@ -58,7 +70,8 @@ Result<TraceReader> TraceReader::Open(const std::string& path) {
       return InvalidArgumentError("bad trace file magic");
     }
     ASSIGN_OR_RETURN(uint32_t version, decoder.GetFixed32());
-    if (version != kTraceFormatVersion) {
+    if (version != kTraceFormatVersion &&
+        version != kTraceFormatVersionFiltered) {
       return InvalidArgumentError(
           StrPrintf("unsupported trace format version %u", version));
     }
@@ -66,8 +79,8 @@ Result<TraceReader> TraceReader::Open(const std::string& path) {
 
   // Trailer -> footer.
   std::vector<uint8_t> trailer(kTraceTrailerBytes);
-  reader.stream_.seekg(
-      static_cast<std::streamoff>(reader.file_size_ - kTraceTrailerBytes));
+  reader.stream_.seekg(static_cast<std::streamoff>(
+      base_offset + reader.file_size_ - kTraceTrailerBytes));
   reader.stream_.read(reinterpret_cast<char*>(trailer.data()),
                       static_cast<std::streamsize>(trailer.size()));
   if (!reader.stream_) {
@@ -109,88 +122,19 @@ Result<TraceReader> TraceReader::Open(const std::string& path) {
 }
 
 Result<std::vector<uint8_t>> TraceReader::ReadSection(uint64_t offset,
-                                                      TraceSection expected_kind) {
-  if (offset >= file_size_) {
-    return InvalidArgumentError("trace section offset past end of file");
-  }
-  const size_t header_bytes = static_cast<size_t>(
-      std::min<uint64_t>(kMaxSectionHeaderBytes, file_size_ - offset));
-  std::vector<uint8_t> header(header_bytes);
-  stream_.clear();
-  stream_.seekg(static_cast<std::streamoff>(offset));
-  stream_.read(reinterpret_cast<char*>(header.data()),
-               static_cast<std::streamsize>(header.size()));
-  if (!stream_) {
-    return UnavailableError("short read on trace section header");
-  }
-  bytes_read_ += header.size();
-
-  Decoder decoder(header);
-  ASSIGN_OR_RETURN(TraceSectionHeader section, DecodeTraceSectionHeader(&decoder));
-  if (section.kind != expected_kind) {
-    return InvalidArgumentError("trace section kind mismatch");
-  }
-  RETURN_IF_ERROR(CheckSize(section.stored_size, file_size_, "section"));
-  RETURN_IF_ERROR(
-      CheckSize(section.uncompressed_size, /*file_size=*/1u << 30, "section"));
-  const uint64_t payload_offset = offset + (header.size() - decoder.remaining());
-  if (payload_offset + section.stored_size + 4 > file_size_) {
-    return InvalidArgumentError("trace section payload past end of file");
-  }
-
-  std::vector<uint8_t> stored(static_cast<size_t>(section.stored_size) + 4);
-  stream_.seekg(static_cast<std::streamoff>(payload_offset));
-  stream_.read(reinterpret_cast<char*>(stored.data()),
-               static_cast<std::streamsize>(stored.size()));
-  if (!stream_) {
-    return UnavailableError("short read on trace section payload");
-  }
-  bytes_read_ += stored.size();
-
-  // Trailing fixed32 CRC covers the stored payload bytes.
-  Decoder crc_decoder(stored.data() + section.stored_size, 4);
-  ASSIGN_OR_RETURN(uint32_t expected_crc, crc_decoder.GetFixed32());
-  stored.resize(static_cast<size_t>(section.stored_size));
-  const uint32_t actual_crc = Crc32(stored.data(), stored.size());
-  if (actual_crc != expected_crc) {
-    return InvalidArgumentError(
-        StrPrintf("trace section CRC mismatch: stored %08x, computed %08x",
-                  expected_crc, actual_crc));
-  }
-
-  if (section.codec == TraceCodec::kRaw) {
-    if (stored.size() != section.uncompressed_size) {
-      return InvalidArgumentError("raw trace section size mismatch");
-    }
-    return stored;
-  }
-  return DecompressBlock(stored.data(), stored.size(),
-                         static_cast<size_t>(section.uncompressed_size));
+                                                      TraceSection expected_kind,
+                                                      TraceFilter* filter) {
+  return ReadTraceSectionFromStream(stream_, base_offset_, offset, file_size_,
+                                    expected_kind, filter, &bytes_read_);
 }
 
 Result<std::vector<Event>> TraceReader::DecodeChunk(const TraceChunkInfo& chunk) {
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                   ReadSection(chunk.file_offset, TraceSection::kEventChunk));
-  Decoder decoder(payload);
-  ASSIGN_OR_RETURN(uint64_t first, decoder.GetVarint64());
-  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
-  if (first != chunk.first_event || count != chunk.event_count) {
-    return InvalidArgumentError("chunk payload disagrees with footer index");
-  }
-  std::vector<Event> events;
-  // Cap the reservation by the actual decoded payload (an event encodes to
-  // several bytes, so payload size strictly bounds the event count): a
-  // crafted count in a self-consistent chunk+footer must fail in the decode
-  // loop below, not abort inside reserve().
-  events.reserve(static_cast<size_t>(std::min<uint64_t>(count, payload.size())));
-  for (uint64_t i = 0; i < count; ++i) {
-    ASSIGN_OR_RETURN(Event event, Event::DecodeFrom(&decoder));
-    events.push_back(event);
-  }
-  if (!decoder.Done()) {
-    return InvalidArgumentError("trailing bytes after chunk events");
-  }
-  return events;
+  TraceFilter filter = TraceFilter::kNone;
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      ReadSection(chunk.file_offset, TraceSection::kEventChunk, &filter));
+  return DecodeEventChunkPayload(payload, filter, chunk.first_event,
+                                 chunk.event_count);
 }
 
 Result<EventLog> TraceReader::ReadAllEvents() {

@@ -23,12 +23,20 @@ class TraceReader {
  public:
   static Result<TraceReader> Open(const std::string& path);
 
+  // Opens a DDRT image embedded in a larger file (a DDRC corpus bundle):
+  // the image spans [base_offset, base_offset + image_size) of `path`.
+  // `image_size` 0 means "through end of file".
+  static Result<TraceReader> OpenAt(const std::string& path,
+                                    uint64_t base_offset, uint64_t image_size);
+
   const std::string& path() const { return path_; }
   const TraceMetadata& metadata() const { return metadata_; }
   const FailureSnapshot& snapshot() const { return snapshot_; }
   const CheckpointIndex& checkpoints() const { return checkpoints_; }
   const std::vector<TraceChunkInfo>& chunks() const { return footer_.chunks; }
   uint64_t total_events() const { return footer_.total_events; }
+  // Size of the DDRT image (the whole file for Open, the embedded window
+  // for OpenAt).
   uint64_t file_size() const { return file_size_; }
   // Total payload + framing bytes pulled from disk so far.
   uint64_t bytes_read() const { return bytes_read_; }
@@ -52,11 +60,13 @@ class TraceReader {
   TraceReader() = default;
 
   Result<std::vector<uint8_t>> ReadSection(uint64_t offset,
-                                           TraceSection expected_kind);
+                                           TraceSection expected_kind,
+                                           TraceFilter* filter = nullptr);
   Result<std::vector<Event>> DecodeChunk(const TraceChunkInfo& chunk);
 
   std::string path_;
   mutable std::ifstream stream_;
+  uint64_t base_offset_ = 0;  // nonzero for corpus-embedded images
   uint64_t file_size_ = 0;
   uint64_t bytes_read_ = 0;
 

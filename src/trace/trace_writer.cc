@@ -1,113 +1,39 @@
 #include "src/trace/trace_writer.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <fstream>
+#include "src/util/logging.h"
 
 namespace ddr {
 
-std::vector<uint8_t> TraceWriter::Serialize(const RecordedExecution& recording) const {
-  const uint64_t events_per_chunk =
-      options_.events_per_chunk == 0 ? 512 : options_.events_per_chunk;
-  const std::vector<Event>& events = recording.log.events();
+TraceFinishInfo FinishInfoFor(const RecordedExecution& recording) {
+  TraceFinishInfo info;
+  info.model = recording.model;
+  info.snapshot = recording.snapshot;
+  info.recorded_bytes = recording.recorded_bytes;
+  info.overhead_nanos = recording.overhead_nanos;
+  info.cpu_nanos = recording.cpu_nanos;
+  info.intercepted_events = recording.intercepted_events;
+  info.recorded_events = recording.recorded_events;
+  return info;
+}
 
-  std::vector<uint8_t> file;
-  // Header.
-  {
-    Encoder encoder;
-    encoder.PutFixed32(kTraceFileMagic);
-    encoder.PutFixed32(kTraceFormatVersion);
-    encoder.PutFixed32(0);  // flags, reserved
-    const std::vector<uint8_t>& bytes = encoder.buffer();
-    file.insert(file.end(), bytes.begin(), bytes.end());
-  }
-
-  TraceFooter footer;
-  footer.total_events = events.size();
-
-  // Metadata.
-  {
-    TraceMetadata meta;
-    meta.model = recording.model;
-    meta.scenario = options_.scenario;
-    meta.event_count = events.size();
-    meta.events_per_chunk = events_per_chunk;
-    meta.recorded_bytes = recording.recorded_bytes;
-    meta.overhead_nanos = recording.overhead_nanos;
-    meta.cpu_nanos = recording.cpu_nanos;
-    meta.intercepted_events = recording.intercepted_events;
-    meta.recorded_events = recording.recorded_events;
-    meta.original_wall_seconds = options_.original_wall_seconds;
-    footer.metadata_offset = AppendTraceSection(
-        &file, TraceSection::kMetadata, meta.Encode(), options_.compress);
-  }
-
-  // Snapshot.
-  footer.snapshot_offset =
-      AppendTraceSection(&file, TraceSection::kSnapshot,
-                         recording.snapshot.Encode(), options_.compress);
-
-  // Event chunks.
-  for (uint64_t first = 0; first < events.size(); first += events_per_chunk) {
-    const uint64_t count =
-        std::min<uint64_t>(events_per_chunk, events.size() - first);
-    Encoder encoder;
-    encoder.PutVarint64(first);
-    encoder.PutVarint64(count);
-    for (uint64_t i = 0; i < count; ++i) {
-      events[first + i].EncodeTo(&encoder);
-    }
-    TraceChunkInfo chunk;
-    chunk.first_event = first;
-    chunk.event_count = count;
-    chunk.file_offset = AppendTraceSection(&file, TraceSection::kEventChunk,
-                                           encoder.buffer(), options_.compress);
-    footer.chunks.push_back(chunk);
-  }
-
-  // Checkpoint index. Fingerprint verification during partial replay is
-  // only sound when the log is the full intercepted stream.
-  {
-    const bool full_stream =
-        recording.intercepted_events == recording.recorded_events &&
-        recording.recorded_events == events.size();
-    const CheckpointIndex index = BuildCheckpointIndex(
-        recording.log, options_.checkpoint_interval, events_per_chunk,
-        full_stream);
-    footer.checkpoint_offset =
-        AppendTraceSection(&file, TraceSection::kCheckpointIndex,
-                           index.Encode(), options_.compress);
-  }
-
-  // Footer + trailer. The footer is stored raw so its offset math never
-  // depends on compression behavior.
-  const uint64_t footer_offset = AppendTraceSection(
-      &file, TraceSection::kFooter, footer.Encode(), /*allow_compress=*/false);
-  {
-    Encoder encoder;
-    encoder.PutFixed64(footer_offset);
-    encoder.PutFixed32(kTraceTrailerMagic);
-    const std::vector<uint8_t>& bytes = encoder.buffer();
-    file.insert(file.end(), bytes.begin(), bytes.end());
-  }
-  return file;
+std::vector<uint8_t> TraceWriter::Serialize(
+    const RecordedExecution& recording) const {
+  BufferByteSink sink;
+  StreamingTraceWriter writer(&sink, options_);
+  // A buffer sink cannot fail, so these statuses are structural invariants.
+  CHECK(writer.Begin().ok());
+  CHECK(writer.AppendEvents(recording.log.events()).ok());
+  CHECK(writer.Finish(FinishInfoFor(recording)).ok());
+  return sink.TakeBuffer();
 }
 
 Status TraceWriter::WriteFile(const std::string& path,
                               const RecordedExecution& recording) const {
-  const std::vector<uint8_t> image = Serialize(recording);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return UnavailableError("cannot open trace file for writing: " + path);
-  }
-  out.write(reinterpret_cast<const char*>(image.data()),
-            static_cast<std::streamsize>(image.size()));
-  out.flush();
-  if (!out) {
-    std::remove(path.c_str());
-    return UnavailableError("short write to trace file: " + path);
-  }
-  return OkStatus();
+  AtomicFileSink sink(path);
+  StreamingTraceWriter writer(&sink, options_);
+  RETURN_IF_ERROR(writer.Begin());
+  RETURN_IF_ERROR(writer.AppendEvents(recording.log.events()));
+  return writer.Finish(FinishInfoFor(recording));
 }
 
 }  // namespace ddr

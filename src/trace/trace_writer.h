@@ -1,5 +1,8 @@
-// TraceWriter: serializes a RecordedExecution into the DDRT v1 chunked
-// file format (see trace_format.h).
+// TraceWriter: buffered convenience wrapper that serializes a finished
+// RecordedExecution into the DDRT v1 chunked file format. Internally it
+// drives StreamingTraceWriter (src/trace/streaming_writer.h), so a
+// recording streamed to disk during the run and one serialized after the
+// fact produce bit-identical files.
 
 #ifndef SRC_TRACE_TRACE_WRITER_H_
 #define SRC_TRACE_TRACE_WRITER_H_
@@ -8,26 +11,15 @@
 #include <vector>
 
 #include "src/record/recorded_execution.h"
-#include "src/trace/checkpoint.h"
-#include "src/trace/trace_format.h"
+#include "src/trace/streaming_writer.h"
+#include "src/trace/trace_writer_options.h"
 
 namespace ddr {
 
-struct TraceWriteOptions {
-  // Events per chunk; the unit of partial decode. Small chunks seek finer,
-  // large chunks compress better.
-  uint64_t events_per_chunk = 512;
-  // Emit a ReplayCheckpoint every N log events (0 = no checkpoints).
-  uint64_t checkpoint_interval = 256;
-  // Block-compress sections that shrink (incompressible sections are
-  // stored raw automatically).
-  bool compress = true;
-  // Scenario name stamped into metadata so `ddr-trace replay` can rebuild
-  // the program. Optional.
-  std::string scenario;
-  // Production-run wall time for post-reload efficiency scoring. Optional.
-  double original_wall_seconds = 0.0;
-};
+// Collects the run-end totals the streaming writer's Finish needs from a
+// RecordedExecution (the scenario / wall-seconds fields stay unset so the
+// writer falls back to its options).
+TraceFinishInfo FinishInfoFor(const RecordedExecution& recording);
 
 class TraceWriter {
  public:
@@ -37,7 +29,9 @@ class TraceWriter {
   // Serializes `recording` to the complete file image (header..trailer).
   std::vector<uint8_t> Serialize(const RecordedExecution& recording) const;
 
-  // Serializes and writes atomically-ish (write to path, fail on I/O error).
+  // Serializes and writes atomically: the image lands in a uniquely named
+  // temp file beside `path` (see AtomicFileSink) and is renamed into
+  // place only when complete, so `path` never holds a torn file.
   Status WriteFile(const std::string& path,
                    const RecordedExecution& recording) const;
 

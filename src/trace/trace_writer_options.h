@@ -1,0 +1,36 @@
+// Options shared by the buffered (TraceWriter) and streaming
+// (StreamingTraceWriter) DDRT serializers.
+
+#ifndef SRC_TRACE_TRACE_WRITER_OPTIONS_H_
+#define SRC_TRACE_TRACE_WRITER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace_format.h"
+
+namespace ddr {
+
+struct TraceWriteOptions {
+  // Events per chunk; the unit of partial decode. Small chunks seek finer,
+  // large chunks compress better.
+  uint64_t events_per_chunk = 512;
+  // Emit a ReplayCheckpoint every N log events (0 = no checkpoints).
+  uint64_t checkpoint_interval = 256;
+  // Block-compress sections that shrink (incompressible sections are
+  // stored raw automatically).
+  bool compress = true;
+  // Pre-filter for event chunks: kVarintDelta re-encodes each chunk
+  // columnar with delta'd counters before the ddrz pass (see
+  // src/trace/chunk_codec.h). Readers handle either transparently.
+  TraceFilter chunk_filter = TraceFilter::kNone;
+  // Scenario name stamped into metadata so `ddr-trace replay` can rebuild
+  // the program. Optional.
+  std::string scenario;
+  // Production-run wall time for post-reload efficiency scoring. Optional.
+  double original_wall_seconds = 0.0;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_TRACE_TRACE_WRITER_OPTIONS_H_

@@ -38,6 +38,10 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 // Splits on a single character, keeping empty pieces.
 std::vector<std::string> StrSplit(std::string_view text, char sep);
 
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, newlines, and other control characters).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace ddr
 
 #endif  // SRC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,482 @@
+// Tests for DDRC corpus bundles (src/trace/corpus.h), the scenario
+// registry, and the BatchRunner / ReplayCorpus pipeline.
+//
+// The acceptance properties: a corpus packs many named recordings into one
+// indexed, CRC-checked file whose entries round-trip exactly; BatchRunner
+// with N threads produces the same deterministic rows as 1 thread; and
+// replaying a corpus from disk scores identically to the in-memory
+// record->replay path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/scenarios.h"
+#include "src/core/batch_runner.h"
+#include "src/core/experiment.h"
+#include "src/trace/corpus.h"
+#include "src/trace/trace_writer.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+namespace {
+
+class ScopedPath {
+ public:
+  explicit ScopedPath(const std::string& tag)
+      : path_("corpus_test_" + tag + ".ddrc") {}
+  ~ScopedPath() { std::remove(path_.c_str()); }
+  const std::string& get() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+RecordedExecution MakeSyntheticRecording(uint64_t num_events,
+                                         uint64_t seed = 7) {
+  RecordedExecution recording;
+  recording.model = "synthetic";
+  Rng rng(seed);
+  for (uint64_t seq = 0; seq < num_events; ++seq) {
+    Event event;
+    event.seq = seq;
+    event.time = seq * 13;
+    event.fiber = static_cast<FiberId>(seq % 3);
+    event.obj = 2 + seq % 5;
+    event.value = rng.NextIndex(1 << 18);
+    event.type = seq % 2 == 0 ? EventType::kSharedRead : EventType::kRngDraw;
+    recording.log.Append(event);
+  }
+  recording.recorded_events = num_events;
+  recording.intercepted_events = num_events;
+  recording.recorded_bytes = recording.log.encoded_size_bytes();
+  recording.cpu_nanos = 500;
+  recording.overhead_nanos = 70;
+  return recording;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ----------------------------------------------------------------- Corpus
+
+TEST(CorpusTest, EmptyCorpusRoundtrips) {
+  ScopedPath path("empty");
+  CorpusWriter writer(path.get());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_TRUE(corpus->entries().empty());
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+  EXPECT_EQ(corpus->Find("anything"), nullptr);
+}
+
+TEST(CorpusTest, SingleRecordingRoundtripsEveryField) {
+  const RecordedExecution recording = MakeSyntheticRecording(700);
+  ScopedPath path("single");
+  TraceWriteOptions options;
+  options.events_per_chunk = 128;
+  options.checkpoint_interval = 200;
+  options.scenario = "synthetic-scenario";
+  options.original_wall_seconds = 1.25;
+
+  CorpusWriter writer(path.get());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Add("bugs/one", recording, options).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 1u);
+  const CorpusEntry& entry = corpus->entries()[0];
+  EXPECT_EQ(entry.name, "bugs/one");
+  EXPECT_EQ(entry.model, "synthetic");
+  EXPECT_EQ(entry.scenario, "synthetic-scenario");
+  EXPECT_EQ(entry.event_count, 700u);
+  EXPECT_DOUBLE_EQ(entry.original_wall_seconds, 1.25);
+
+  double wall = 0.0;
+  auto loaded = corpus->LoadRecording("bugs/one", &wall);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(wall, 1.25);
+  ASSERT_EQ(loaded->log.size(), recording.log.size());
+  for (size_t i = 0; i < recording.log.size(); ++i) {
+    EXPECT_EQ(loaded->log.events()[i].SemanticHash(),
+              recording.log.events()[i].SemanticHash());
+  }
+  EXPECT_EQ(loaded->recorded_bytes, recording.recorded_bytes);
+  EXPECT_EQ(loaded->intercepted_events, recording.intercepted_events);
+
+  // The embedded trace is a full TraceReader: partial reads and checkpoint
+  // access work through the corpus window.
+  auto trace = corpus->OpenTrace(entry);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->total_events(), 700u);
+  EXPECT_FALSE(trace->checkpoints().empty());
+  auto mid = trace->ReadEvents(300, 10);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->size(), 10u);
+  EXPECT_EQ((*mid)[0].SemanticHash(),
+            recording.log.events()[300].SemanticHash());
+
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+TEST(CorpusTest, StreamingAddMatchesBufferedAdd) {
+  const RecordedExecution recording = MakeSyntheticRecording(500);
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+
+  ScopedPath buffered("buffered");
+  {
+    CorpusWriter writer(buffered.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("r", recording, options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  // Same recording streamed in odd-sized batches: identical file bytes.
+  ScopedPath streamed("streamed");
+  {
+    CorpusWriter writer(streamed.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    auto stream = writer.BeginRecording("r", options);
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    const std::vector<Event>& events = recording.log.events();
+    for (size_t i = 0; i < events.size();) {
+      const size_t batch = std::min<size_t>(1 + i % 37, events.size() - i);
+      ASSERT_TRUE((*stream)->AppendEvents(events.data() + i, batch).ok());
+      i += batch;
+    }
+    ASSERT_TRUE(writer.FinishRecording(FinishInfoFor(recording)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  EXPECT_EQ(ReadFileBytes(buffered.get()), ReadFileBytes(streamed.get()));
+}
+
+TEST(CorpusTest, DuplicateNamesRejected) {
+  const RecordedExecution recording = MakeSyntheticRecording(50);
+  ScopedPath path("dup");
+  CorpusWriter writer(path.get());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Add("same", recording).ok());
+  const Status duplicate = writer.Add("same", recording);
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(writer.Add("different", recording).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->entries().size(), 2u);
+}
+
+TEST(CorpusTest, AtomicWriteLeavesNoPartialFile) {
+  const RecordedExecution recording = MakeSyntheticRecording(50);
+  ScopedPath path("atomic");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("r", recording).ok());
+    // No Finish: the bundle must not appear at the target path (the
+    // sink's own temp-file cleanup is covered by
+    // TraceWriterTest.AbandonedSinkRemovesItsTempFile).
+  }
+  std::ifstream target(path.get(), std::ios::binary);
+  EXPECT_FALSE(target.good());
+}
+
+TEST(CorpusTest, DetectsCorruptionAndTruncation) {
+  ScopedPath path("corrupt");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", MakeSyntheticRecording(300, 1)).ok());
+    ASSERT_TRUE(writer.Add("b", MakeSyntheticRecording(300, 2)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const std::vector<uint8_t> image = ReadFileBytes(path.get());
+
+  // A flipped byte inside an embedded trace: the index still opens, but
+  // verification of that entry fails.
+  {
+    std::vector<uint8_t> bad = image;
+    bad[bad.size() / 3] ^= 0x20;
+    WriteFileBytes(path.get(), bad);
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_FALSE(corpus->VerifyAll().ok());
+  }
+
+  // A flipped byte inside the index section (just before the trailer):
+  // Open itself fails on the index CRC.
+  {
+    std::vector<uint8_t> bad = image;
+    bad[bad.size() - kCorpusTrailerBytes - 4] ^= 0x40;
+    WriteFileBytes(path.get(), bad);
+    EXPECT_FALSE(CorpusReader::Open(path.get()).ok());
+  }
+
+  // Truncations: the trailer (and with it the index) is gone, so Open
+  // fails cleanly at every cut point.
+  for (size_t keep = 0; keep < image.size(); keep += image.size() / 13 + 1) {
+    WriteFileBytes(path.get(),
+                   std::vector<uint8_t>(image.begin(), image.begin() + keep));
+    EXPECT_FALSE(CorpusReader::Open(path.get()).ok()) << "prefix " << keep;
+  }
+}
+
+// A crafted entry whose window length wraps uint64 past the index offset
+// must be rejected at Open, not reach the embedded-trace reader.
+TEST(CorpusTest, CraftedEntryWindowWrapFailsCleanly) {
+  ScopedPath path("wrap");
+  Encoder index_payload;
+  index_payload.PutVarint64(1);  // one entry
+  index_payload.PutString("evil");
+  index_payload.PutVarint64(16);                      // offset
+  index_payload.PutVarint64(~0ull - 7);               // length: wraps the sum
+  index_payload.PutString("model");
+  index_payload.PutString("scenario");
+  index_payload.PutVarint64(1);
+  index_payload.PutDouble(0.0);
+
+  std::vector<uint8_t> image;
+  Encoder header;
+  header.PutFixed32(kCorpusFileMagic);
+  header.PutFixed32(kCorpusFormatVersion);
+  header.PutFixed32(0);
+  image = header.TakeBuffer();
+  image.resize(image.size() + 64);  // fake embedded-trace bytes
+  const uint64_t index_offset = AppendTraceSection(
+      &image, TraceSection::kCorpusIndex, index_payload.buffer(),
+      /*allow_compress=*/false);
+  Encoder trailer;
+  trailer.PutFixed64(index_offset);
+  trailer.PutFixed32(kCorpusTrailerMagic);
+  for (uint8_t byte : trailer.buffer()) {
+    image.push_back(byte);
+  }
+  WriteFileBytes(path.get(), image);
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A crafted index whose entry count vastly exceeds what its payload can
+// hold must fail with a Status in the guard, not abort inside the
+// entries allocation.
+TEST(CorpusTest, CraftedIndexCountFailsCleanly) {
+  ScopedPath path("crafted");
+  Encoder index_payload;
+  index_payload.PutVarint64(1u << 28);  // claimed entries, ~4-byte payload
+
+  std::vector<uint8_t> image;
+  Encoder header;
+  header.PutFixed32(kCorpusFileMagic);
+  header.PutFixed32(kCorpusFormatVersion);
+  header.PutFixed32(0);
+  image = header.TakeBuffer();
+  const uint64_t index_offset = AppendTraceSection(
+      &image, TraceSection::kCorpusIndex, index_payload.buffer(),
+      /*allow_compress=*/false);
+  Encoder trailer;
+  trailer.PutFixed64(index_offset);
+  trailer.PutFixed32(kCorpusTrailerMagic);
+  for (uint8_t byte : trailer.buffer()) {
+    image.push_back(byte);
+  }
+  WriteFileBytes(path.get(), image);
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(ScenarioRegistryTest, EnumeratesAllScenariosUniquely) {
+  const std::vector<BugScenario> scenarios = AllBugScenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  std::vector<std::string> names;
+  for (const BugScenario& scenario : scenarios) {
+    names.push_back(scenario.name);
+    EXPECT_NE(scenario.make_program, nullptr);
+    auto found = FindBugScenario(scenario.name);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found->name, scenario.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::unique(names.begin(), names.end()) == names.end());
+  EXPECT_EQ(FindBugScenario("no-such-bug").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ScenarioRegistryTest, ParseDeterminismModelRoundtrips) {
+  for (DeterminismModel model : AllDeterminismModels()) {
+    auto parsed = ParseDeterminismModel(DeterminismModelName(model));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, model);
+  }
+  // Recorder model-name strings map back too.
+  for (const char* name : {"rcse-code", "rcse-combined", "rcse-data", "rcse",
+                           "debug-rcse"}) {
+    auto parsed = ParseDeterminismModel(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, DeterminismModel::kDebugRcse);
+  }
+  EXPECT_FALSE(ParseDeterminismModel("quantum").ok());
+}
+
+// ------------------------------------------------------------ BatchRunner
+
+std::vector<BugScenario> FastScenarios() {
+  std::vector<BugScenario> scenarios;
+  scenarios.push_back(MakeSumScenario());
+  scenarios.push_back(MakeOverflowScenario());
+  return scenarios;
+}
+
+TEST(BatchRunnerTest, ParallelRowsMatchSequentialRows) {
+  BatchOptions sequential;
+  sequential.threads = 1;
+  sequential.models = {DeterminismModel::kPerfect, DeterminismModel::kValue,
+                       DeterminismModel::kFailure};
+  BatchOptions parallel = sequential;
+  parallel.threads = 4;
+
+  auto seq_report = BatchRunner(FastScenarios(), sequential).Run();
+  ASSERT_TRUE(seq_report.ok()) << seq_report.status();
+  auto par_report = BatchRunner(FastScenarios(), parallel).Run();
+  ASSERT_TRUE(par_report.ok()) << par_report.status();
+
+  ASSERT_EQ(seq_report->cells.size(), 6u);
+  ASSERT_EQ(par_report->cells.size(), seq_report->cells.size());
+  for (size_t i = 0; i < seq_report->cells.size(); ++i) {
+    EXPECT_EQ(RowSignature(par_report->cells[i]),
+              RowSignature(seq_report->cells[i]))
+        << "cell " << i;
+  }
+}
+
+TEST(BatchRunnerTest, WritesCorpusAndReportEndToEnd) {
+  ScopedPath corpus_path("batch");
+  BatchOptions options;
+  options.threads = 4;
+  options.models = {DeterminismModel::kPerfect, DeterminismModel::kFailure};
+  options.corpus_path = corpus_path.get();
+  options.trace_options.events_per_chunk = 64;
+  options.trace_options.chunk_filter = TraceFilter::kVarintDelta;
+
+  auto report = BatchRunner(FastScenarios(), options).Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->cells.size(), 4u);
+
+  auto corpus = CorpusReader::Open(corpus_path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 4u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+  for (size_t i = 0; i < report->cells.size(); ++i) {
+    EXPECT_EQ(corpus->entries()[i].name, report->cells[i].recording_name);
+    EXPECT_EQ(corpus->entries()[i].scenario, report->cells[i].scenario);
+  }
+
+  // The machine-readable report has one JSON object per cell.
+  const std::string json = report->ToJsonLines();
+  size_t lines = 0;
+  for (char c : json) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, report->cells.size());
+  EXPECT_NE(json.find("\"scenario\":\"sum\""), std::string::npos);
+}
+
+// Replaying the corpus from disk scores identically to the in-memory
+// record -> replay pipeline (the PR's acceptance property).
+TEST(BatchRunnerTest, CorpusReplayMatchesInMemoryRows) {
+  ScopedPath corpus_path("replaymatch");
+  BatchOptions options;
+  options.threads = 2;
+  options.models = {DeterminismModel::kPerfect, DeterminismModel::kValue,
+                    DeterminismModel::kFailure, DeterminismModel::kDebugRcse};
+  options.corpus_path = corpus_path.get();
+
+  auto built = BatchRunner(FastScenarios(), options).Run();
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  auto replayed = ReplayCorpus(corpus_path.get(), FastScenarios(),
+                               /*threads=*/4);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+
+  ASSERT_EQ(replayed->cells.size(), built->cells.size());
+  for (size_t i = 0; i < built->cells.size(); ++i) {
+    EXPECT_EQ(RowSignature(replayed->cells[i]), RowSignature(built->cells[i]))
+        << "cell " << i;
+  }
+}
+
+// A harness can stream a live recording directly into a corpus entry:
+// RecordStreaming hands back the finish info and the corpus owns the
+// writer lifecycle.
+TEST(BatchRunnerTest, HarnessStreamsDirectlyIntoCorpus) {
+  BugScenario scenario = MakeSumScenario();
+  ExperimentHarness harness(scenario);
+  ASSERT_TRUE(harness.Prepare().ok());
+
+  ScopedPath path("streamed_entry");
+  CorpusWriter corpus(path.get());
+  ASSERT_TRUE(corpus.Begin().ok());
+  auto writer = corpus.BeginRecording("sum/streamed");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  auto info = harness.RecordStreaming(DeterminismModel::kPerfect, *writer);
+  ASSERT_TRUE(info.ok()) << info.status();
+  ASSERT_TRUE(corpus.FinishRecording(*info).ok());
+  ASSERT_TRUE(corpus.Finish().ok());
+
+  auto reader = CorpusReader::Open(path.get());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->entries().size(), 1u);
+  EXPECT_EQ(reader->entries()[0].scenario, "sum");
+  EXPECT_EQ(reader->entries()[0].model, "perfect");
+  EXPECT_TRUE(reader->VerifyAll().ok());
+
+  // The streamed entry replays like any other recording.
+  auto replayed = ReplayCorpus(path.get(), AllBugScenarios());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_EQ(replayed->cells.size(), 1u);
+  EXPECT_TRUE(replayed->cells[0].row.failure_reproduced);
+}
+
+TEST(BatchRunnerTest, ReplayCorpusRejectsUnknownScenario) {
+  const RecordedExecution recording = MakeSyntheticRecording(20);
+  ScopedPath path("unknown");
+  TraceWriteOptions options;
+  options.scenario = "not-a-registered-scenario";
+  CorpusWriter writer(path.get());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Add("x", recording, options).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto replayed = ReplayCorpus(path.get(), AllBugScenarios());
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ddr

@@ -1,4 +1,5 @@
-// ddr-trace: inspect, verify, and replay DDRT trace files.
+// ddr-trace: inspect, verify, and replay DDRT trace files and DDRC
+// corpus bundles.
 //
 //   ddr-trace info <file>                     header, metadata, chunk +
 //                                             checkpoint tables, sizes
@@ -13,6 +14,14 @@
 //   ddr-trace record <scenario> <file> [--model NAME] [--chunk N] [--ckpt N]
 //                                             run a bundled bug scenario and
 //                                             save its recording
+//   ddr-trace corpus build  <file> [--scenarios a,b] [--models m1,m2]
+//                           [--threads N] [--chunk N] [--ckpt N] [--delta]
+//                           [--report path]   batch-record every scenario x
+//                                             model into one DDRC bundle
+//   ddr-trace corpus info   <file>            list bundle entries
+//   ddr-trace corpus verify <file>            verify every embedded trace
+//   ddr-trace corpus replay <file> [--threads N] [--report path]
+//                                             replay + score every entry
 //
 // Exit status: 0 on success/OK, 1 on usage error, 2 on a failed
 // verification or replay.
@@ -21,10 +30,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "src/apps/scenarios.h"
+#include "src/core/batch_runner.h"
+#include "src/trace/corpus.h"
 #include "src/trace/trace_reader.h"
 #include "src/trace/trace_store.h"
 #include "src/util/string_util.h"
@@ -40,27 +51,20 @@ void PrintUsage() {
                "  verify <file>                   verify CRCs and structure\n"
                "  replay <file> [--target N]      replay the recording\n"
                "  record <scenario> <file> [--model NAME] [--chunk N] "
-               "[--ckpt N]\n"
+               "[--ckpt N] [--delta]\n"
+               "  corpus build  <file> [--scenarios a,b] [--models m1,m2]\n"
+               "                [--threads N] [--chunk N] [--ckpt N] "
+               "[--delta] [--report path]\n"
+               "  corpus info   <file>\n"
+               "  corpus verify <file>\n"
+               "  corpus replay <file> [--threads N] [--report path]\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n");
 }
 
-// The scenario registry `replay` uses to rebuild the program a trace was
-// recorded from.
-std::map<std::string, BugScenario> ScenarioRegistry() {
-  std::map<std::string, BugScenario> registry;
-  for (BugScenario scenario :
-       {MakeSumScenario(), MakeMsgDropScenario(), MakeOverflowScenario(),
-        MakeHypertableScenario()}) {
-    std::string name = scenario.name;
-    registry.emplace(std::move(name), std::move(scenario));
-  }
-  return registry;
-}
-
 uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
-  for (int i = 3; i + 1 < argc; ++i) {
+  for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) {
       char* end = nullptr;
       errno = 0;
@@ -77,12 +81,32 @@ uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) {
       return true;
     }
   }
   return false;
+}
+
+const char* ParseStringFlag(int argc, char** argv, const char* flag,
+                            const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::string& piece : StrSplit(text, ',')) {
+    if (!piece.empty()) {
+      out.push_back(std::move(piece));
+    }
+  }
+  return out;
 }
 
 int Info(const std::string& path) {
@@ -189,9 +213,8 @@ int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
   }
   TraceReader& reader = *reader_or;
   const std::string scenario_name = reader.metadata().scenario;
-  auto registry = ScenarioRegistry();
-  auto it = registry.find(scenario_name);
-  if (it == registry.end()) {
+  auto scenario_or = FindBugScenario(scenario_name);
+  if (!scenario_or.ok()) {
     std::fprintf(stderr,
                  "ddr-trace: unknown scenario '%s' in trace metadata; cannot "
                  "rebuild the program\n",
@@ -205,7 +228,7 @@ int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
     return 2;
   }
 
-  const BugScenario& scenario = it->second;
+  const BugScenario& scenario = *scenario_or;
   ReplayTarget replay_target;
   replay_target.make_program = scenario.make_program;
   replay_target.env_options = scenario.env_options;
@@ -246,39 +269,23 @@ int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
 
 int RecordScenario(const std::string& scenario_name, const std::string& path,
                    int argc, char** argv) {
-  auto registry = ScenarioRegistry();
-  auto it = registry.find(scenario_name);
-  if (it == registry.end()) {
+  auto scenario_or = FindBugScenario(scenario_name);
+  if (!scenario_or.ok()) {
     std::fprintf(stderr, "ddr-trace: unknown scenario '%s'\n",
                  scenario_name.c_str());
     return 1;
   }
 
-  std::string model_name = "perfect";
-  for (int i = 4; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--model") == 0) {
-      model_name = argv[i + 1];
-    }
-  }
-  DeterminismModel model = DeterminismModel::kPerfect;
-  bool model_found = false;
-  for (DeterminismModel candidate : AllDeterminismModels()) {
-    if (DeterminismModelName(candidate) == model_name) {
-      model = candidate;
-      model_found = true;
-    }
-  }
-  // Shell-friendly alias for "debug (RCSE)".
-  if (!model_found && (model_name == "debug-rcse" || model_name == "rcse")) {
-    model = DeterminismModel::kDebugRcse;
-    model_found = true;
-  }
-  if (!model_found) {
+  const std::string model_name =
+      ParseStringFlag(argc, argv, "--model", "perfect");
+  auto model_or = ParseDeterminismModel(model_name);
+  if (!model_or.ok()) {
     std::fprintf(stderr, "ddr-trace: unknown model '%s'\n", model_name.c_str());
     return 1;
   }
+  const DeterminismModel model = *model_or;
 
-  ExperimentHarness harness(it->second);
+  ExperimentHarness harness(std::move(*scenario_or));
   const Status prepared = harness.Prepare();
   if (!prepared.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", prepared.ToString().c_str());
@@ -289,6 +296,9 @@ int RecordScenario(const std::string& scenario_name, const std::string& path,
   TraceWriteOptions options;
   options.events_per_chunk = ParseFlag(argc, argv, "--chunk", 512);
   options.checkpoint_interval = ParseFlag(argc, argv, "--ckpt", 256);
+  if (HasFlag(argc, argv, "--delta")) {
+    options.chunk_filter = TraceFilter::kVarintDelta;
+  }
   const Status saved = harness.SaveRecording(recording, path, options);
   if (!saved.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", saved.ToString().c_str());
@@ -299,12 +309,166 @@ int RecordScenario(const std::string& scenario_name, const std::string& path,
   return 0;
 }
 
+// ------------------------------------------------------------------ corpus
+
+void PrintBatchCells(const BatchReport& report) {
+  std::printf("%-28s %-12s %10s %9s %5s %6s  %s\n", "recording", "model",
+              "log bytes", "overhead", "DF", "repro", "diagnosed");
+  for (const BatchCell& cell : report.cells) {
+    std::printf("%-28s %-12s %10llu %8.2fx %5.2f %6s  %s\n",
+                cell.recording_name.c_str(), cell.row.model_name.c_str(),
+                static_cast<unsigned long long>(cell.row.log_bytes),
+                cell.row.overhead_multiplier, cell.row.fidelity,
+                cell.row.failure_reproduced ? "yes" : "no",
+                cell.row.diagnosed_cause.value_or("-").c_str());
+  }
+}
+
+int WriteReportIfRequested(const BatchReport& report, int argc, char** argv) {
+  const char* report_path = ParseStringFlag(argc, argv, "--report", nullptr);
+  if (report_path == nullptr) {
+    return 0;
+  }
+  const Status written = report.WriteJsonLines(report_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", written.ToString().c_str());
+    return 2;
+  }
+  std::printf("report: %s (%zu rows)\n", report_path, report.cells.size());
+  return 0;
+}
+
+int CorpusBuild(const std::string& path, int argc, char** argv) {
+  // Scenario selection: all registered scenarios unless --scenarios names
+  // a subset.
+  std::vector<BugScenario> scenarios;
+  const char* scenario_list = ParseStringFlag(argc, argv, "--scenarios", nullptr);
+  if (scenario_list == nullptr) {
+    scenarios = AllBugScenarios();
+  } else {
+    for (const std::string& name : SplitCommaList(scenario_list)) {
+      auto scenario = FindBugScenario(name);
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     scenario.status().ToString().c_str());
+        return 1;
+      }
+      scenarios.push_back(std::move(*scenario));
+    }
+  }
+
+  BatchOptions options;
+  // Default model pair: the fidelity extremes with direct (cheap) replay.
+  for (const std::string& name : SplitCommaList(
+           ParseStringFlag(argc, argv, "--models", "perfect,value"))) {
+    auto model = ParseDeterminismModel(name);
+    if (!model.ok()) {
+      std::fprintf(stderr, "ddr-trace: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    options.models.push_back(*model);
+  }
+  options.threads = static_cast<int>(ParseFlag(argc, argv, "--threads", 1));
+  options.corpus_path = path;
+  options.trace_options.events_per_chunk = ParseFlag(argc, argv, "--chunk", 512);
+  options.trace_options.checkpoint_interval = ParseFlag(argc, argv, "--ckpt", 256);
+  if (HasFlag(argc, argv, "--delta")) {
+    options.trace_options.chunk_filter = TraceFilter::kVarintDelta;
+  }
+
+  auto report = BatchRunner(std::move(scenarios), options).Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  PrintBatchCells(*report);
+  std::printf("built %s: %zu recordings\n", path.c_str(),
+              report->cells.size());
+  return WriteReportIfRequested(*report, argc, argv);
+}
+
+int CorpusInfo(const std::string& path) {
+  auto corpus = CorpusReader::Open(path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", corpus.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("corpus:            %s\n", path.c_str());
+  std::printf("file size:         %llu bytes\n",
+              static_cast<unsigned long long>(corpus->file_size()));
+  std::printf("entries:           %zu\n", corpus->entries().size());
+  std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario", "model",
+              "events", "bytes");
+  for (const CorpusEntry& entry : corpus->entries()) {
+    std::printf("%-28s %-14s %-12s %10llu %10llu\n", entry.name.c_str(),
+                entry.scenario.c_str(), entry.model.c_str(),
+                static_cast<unsigned long long>(entry.event_count),
+                static_cast<unsigned long long>(entry.length));
+  }
+  return 0;
+}
+
+int CorpusVerify(const std::string& path) {
+  auto corpus = CorpusReader::Open(path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", corpus.status().ToString().c_str());
+    return 2;
+  }
+  const Status verified = corpus->VerifyAll();
+  if (!verified.ok()) {
+    std::fprintf(stderr, "ddr-trace: verify FAILED: %s\n",
+                 verified.ToString().c_str());
+    return 2;
+  }
+  std::printf("%s: OK (%zu entries)\n", path.c_str(), corpus->entries().size());
+  return 0;
+}
+
+int CorpusReplay(const std::string& path, int argc, char** argv) {
+  const int threads = static_cast<int>(ParseFlag(argc, argv, "--threads", 1));
+  auto report = ReplayCorpus(path, AllBugScenarios(), threads);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  PrintBatchCells(*report);
+  std::printf("replayed %zu recordings from %s\n", report->cells.size(),
+              path.c_str());
+  return WriteReportIfRequested(*report, argc, argv);
+}
+
+int CorpusMain(int argc, char** argv) {
+  if (argc < 4) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string subcommand = argv[2];
+  const std::string path = argv[3];
+  if (subcommand == "build") {
+    return CorpusBuild(path, argc, argv);
+  }
+  if (subcommand == "info") {
+    return CorpusInfo(path);
+  }
+  if (subcommand == "verify") {
+    return CorpusVerify(path);
+  }
+  if (subcommand == "replay") {
+    return CorpusReplay(path, argc, argv);
+  }
+  PrintUsage();
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) {
     PrintUsage();
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "corpus") {
+    return CorpusMain(argc, argv);
+  }
   const std::string path = argv[2];
   if (command == "info") {
     return Info(path);
