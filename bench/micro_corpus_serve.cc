@@ -1,0 +1,261 @@
+// Microbenchmark for the corpus-serving read path: decode throughput per
+// I/O backend (stream vs pread vs mmap), the decoded-chunk cache's
+// warm-vs-cold effect across capacities, and concurrent reader scaling
+// over one shared CorpusReader handle. Plain-main (no google-benchmark)
+// so it runs everywhere; emits BENCH_micro_corpus_serve.json lines for
+// cross-PR tracking.
+//
+// The acceptance row is the "cache" section: warm-cache corpus replay
+// must beat the cold ifstream baseline by >= 2x
+// (warm_vs_cold_stream_speedup), and every backend must decode the exact
+// same bytes (fingerprint-checked here, bit-asserted in tests).
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/trace/corpus.h"
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace ddr {
+namespace {
+
+constexpr char kCorpusPath[] = "micro_corpus_serve.tmp.ddrc";
+constexpr uint64_t kEntries = 8;
+constexpr uint64_t kEventsPerEntry = 50'000;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Same realistically-shaped synthetic events as micro_corpus_batch.
+RecordedExecution MakeRecording(uint64_t num_events, uint64_t seed) {
+  RecordedExecution recording;
+  recording.model = "bench";
+  Rng rng(seed);
+  SimTime now = 0;
+  for (uint64_t seq = 0; seq < num_events; ++seq) {
+    Event event;
+    event.seq = seq;
+    now += 20 + rng.NextIndex(80);
+    event.time = now;
+    event.fiber = static_cast<FiberId>(seq % 6);
+    event.node = static_cast<NodeId>(seq % 3);
+    event.obj = 10 + seq % 12;
+    event.region = static_cast<RegionId>(seq % 4);
+    event.type = seq % 2 == 0 ? EventType::kSharedRead : EventType::kRngDraw;
+    event.value = rng.NextIndex(1u << 20);
+    event.bytes = 8;
+    recording.log.Append(event);
+  }
+  recording.recorded_events = num_events;
+  recording.intercepted_events = num_events;
+  return recording;
+}
+
+void BuildCorpus() {
+  CorpusWriter writer(kCorpusPath);
+  CHECK(writer.Begin().ok());
+  TraceWriteOptions options;
+  options.events_per_chunk = 512;
+  options.chunk_filter = TraceFilter::kVarintDelta;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    CHECK(writer
+              .Add("serve/" + std::to_string(i),
+                   MakeRecording(kEventsPerEntry, 1000 + i), options)
+              .ok());
+  }
+  CHECK(writer.Finish().ok());
+}
+
+CorpusReaderOptions Options(IoBackend backend, uint64_t cache_bytes) {
+  CorpusReaderOptions options;
+  options.io.backend = backend;
+  options.cache_bytes = cache_bytes;
+  return options;
+}
+
+// One full serve pass over every entry: the timed unit of work. The
+// checksum folds sizes the reader had to get right anyway without adding
+// per-event hashing to the timed region (decode correctness is asserted
+// separately by VerifyPass, and bit-identity across backends by tests).
+uint64_t FullPass(const CorpusReader& corpus) {
+  uint64_t checksum = 0;
+  for (const CorpusEntry& entry : corpus.entries()) {
+    auto trace = corpus.OpenTrace(entry);
+    CHECK(trace.ok()) << trace.status();
+    auto log = trace->ReadAllEvents();
+    CHECK(log.ok()) << log.status();
+    checksum += log->size() + log->encoded_size_bytes();
+  }
+  return checksum;
+}
+
+// Untimed: an order-sensitive fingerprint of every decoded event, for the
+// cross-backend equivalence check.
+uint64_t VerifyPass(const CorpusReader& corpus) {
+  Fingerprint fp;
+  for (const CorpusEntry& entry : corpus.entries()) {
+    auto trace = corpus.OpenTrace(entry);
+    CHECK(trace.ok()) << trace.status();
+    auto log = trace->ReadAllEvents();
+    CHECK(log.ok()) << log.status();
+    for (const Event& event : log->events()) {
+      fp.Mix(event.SemanticHash());
+    }
+  }
+  return fp.value();
+}
+
+// Cold decode throughput per backend; all three must produce the same
+// event fingerprint. Returns the cold stream-backend seconds (the
+// baseline the cache section compares against).
+double RunBackendBench(BenchJsonWriter& json) {
+  const uint64_t total_events = kEntries * kEventsPerEntry;
+  double stream_seconds = 0.0;
+  uint64_t reference_fp = 0;
+  for (IoBackend backend :
+       {IoBackend::kStream, IoBackend::kPread, IoBackend::kMmap}) {
+    auto corpus = CorpusReader::Open(kCorpusPath, Options(backend, 0));
+    CHECK(corpus.ok()) << corpus.status();
+    CHECK_EQ(static_cast<int>(corpus->io_backend()), static_cast<int>(backend));
+
+    const auto start = std::chrono::steady_clock::now();
+    FullPass(*corpus);
+    const double seconds = Seconds(start);
+    // Snapshot I/O accounting before the untimed verify pass below pulls
+    // the same chunks again: the stat must describe the timed pass only.
+    const uint64_t timed_bytes_read = corpus->bytes_read();
+    // Untimed equivalence check: all backends decode the same events.
+    const uint64_t fp = VerifyPass(*corpus);
+    if (backend == IoBackend::kStream) {
+      stream_seconds = seconds;
+      reference_fp = fp;
+    } else {
+      CHECK_EQ(fp, reference_fp) << "backend decode mismatch";
+    }
+
+    const double meps = total_events / seconds / 1e6;
+    std::printf("backend %-7s: %7.2f Mev/s cold (%llu bytes read)\n",
+                std::string(IoBackendName(backend)).c_str(), meps,
+                static_cast<unsigned long long>(timed_bytes_read));
+    JsonLine line = json.Line();
+    line.Str("section", "backend")
+        .Str("io", std::string(IoBackendName(backend)))
+        .Int("events", total_events)
+        .Num("seconds", seconds)
+        .Num("mevents_per_sec", meps)
+        .Int("bytes_read", timed_bytes_read);
+    json.Write(line);
+  }
+  return stream_seconds;
+}
+
+// Cache-capacity sweep on the mmap backend: cold pass, then a warm pass
+// over the same reader. The acceptance number is warm-vs-cold-stream.
+void RunCacheBench(double cold_stream_seconds, BenchJsonWriter& json) {
+  const uint64_t total_events = kEntries * kEventsPerEntry;
+  for (uint64_t cache_mb : {0ull, 4ull, 256ull}) {
+    auto corpus =
+        CorpusReader::Open(kCorpusPath, Options(IoBackend::kMmap, cache_mb << 20));
+    CHECK(corpus.ok()) << corpus.status();
+
+    auto start = std::chrono::steady_clock::now();
+    const uint64_t cold_sum = FullPass(*corpus);
+    const double cold_seconds = Seconds(start);
+
+    start = std::chrono::steady_clock::now();
+    const uint64_t warm_sum = FullPass(*corpus);
+    const double warm_seconds = Seconds(start);
+    CHECK_EQ(cold_sum, warm_sum);
+
+    const ChunkCacheStats stats = corpus->cache_stats();
+    const double warm_meps = total_events / warm_seconds / 1e6;
+    const double speedup_vs_cold_stream = cold_stream_seconds / warm_seconds;
+    std::printf(
+        "cache %4llu MB : cold %6.2f Mev/s  warm %7.2f Mev/s  "
+        "hit rate %5.1f%%  warm vs cold-stream %5.2fx\n",
+        static_cast<unsigned long long>(cache_mb),
+        total_events / cold_seconds / 1e6, warm_meps, 100.0 * stats.hit_rate(),
+        speedup_vs_cold_stream);
+
+    JsonLine line = json.Line();
+    line.Str("section", "cache")
+        .Str("io", "mmap")
+        .Int("cache_mb", cache_mb)
+        .Int("events", total_events)
+        .Num("cold_mevents_per_sec", total_events / cold_seconds / 1e6)
+        .Num("warm_mevents_per_sec", warm_meps)
+        .Num("hit_rate", stats.hit_rate())
+        .Int("cache_hits", stats.hits)
+        .Int("cache_misses", stats.misses)
+        .Int("cache_evictions", stats.evictions)
+        .Num("warm_vs_cold_stream_speedup", speedup_vs_cold_stream);
+    json.Write(line);
+  }
+}
+
+// Concurrent serving: N threads each doing a full pass over one shared
+// CorpusReader (overlapping entries — the worst case for a per-reader
+// stream, the best case for the shared cache).
+void RunConcurrencyBench(BenchJsonWriter& json) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  for (int thread_count : {1, 2, 4, 8}) {
+    auto corpus = CorpusReader::Open(
+        kCorpusPath, Options(IoBackend::kMmap, uint64_t{256} << 20));
+    CHECK(corpus.ok()) << corpus.status();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < thread_count; ++t) {
+      threads.emplace_back([&]() { FullPass(*corpus); });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    const double seconds = Seconds(start);
+
+    const uint64_t served_events =
+        kEntries * kEventsPerEntry * static_cast<uint64_t>(thread_count);
+    const double meps = served_events / seconds / 1e6;
+    const ChunkCacheStats stats = corpus->cache_stats();
+    std::printf(
+        "serve %d thread(s) on %u core(s): %7.2f Mev/s aggregate "
+        "(hit rate %5.1f%%, %llu cold bytes)\n",
+        thread_count, cores, meps, 100.0 * stats.hit_rate(),
+        static_cast<unsigned long long>(corpus->bytes_read()));
+
+    JsonLine line = json.Line();
+    line.Str("section", "threads")
+        .Int("threads", static_cast<uint64_t>(thread_count))
+        .Int("hardware_cores", cores)
+        .Int("served_events", served_events)
+        .Num("seconds", seconds)
+        .Num("mevents_per_sec", meps)
+        .Num("hit_rate", stats.hit_rate())
+        .Int("bytes_read", corpus->bytes_read());
+    json.Write(line);
+  }
+}
+
+void RunAll() {
+  PrintBanner("micro: corpus serving — backends, chunk cache, concurrency");
+  BenchJsonWriter json("micro_corpus_serve");
+  BuildCorpus();
+  const double cold_stream_seconds = RunBackendBench(json);
+  RunCacheBench(cold_stream_seconds, json);
+  RunConcurrencyBench(json);
+  std::remove(kCorpusPath);
+}
+
+}  // namespace
+}  // namespace ddr
+
+int main() {
+  ddr::RunAll();
+  return 0;
+}

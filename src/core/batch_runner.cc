@@ -202,7 +202,17 @@ Result<BatchReport> BatchRunner::Run() {
 Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
                                  const std::vector<BugScenario>& scenarios,
                                  int threads) {
-  ASSIGN_OR_RETURN(CorpusReader corpus, CorpusReader::Open(corpus_path));
+  ReplayCorpusOptions options;
+  options.threads = threads;
+  return ReplayCorpus(corpus_path, scenarios, options);
+}
+
+Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
+                                 const std::vector<BugScenario>& scenarios,
+                                 const ReplayCorpusOptions& options) {
+  const int threads = options.threads;
+  ASSIGN_OR_RETURN(CorpusReader corpus,
+                   CorpusReader::Open(corpus_path, options.reader));
 
   // Map each entry to its scenario; prepare each needed scenario once.
   std::map<std::string, size_t> scenario_index;
@@ -244,7 +254,10 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
     }
   }
 
-  // Score every entry from the bundle alone.
+  // Score every entry from the bundle alone. Each worker takes a cheap
+  // per-entry TraceReader window onto the corpus's single shared handle:
+  // no per-task file opens, and decoded chunks are shared through the
+  // corpus cache across overlapping reads.
   std::vector<BatchCell> cells(corpus.entries().size());
   std::vector<Status> cell_status(corpus.entries().size());
   RunTasks(threads, corpus.entries().size(), [&](size_t e) {
@@ -254,8 +267,12 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
       cell_status[e] = model.status();
       return;
     }
-    double original_wall_seconds = 0.0;
-    auto recording = corpus.LoadRecording(entry.name, &original_wall_seconds);
+    auto trace = corpus.OpenTrace(entry);
+    if (!trace.ok()) {
+      cell_status[e] = trace.status();
+      return;
+    }
+    auto recording = trace->ReadRecordedExecution();
     if (!recording.ok()) {
       cell_status[e] = recording.status();
       return;
@@ -266,8 +283,8 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
                               preps.at(entry_scenario[e]));
     cells[e].scenario = entry.scenario;
     cells[e].recording_name = entry.name;
-    cells[e].row =
-        harness.ReplayAndScore(*model, *recording, original_wall_seconds);
+    cells[e].row = harness.ReplayAndScore(
+        *model, *recording, trace->metadata().original_wall_seconds);
   });
   for (const Status& status : cell_status) {
     RETURN_IF_ERROR(status);
@@ -275,6 +292,9 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
 
   BatchReport report;
   report.cells = std::move(cells);
+  report.io_backend = std::string(IoBackendName(corpus.io_backend()));
+  report.corpus_bytes_read = corpus.bytes_read();
+  report.cache_stats = corpus.cache_stats();
   return report;
 }
 

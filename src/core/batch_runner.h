@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/trace/corpus.h"
 
 namespace ddr {
 
@@ -49,6 +50,13 @@ struct BatchCell {
 
 struct BatchReport {
   std::vector<BatchCell> cells;  // scenario-major, model-minor order
+
+  // Serve-side I/O accounting, filled by ReplayCorpus: the backend that
+  // actually served the reads, cold bytes pulled through the shared
+  // handle, and the shared decoded-chunk cache's counters.
+  std::string io_backend;
+  uint64_t corpus_bytes_read = 0;
+  ChunkCacheStats cache_stats;
 
   // One JSON object per cell (the machine-readable aggregate report).
   std::string ToJsonLines() const;
@@ -75,11 +83,22 @@ class BatchRunner {
   BatchOptions options_;
 };
 
+struct ReplayCorpusOptions {
+  // Worker threads scoring entries; all of them share one CorpusReader
+  // handle and one decoded-chunk cache.
+  int threads = 1;
+  CorpusReaderOptions reader;
+};
+
 // Replays every recording of a DDRC corpus through the scoring pipeline:
 // entries are grouped by their stamped scenario name, each scenario is
-// prepared once (from `scenarios`), and each entry is loaded from the
-// bundle and scored with ReplayAndScore — the serve-side half of the
-// batch pipeline. Entry order is preserved.
+// prepared once (from `scenarios`), and each entry is read through a
+// per-task TraceReader window over the bundle's single shared handle and
+// scored with ReplayAndScore — the serve-side half of the batch pipeline.
+// Entry order is preserved.
+Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
+                                 const std::vector<BugScenario>& scenarios,
+                                 const ReplayCorpusOptions& options);
 Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
                                  const std::vector<BugScenario>& scenarios,
                                  int threads = 1);

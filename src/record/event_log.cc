@@ -1,5 +1,7 @@
 #include "src/record/event_log.h"
 
+#include <algorithm>
+
 namespace ddr {
 
 namespace {
@@ -9,9 +11,20 @@ constexpr uint32_t kLogMagic = 0x6464524cu;  // "ddRL"
 void EventLog::Append(const Event& event) {
   events_.push_back(event);
   counts_[static_cast<size_t>(event.type)]++;
-  Encoder encoder;
-  event.EncodeTo(&encoder);
-  encoded_size_bytes_ += encoder.size();
+  encoded_size_bytes_ += event.EncodedSizeBytes();
+}
+
+void EventLog::AppendAll(const Event* events, size_t count) {
+  if (events_.size() + count > events_.capacity()) {
+    // Geometric growth, not an exact fit: chunk-at-a-time callers without
+    // an up-front Reserve must not reallocate on every chunk.
+    events_.reserve(std::max(events_.size() + count, events_.capacity() * 2));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    events_.push_back(events[i]);
+    counts_[static_cast<size_t>(events[i].type)]++;
+    encoded_size_bytes_ += events[i].EncodedSizeBytes();
+  }
 }
 
 std::vector<Event> EventLog::EventsOfType(EventType type) const {

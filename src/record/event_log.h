@@ -32,6 +32,12 @@ class EventLog {
 
   void Append(const Event& event);
 
+  // Bulk append, no per-event temporaries. The trace/corpus readers
+  // rebuild logs chunk-at-a-time through this; callers that know the
+  // final size Reserve() it up front so chunk appends never reallocate.
+  void AppendAll(const Event* events, size_t count);
+  void Reserve(size_t capacity) { events_.reserve(capacity); }
+
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }

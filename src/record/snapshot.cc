@@ -38,8 +38,8 @@ std::vector<uint8_t> FailureSnapshot::Encode() const {
   return encoder.TakeBuffer();
 }
 
-Result<FailureSnapshot> FailureSnapshot::Decode(const std::vector<uint8_t>& bytes) {
-  Decoder decoder(bytes);
+Result<FailureSnapshot> FailureSnapshot::Decode(std::span<const uint8_t> bytes) {
+  Decoder decoder(bytes.data(), bytes.size());
   FailureSnapshot snapshot;
   ASSIGN_OR_RETURN(snapshot.has_failure, decoder.GetBool());
   ASSIGN_OR_RETURN(uint8_t kind, decoder.GetFixed8());

@@ -6,6 +6,7 @@
 #define SRC_RECORD_SNAPSHOT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "src/sim/outcome.h"
@@ -33,7 +34,7 @@ struct FailureSnapshot {
   bool MatchesFailureOf(const Outcome& outcome) const;
 
   std::vector<uint8_t> Encode() const;
-  static Result<FailureSnapshot> Decode(const std::vector<uint8_t>& bytes);
+  static Result<FailureSnapshot> Decode(std::span<const uint8_t> bytes);
   uint64_t encoded_size_bytes() const;
 };
 

@@ -108,6 +108,13 @@ ReplayResult Replayer::PartialReplay(const RecordedExecution& recording,
                       &index, checkpoint);
 }
 
+Result<ReplayResult> Replayer::PartialReplayFromTrace(const TraceReader& trace,
+                                                      uint64_t target_event,
+                                                      ReplayMode mode) {
+  ASSIGN_OR_RETURN(RecordedExecution recording, trace.ReadRecordedExecution());
+  return PartialReplay(recording, trace.checkpoints(), target_event, mode);
+}
+
 ReplayResult Replayer::DirectReplay(const RecordedExecution& recording,
                                     const LogReplayConfig& config,
                                     std::string_view name,

@@ -16,6 +16,7 @@
 #include "src/replay/inference.h"
 #include "src/replay/log_replay_director.h"
 #include "src/trace/checkpoint.h"
+#include "src/trace/trace_reader.h"
 
 namespace ddr {
 
@@ -80,6 +81,16 @@ class Replayer {
   ReplayResult PartialReplay(const RecordedExecution& recording,
                              const CheckpointIndex& index, uint64_t target_event,
                              ReplayMode mode = ReplayMode::kPerfect);
+
+  // Same, but reading the recording through `trace` — the I/O-layer entry
+  // point for debugging sessions that probe many checkpoint windows of
+  // one trace (or corpus entry). Every chunk read goes through the
+  // reader's backend and shared decoded-chunk cache, so the second and
+  // later windows re-decode nothing; `trace.bytes_read()` before/after
+  // exposes exactly what each window cost.
+  Result<ReplayResult> PartialReplayFromTrace(
+      const TraceReader& trace, uint64_t target_event,
+      ReplayMode mode = ReplayMode::kPerfect);
 
  private:
   ReplayResult DirectReplay(const RecordedExecution& recording,

@@ -57,6 +57,27 @@ std::string_view FailureKindName(FailureKind kind) {
   return "Unknown";
 }
 
+namespace {
+
+inline uint64_t VarintLen(uint64_t value) {
+  uint64_t length = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++length;
+  }
+  return length;
+}
+
+}  // namespace
+
+uint64_t Event::EncodedSizeBytes() const {
+  // Mirrors EncodeTo field for field: nine varints plus the fixed8 type.
+  return VarintLen(seq) + VarintLen(static_cast<uint64_t>(time)) +
+         VarintLen(fiber) + VarintLen(node) + 1 + VarintLen(obj) +
+         VarintLen(value) + VarintLen(aux) + VarintLen(region) +
+         VarintLen(bytes);
+}
+
 void Event::EncodeTo(Encoder* encoder) const {
   encoder->PutVarint64(seq);
   encoder->PutVarint64(time);

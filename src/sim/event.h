@@ -137,6 +137,11 @@ struct Event {
   void EncodeTo(Encoder* encoder) const;
   static Result<Event> DecodeFrom(Decoder* decoder);
 
+  // Exact size of EncodeTo's output, computed without materializing the
+  // bytes — hot read/append paths account sizes with this instead of
+  // encoding into a throwaway buffer.
+  uint64_t EncodedSizeBytes() const;
+
   std::string ToString() const;
 };
 

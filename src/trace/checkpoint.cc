@@ -52,8 +52,8 @@ std::vector<uint8_t> CheckpointIndex::Encode() const {
   return encoder.TakeBuffer();
 }
 
-Result<CheckpointIndex> CheckpointIndex::Decode(const std::vector<uint8_t>& bytes) {
-  Decoder decoder(bytes);
+Result<CheckpointIndex> CheckpointIndex::Decode(std::span<const uint8_t> bytes) {
+  Decoder decoder(bytes.data(), bytes.size());
   CheckpointIndex index;
   ASSIGN_OR_RETURN(index.full_stream, decoder.GetBool());
   ASSIGN_OR_RETURN(index.interval, decoder.GetVarint64());

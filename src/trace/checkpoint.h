@@ -18,6 +18,7 @@
 #define SRC_TRACE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/record/event_log.h"
@@ -69,7 +70,7 @@ struct CheckpointIndex {
   const ReplayCheckpoint* NearestBefore(uint64_t target_event) const;
 
   std::vector<uint8_t> Encode() const;
-  static Result<CheckpointIndex> Decode(const std::vector<uint8_t>& bytes);
+  static Result<CheckpointIndex> Decode(std::span<const uint8_t> bytes);
 };
 
 // Incremental checkpoint construction: feed events one at a time (the

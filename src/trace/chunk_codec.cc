@@ -124,9 +124,9 @@ std::vector<uint8_t> EncodeEventChunkPayload(const Event* events,
 }
 
 Result<std::vector<Event>> DecodeEventChunkPayload(
-    const std::vector<uint8_t>& payload, TraceFilter filter,
+    std::span<const uint8_t> payload, TraceFilter filter,
     uint64_t expected_first, uint64_t expected_count) {
-  Decoder decoder(payload);
+  Decoder decoder(payload.data(), payload.size());
   ASSIGN_OR_RETURN(uint64_t first, decoder.GetVarint64());
   ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
   if (first != expected_first || count != expected_count) {

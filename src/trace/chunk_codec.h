@@ -21,6 +21,7 @@
 #define SRC_TRACE_CHUNK_CODEC_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sim/event.h"
@@ -38,8 +39,11 @@ std::vector<uint8_t> EncodeEventChunkPayload(const Event* events,
 
 // Decodes a chunk payload written with `filter`, checking that its header
 // matches the expected (first_event, count) from the footer chunk table.
+// The payload span may alias an mmap'd file region: decoding reads it in
+// place, and the output vector is sized from the chunk's event count up
+// front.
 Result<std::vector<Event>> DecodeEventChunkPayload(
-    const std::vector<uint8_t>& payload, TraceFilter filter,
+    std::span<const uint8_t> payload, TraceFilter filter,
     uint64_t expected_first, uint64_t expected_count);
 
 }  // namespace ddr

@@ -1,6 +1,7 @@
 #include "src/trace/corpus.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/trace/trace_writer.h"
 #include "src/util/string_util.h"
@@ -25,8 +26,8 @@ std::vector<uint8_t> EncodeCorpusIndex(const std::vector<CorpusEntry>& entries) 
 }
 
 Result<std::vector<CorpusEntry>> DecodeCorpusIndex(
-    const std::vector<uint8_t>& bytes) {
-  Decoder decoder(bytes);
+    std::span<const uint8_t> bytes) {
+  Decoder decoder(bytes.data(), bytes.size());
   ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
   std::vector<CorpusEntry> entries;
   // The smallest possible entry (empty strings, 1-byte varints, the
@@ -238,29 +239,31 @@ Status CorpusWriter::Finish() {
 
 // ---------------------------------------------------------------- Reader
 
-Result<CorpusReader> CorpusReader::Open(const std::string& path) {
+Result<CorpusReader> CorpusReader::Open(const std::string& path,
+                                        const CorpusReaderOptions& options) {
   CorpusReader reader;
   reader.path_ = path;
-  std::ifstream stream(path, std::ios::binary);
-  if (!stream) {
-    return NotFoundError("cannot open corpus file: " + path);
+  {
+    auto file = RandomAccessFile::Open(path, options.io);
+    if (!file.ok()) {
+      return file.status().code() == StatusCode::kNotFound
+                 ? NotFoundError("cannot open corpus file: " + path)
+                 : file.status();
+    }
+    reader.file_ = std::move(*file);
   }
-  stream.seekg(0, std::ios::end);
-  reader.file_size_ = static_cast<uint64_t>(stream.tellg());
+  reader.cache_ = std::make_shared<ChunkCache>(options.cache_bytes);
+  reader.file_size_ = reader.file_->size();
   if (reader.file_size_ < kCorpusHeaderBytes + kCorpusTrailerBytes) {
     return InvalidArgumentError("corpus file too small: " + path);
   }
 
   // Header.
-  std::vector<uint8_t> header(kCorpusHeaderBytes);
-  stream.seekg(0);
-  stream.read(reinterpret_cast<char*>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-  if (!stream) {
-    return UnavailableError("short read on corpus header");
-  }
+  std::vector<uint8_t> scratch;
   {
-    Decoder decoder(header);
+    ASSIGN_OR_RETURN(std::span<const uint8_t> header,
+                     reader.file_->Read(0, kCorpusHeaderBytes, &scratch));
+    Decoder decoder(header.data(), header.size());
     ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
     if (magic != kCorpusFileMagic) {
       return InvalidArgumentError("bad corpus file magic");
@@ -273,17 +276,13 @@ Result<CorpusReader> CorpusReader::Open(const std::string& path) {
   }
 
   // Trailer -> index.
-  std::vector<uint8_t> trailer(kCorpusTrailerBytes);
-  stream.seekg(
-      static_cast<std::streamoff>(reader.file_size_ - kCorpusTrailerBytes));
-  stream.read(reinterpret_cast<char*>(trailer.data()),
-              static_cast<std::streamsize>(trailer.size()));
-  if (!stream) {
-    return UnavailableError("short read on corpus trailer");
-  }
   uint64_t index_offset = 0;
   {
-    Decoder decoder(trailer);
+    ASSIGN_OR_RETURN(
+        std::span<const uint8_t> trailer,
+        reader.file_->Read(reader.file_size_ - kCorpusTrailerBytes,
+                           kCorpusTrailerBytes, &scratch));
+    Decoder decoder(trailer.data(), trailer.size());
     ASSIGN_OR_RETURN(index_offset, decoder.GetFixed64());
     ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
     if (magic != kCorpusTrailerMagic) {
@@ -292,11 +291,11 @@ Result<CorpusReader> CorpusReader::Open(const std::string& path) {
   }
 
   ASSIGN_OR_RETURN(
-      std::vector<uint8_t> index_bytes,
-      ReadTraceSectionFromStream(stream, /*base=*/0, index_offset,
-                                 reader.file_size_, TraceSection::kCorpusIndex,
-                                 /*filter_out=*/nullptr, /*bytes_read=*/nullptr));
-  ASSIGN_OR_RETURN(reader.entries_, DecodeCorpusIndex(index_bytes));
+      TraceSectionPayload index_bytes,
+      ReadTraceSection(*reader.file_, /*base=*/0, index_offset,
+                       reader.file_size_, TraceSection::kCorpusIndex,
+                       /*bytes_read=*/nullptr));
+  ASSIGN_OR_RETURN(reader.entries_, DecodeCorpusIndex(index_bytes.view));
 
   // Every entry window must lie between the header and the index. The
   // subtraction form keeps a crafted huge length from wrapping the sum
@@ -322,7 +321,7 @@ const CorpusEntry* CorpusReader::Find(const std::string& name) const {
 }
 
 Result<TraceReader> CorpusReader::OpenTrace(const CorpusEntry& entry) const {
-  return TraceReader::OpenAt(path_, entry.offset, entry.length);
+  return TraceReader::OpenShared(file_, entry.offset, entry.length, cache_);
 }
 
 Result<TraceReader> CorpusReader::OpenTrace(const std::string& name) const {

@@ -14,9 +14,14 @@
 // Because each embedded image is a complete, self-contained DDRT stream,
 // all of the trace machinery applies per entry for free: TraceReader
 // opens an entry through a (offset, length) window, partial reads touch
-// only covering chunks, and Verify runs every CRC. The corpus file itself
-// is written through AtomicFileSink, so an interrupted build never leaves
-// a half-indexed bundle at the target path.
+// only covering chunks, and Verify runs every CRC. The reader side is
+// built for concurrent serving: one CorpusReader owns one
+// RandomAccessFile handle (stream/pread/mmap) plus one shared
+// decoded-chunk cache, and OpenTrace hands out cheap per-entry windows
+// over both — N threads replaying one bundle pay one file open and share
+// every decoded hot chunk. The corpus file itself is written through
+// AtomicFileSink, so an interrupted build never leaves a half-indexed
+// bundle at the target path.
 //
 //   CorpusWriter writer("eval.ddrc");
 //   CHECK(writer.Begin().ok());
@@ -29,14 +34,15 @@
 #ifndef SRC_TRACE_CORPUS_H_
 #define SRC_TRACE_CORPUS_H_
 
-#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/trace/chunk_cache.h"
 #include "src/trace/streaming_writer.h"
 #include "src/trace/trace_reader.h"
+#include "src/util/random_access_file.h"
 
 namespace ddr {
 
@@ -117,18 +123,41 @@ class CorpusWriter {
   uint64_t active_start_ = 0;
 };
 
+struct CorpusReaderOptions {
+  RandomAccessFileOptions io;
+  // Capacity of the decoded-chunk cache shared by every TraceReader window
+  // this corpus hands out (DDR_CACHE_MB env sets the default); 0 disables
+  // caching — every read is cold.
+  uint64_t cache_bytes = DefaultChunkCacheBytes();
+};
+
+// A CorpusReader holds exactly one RandomAccessFile handle and one shared
+// decoded-chunk cache; every OpenTrace window borrows both, so N threads
+// replaying N entries (or the same hot entry) perform one file open total
+// and never decode the same chunk twice while it stays cached.
 class CorpusReader {
  public:
-  static Result<CorpusReader> Open(const std::string& path);
+  static Result<CorpusReader> Open(const std::string& path,
+                                   const CorpusReaderOptions& options = {});
 
   const std::string& path() const { return path_; }
   uint64_t file_size() const { return file_size_; }
   const std::vector<CorpusEntry>& entries() const { return entries_; }
+  // The backend actually serving reads (after any open-time fallback).
+  IoBackend io_backend() const { return file_->backend(); }
+  // Total cold bytes pulled through the shared handle, across every
+  // window and thread. Warm (cached) chunk reads add nothing.
+  uint64_t bytes_read() const { return file_->bytes_read(); }
+  // The shared decoded-chunk cache (never null; may be disabled).
+  const std::shared_ptr<ChunkCache>& chunk_cache() const { return cache_; }
+  ChunkCacheStats cache_stats() const { return cache_->stats(); }
 
   // nullptr when no entry has that name.
   const CorpusEntry* Find(const std::string& name) const;
 
-  // Opens the embedded DDRT image as a full-featured TraceReader.
+  // Opens the embedded DDRT image as a full-featured TraceReader window
+  // over the corpus's shared handle and cache: no new file open, safe to
+  // call (and use) from many threads concurrently.
   Result<TraceReader> OpenTrace(const CorpusEntry& entry) const;
   Result<TraceReader> OpenTrace(const std::string& name) const;
 
@@ -146,6 +175,8 @@ class CorpusReader {
   CorpusReader() = default;
 
   std::string path_;
+  std::shared_ptr<RandomAccessFile> file_;
+  std::shared_ptr<ChunkCache> cache_;
   uint64_t file_size_ = 0;
   std::vector<CorpusEntry> entries_;
 };

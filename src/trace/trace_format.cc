@@ -23,8 +23,8 @@ std::vector<uint8_t> TraceMetadata::Encode() const {
   return encoder.TakeBuffer();
 }
 
-Result<TraceMetadata> TraceMetadata::Decode(const std::vector<uint8_t>& bytes) {
-  Decoder decoder(bytes);
+Result<TraceMetadata> TraceMetadata::Decode(std::span<const uint8_t> bytes) {
+  Decoder decoder(bytes.data(), bytes.size());
   TraceMetadata meta;
   ASSIGN_OR_RETURN(meta.model, decoder.GetString());
   ASSIGN_OR_RETURN(meta.scenario, decoder.GetString());
@@ -57,8 +57,8 @@ std::vector<uint8_t> TraceFooter::Encode() const {
   return encoder.TakeBuffer();
 }
 
-Result<TraceFooter> TraceFooter::Decode(const std::vector<uint8_t>& bytes) {
-  Decoder decoder(bytes);
+Result<TraceFooter> TraceFooter::Decode(std::span<const uint8_t> bytes) {
+  Decoder decoder(bytes.data(), bytes.size());
   TraceFooter footer;
   ASSIGN_OR_RETURN(footer.metadata_offset, decoder.GetFixed64());
   ASSIGN_OR_RETURN(footer.snapshot_offset, decoder.GetFixed64());
@@ -161,27 +161,23 @@ Status CheckSectionSize(uint64_t claimed, uint64_t limit, const char* what) {
 
 }  // namespace
 
-Result<std::vector<uint8_t>> ReadTraceSectionFromStream(
-    std::istream& stream, uint64_t base, uint64_t offset, uint64_t limit,
-    TraceSection expected_kind, TraceFilter* filter_out, uint64_t* bytes_read) {
+Result<TraceSectionPayload> ReadTraceSection(
+    const RandomAccessFile& file, uint64_t base, uint64_t offset,
+    uint64_t limit, TraceSection expected_kind,
+    std::atomic<uint64_t>* bytes_read) {
   if (offset >= limit) {
     return InvalidArgumentError("trace section offset past end of window");
   }
   const size_t header_bytes = static_cast<size_t>(
       std::min<uint64_t>(kMaxSectionHeaderBytes, limit - offset));
-  std::vector<uint8_t> header(header_bytes);
-  stream.clear();
-  stream.seekg(static_cast<std::streamoff>(base + offset));
-  stream.read(reinterpret_cast<char*>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-  if (!stream) {
-    return UnavailableError("short read on trace section header");
-  }
+  std::vector<uint8_t> header_buf;
+  ASSIGN_OR_RETURN(std::span<const uint8_t> header,
+                   file.Read(base + offset, header_bytes, &header_buf));
   if (bytes_read != nullptr) {
-    *bytes_read += header.size();
+    bytes_read->fetch_add(header.size(), std::memory_order_relaxed);
   }
 
-  Decoder decoder(header);
+  Decoder decoder(header.data(), header.size());
   ASSIGN_OR_RETURN(TraceSectionHeader section, DecodeTraceSectionHeader(&decoder));
   if (section.kind != expected_kind) {
     return InvalidArgumentError("trace section kind mismatch");
@@ -194,39 +190,46 @@ Result<std::vector<uint8_t>> ReadTraceSectionFromStream(
     return InvalidArgumentError("trace section payload past end of window");
   }
 
-  std::vector<uint8_t> stored(static_cast<size_t>(section.stored_size) + 4);
-  stream.seekg(static_cast<std::streamoff>(base + payload_offset));
-  stream.read(reinterpret_cast<char*>(stored.data()),
-              static_cast<std::streamsize>(stored.size()));
-  if (!stream) {
-    return UnavailableError("short read on trace section payload");
-  }
+  const size_t stored_size = static_cast<size_t>(section.stored_size);
+  TraceSectionPayload payload;
+  payload.filter = section.filter;
+  ASSIGN_OR_RETURN(
+      std::span<const uint8_t> stored,
+      file.Read(base + payload_offset, stored_size + 4, &payload.storage));
   if (bytes_read != nullptr) {
-    *bytes_read += stored.size();
+    bytes_read->fetch_add(stored.size(), std::memory_order_relaxed);
   }
 
   // Trailing fixed32 CRC covers the stored payload bytes.
-  Decoder crc_decoder(stored.data() + section.stored_size, 4);
+  Decoder crc_decoder(stored.data() + stored_size, 4);
   ASSIGN_OR_RETURN(uint32_t expected_crc, crc_decoder.GetFixed32());
-  stored.resize(static_cast<size_t>(section.stored_size));
-  const uint32_t actual_crc = Crc32(stored.data(), stored.size());
+  const uint32_t actual_crc = Crc32(stored.data(), stored_size);
   if (actual_crc != expected_crc) {
     return InvalidArgumentError(
         StrPrintf("trace section CRC mismatch: stored %08x, computed %08x",
                   expected_crc, actual_crc));
   }
-  if (filter_out != nullptr) {
-    *filter_out = section.filter;
-  }
 
   if (section.codec == TraceCodec::kRaw) {
-    if (stored.size() != section.uncompressed_size) {
+    if (stored_size != section.uncompressed_size) {
       return InvalidArgumentError("raw trace section size mismatch");
     }
-    return stored;
+    // Zero-copy backends hand back the mapped bytes themselves; copying
+    // backends already own them in payload.storage. Either way the
+    // payload is served without another memcpy.
+    payload.view = stored.first(stored_size);
+    return payload;
   }
-  return DecompressBlock(stored.data(), stored.size(),
-                         static_cast<size_t>(section.uncompressed_size));
+  // Decompress straight from the backend's buffer (the mapped region
+  // itself under mmap) into the payload's own storage.
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> decompressed,
+      DecompressBlock(stored.data(), stored_size,
+                      static_cast<size_t>(section.uncompressed_size)));
+  payload.storage = std::move(decompressed);
+  payload.view = std::span<const uint8_t>(payload.storage.data(),
+                                          payload.storage.size());
+  return payload;
 }
 
 }  // namespace ddr

@@ -39,12 +39,14 @@
 #ifndef SRC_TRACE_TRACE_FORMAT_H_
 #define SRC_TRACE_TRACE_FORMAT_H_
 
+#include <atomic>
 #include <cstdint>
-#include <istream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/util/codec.h"
+#include "src/util/random_access_file.h"
 #include "src/util/status.h"
 
 namespace ddr {
@@ -110,7 +112,7 @@ struct TraceMetadata {
   double original_wall_seconds = 0.0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<TraceMetadata> Decode(const std::vector<uint8_t>& bytes);
+  static Result<TraceMetadata> Decode(std::span<const uint8_t> bytes);
 };
 
 // Footer entry describing one event chunk.
@@ -128,7 +130,7 @@ struct TraceFooter {
   std::vector<TraceChunkInfo> chunks;
 
   std::vector<uint8_t> Encode() const;
-  static Result<TraceFooter> Decode(const std::vector<uint8_t>& bytes);
+  static Result<TraceFooter> Decode(std::span<const uint8_t> bytes);
 };
 
 // Encodes a complete framed section (framing + payload + CRC). Compresses
@@ -157,16 +159,30 @@ struct TraceSectionHeader {
 
 Result<TraceSectionHeader> DecodeTraceSectionHeader(Decoder* decoder);
 
-// Reads, CRC-checks, and decompresses one framed section from an open
-// stream. `base + offset` is the section's absolute file position and
-// `limit` the number of bytes in the window it must fit inside (the file
-// size for a bare trace, the embedded image length for a corpus entry).
-// On success the decoded (post-codec, still pre-filter) payload is
-// returned; `filter_out`/`bytes_read` report the recorded pre-filter and
-// the framing + payload bytes pulled from the stream.
-Result<std::vector<uint8_t>> ReadTraceSectionFromStream(
-    std::istream& stream, uint64_t base, uint64_t offset, uint64_t limit,
-    TraceSection expected_kind, TraceFilter* filter_out, uint64_t* bytes_read);
+// One decoded (post-codec, still pre-filter) section payload. `view` is
+// the payload bytes; it aliases the file's mmap region when the backend
+// is zero-copy and the section was stored raw, and `storage` otherwise.
+// Moving the struct keeps `view` valid (vector moves preserve the heap
+// buffer; mapped views outlive the read by construction).
+struct TraceSectionPayload {
+  std::span<const uint8_t> view;
+  TraceFilter filter = TraceFilter::kNone;
+  std::vector<uint8_t> storage;
+};
+
+// Reads, CRC-checks, and decodes one framed section through a
+// RandomAccessFile. `base + offset` is the section's absolute file
+// position and `limit` the number of bytes in the window it must fit
+// inside (the image size for a bare trace, the embedded window length
+// for a corpus entry). Compressed payloads are decompressed directly
+// from the backend's buffer (the mapped region itself under mmap); raw
+// payloads are returned without any extra copy. `bytes_read`, when
+// non-null, is advanced by the framing + payload bytes pulled through
+// the handle. Thread-safe for concurrent calls on one const file.
+Result<TraceSectionPayload> ReadTraceSection(
+    const RandomAccessFile& file, uint64_t base, uint64_t offset,
+    uint64_t limit, TraceSection expected_kind,
+    std::atomic<uint64_t>* bytes_read);
 
 }  // namespace ddr
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "src/trace/chunk_codec.h"
 #include "src/util/hash.h"
@@ -25,46 +26,102 @@ Status CheckSize(uint64_t claimed, uint64_t file_size, const char* what) {
 
 }  // namespace
 
-Result<TraceReader> TraceReader::Open(const std::string& path) {
-  return OpenAt(path, /*base_offset=*/0, /*image_size=*/0);
+TraceReader::TraceReader(TraceReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(std::move(other.file_)),
+      cache_(std::move(other.cache_)),
+      cache_file_id_(other.cache_file_id_),
+      base_offset_(other.base_offset_),
+      file_size_(other.file_size_),
+      bytes_read_(other.bytes_read_.load(std::memory_order_relaxed)),
+      cache_hits_(other.cache_hits_.load(std::memory_order_relaxed)),
+      cache_misses_(other.cache_misses_.load(std::memory_order_relaxed)),
+      footer_(std::move(other.footer_)),
+      metadata_(std::move(other.metadata_)),
+      snapshot_(std::move(other.snapshot_)),
+      checkpoints_(std::move(other.checkpoints_)) {}
+
+TraceReader& TraceReader::operator=(TraceReader&& other) noexcept {
+  if (this != &other) {
+    path_ = std::move(other.path_);
+    file_ = std::move(other.file_);
+    cache_ = std::move(other.cache_);
+    cache_file_id_ = other.cache_file_id_;
+    base_offset_ = other.base_offset_;
+    file_size_ = other.file_size_;
+    bytes_read_.store(other.bytes_read_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    cache_hits_.store(other.cache_hits_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    cache_misses_.store(other.cache_misses_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    footer_ = std::move(other.footer_);
+    metadata_ = std::move(other.metadata_);
+    snapshot_ = std::move(other.snapshot_);
+    checkpoints_ = std::move(other.checkpoints_);
+  }
+  return *this;
+}
+
+Result<TraceReader> TraceReader::Open(const std::string& path,
+                                      const TraceReaderOptions& options) {
+  return OpenAt(path, /*base_offset=*/0, /*image_size=*/0, options);
 }
 
 Result<TraceReader> TraceReader::OpenAt(const std::string& path,
                                         uint64_t base_offset,
-                                        uint64_t image_size) {
-  TraceReader reader;
-  reader.path_ = path;
-  reader.base_offset_ = base_offset;
-  reader.stream_.open(path, std::ios::binary);
-  if (!reader.stream_) {
-    return NotFoundError("cannot open trace file: " + path);
+                                        uint64_t image_size,
+                                        const TraceReaderOptions& options) {
+  ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file,
+                   RandomAccessFile::Open(path, options.io));
+  return OpenImpl(std::move(file), base_offset, image_size, options.cache);
+}
+
+Result<TraceReader> TraceReader::OpenShared(
+    std::shared_ptr<RandomAccessFile> file, uint64_t base_offset,
+    uint64_t image_size, std::shared_ptr<ChunkCache> cache) {
+  if (file == nullptr) {
+    return InvalidArgumentError("OpenShared requires an open file handle");
   }
-  reader.stream_.seekg(0, std::ios::end);
-  const uint64_t total_size = static_cast<uint64_t>(reader.stream_.tellg());
+  return OpenImpl(std::move(file), base_offset, image_size, std::move(cache));
+}
+
+Result<TraceReader> TraceReader::OpenImpl(std::shared_ptr<RandomAccessFile> file,
+                                          uint64_t base_offset,
+                                          uint64_t image_size,
+                                          std::shared_ptr<ChunkCache> cache) {
+  TraceReader reader;
+  reader.path_ = file->path();
+  reader.base_offset_ = base_offset;
+  reader.file_ = std::move(file);
+  reader.cache_ = std::move(cache);
+  // Cache entries are namespaced by the open handle, not the path: a
+  // path can be atomically replaced, a handle cannot change contents.
+  reader.cache_file_id_ = reader.file_->id();
+  const uint64_t total_size = reader.file_->size();
   if (base_offset > total_size) {
-    return InvalidArgumentError("trace image offset past end of file: " + path);
+    return InvalidArgumentError("trace image offset past end of file: " +
+                                reader.path_);
   }
   reader.file_size_ =
       image_size == 0 ? total_size - base_offset : image_size;
   // Subtraction form: a crafted huge image_size must not wrap the sum.
   if (reader.file_size_ > total_size - base_offset) {
-    return InvalidArgumentError("trace image extends past end of file: " + path);
+    return InvalidArgumentError("trace image extends past end of file: " +
+                                reader.path_);
   }
   if (reader.file_size_ < kTraceHeaderBytes + kTraceTrailerBytes) {
-    return InvalidArgumentError("trace file too small: " + path);
+    return InvalidArgumentError("trace file too small: " + reader.path_);
   }
 
   // Header.
-  std::vector<uint8_t> header(kTraceHeaderBytes);
-  reader.stream_.seekg(static_cast<std::streamoff>(base_offset));
-  reader.stream_.read(reinterpret_cast<char*>(header.data()),
-                      static_cast<std::streamsize>(header.size()));
-  if (!reader.stream_) {
-    return UnavailableError("short read on trace header");
-  }
-  reader.bytes_read_ += header.size();
+  std::vector<uint8_t> scratch;
   {
-    Decoder decoder(header);
+    ASSIGN_OR_RETURN(
+        std::span<const uint8_t> header,
+        reader.file_->Read(base_offset, kTraceHeaderBytes, &scratch));
+    reader.bytes_read_.fetch_add(header.size(), std::memory_order_relaxed);
+    Decoder decoder(header.data(), header.size());
     ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
     if (magic != kTraceFileMagic) {
       return InvalidArgumentError("bad trace file magic");
@@ -78,18 +135,14 @@ Result<TraceReader> TraceReader::OpenAt(const std::string& path,
   }
 
   // Trailer -> footer.
-  std::vector<uint8_t> trailer(kTraceTrailerBytes);
-  reader.stream_.seekg(static_cast<std::streamoff>(
-      base_offset + reader.file_size_ - kTraceTrailerBytes));
-  reader.stream_.read(reinterpret_cast<char*>(trailer.data()),
-                      static_cast<std::streamsize>(trailer.size()));
-  if (!reader.stream_) {
-    return UnavailableError("short read on trace trailer");
-  }
-  reader.bytes_read_ += trailer.size();
   uint64_t footer_offset = 0;
   {
-    Decoder decoder(trailer);
+    ASSIGN_OR_RETURN(
+        std::span<const uint8_t> trailer,
+        reader.file_->Read(base_offset + reader.file_size_ - kTraceTrailerBytes,
+                           kTraceTrailerBytes, &scratch));
+    reader.bytes_read_.fetch_add(trailer.size(), std::memory_order_relaxed);
+    Decoder decoder(trailer.data(), trailer.size());
     ASSIGN_OR_RETURN(footer_offset, decoder.GetFixed64());
     ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
     if (magic != kTraceTrailerMagic) {
@@ -98,52 +151,72 @@ Result<TraceReader> TraceReader::OpenAt(const std::string& path,
   }
   RETURN_IF_ERROR(CheckSize(footer_offset, reader.file_size_, "footer offset"));
 
-  ASSIGN_OR_RETURN(std::vector<uint8_t> footer_bytes,
+  ASSIGN_OR_RETURN(TraceSectionPayload footer_bytes,
                    reader.ReadSection(footer_offset, TraceSection::kFooter));
-  ASSIGN_OR_RETURN(reader.footer_, TraceFooter::Decode(footer_bytes));
+  ASSIGN_OR_RETURN(reader.footer_, TraceFooter::Decode(footer_bytes.view));
 
-  ASSIGN_OR_RETURN(
-      std::vector<uint8_t> meta_bytes,
-      reader.ReadSection(reader.footer_.metadata_offset, TraceSection::kMetadata));
-  ASSIGN_OR_RETURN(reader.metadata_, TraceMetadata::Decode(meta_bytes));
+  ASSIGN_OR_RETURN(TraceSectionPayload meta_bytes,
+                   reader.ReadSection(reader.footer_.metadata_offset,
+                                      TraceSection::kMetadata));
+  ASSIGN_OR_RETURN(reader.metadata_, TraceMetadata::Decode(meta_bytes.view));
 
-  ASSIGN_OR_RETURN(
-      std::vector<uint8_t> snapshot_bytes,
-      reader.ReadSection(reader.footer_.snapshot_offset, TraceSection::kSnapshot));
-  ASSIGN_OR_RETURN(reader.snapshot_, FailureSnapshot::Decode(snapshot_bytes));
+  ASSIGN_OR_RETURN(TraceSectionPayload snapshot_bytes,
+                   reader.ReadSection(reader.footer_.snapshot_offset,
+                                      TraceSection::kSnapshot));
+  ASSIGN_OR_RETURN(reader.snapshot_,
+                   FailureSnapshot::Decode(snapshot_bytes.view));
 
-  ASSIGN_OR_RETURN(std::vector<uint8_t> checkpoint_bytes,
+  ASSIGN_OR_RETURN(TraceSectionPayload checkpoint_bytes,
                    reader.ReadSection(reader.footer_.checkpoint_offset,
                                       TraceSection::kCheckpointIndex));
   ASSIGN_OR_RETURN(reader.checkpoints_,
-                   CheckpointIndex::Decode(checkpoint_bytes));
+                   CheckpointIndex::Decode(checkpoint_bytes.view));
 
   return reader;
 }
 
-Result<std::vector<uint8_t>> TraceReader::ReadSection(uint64_t offset,
-                                                      TraceSection expected_kind,
-                                                      TraceFilter* filter) {
-  return ReadTraceSectionFromStream(stream_, base_offset_, offset, file_size_,
-                                    expected_kind, filter, &bytes_read_);
+Result<TraceSectionPayload> TraceReader::ReadSection(
+    uint64_t offset, TraceSection expected_kind) const {
+  return ReadTraceSection(*file_, base_offset_, offset, file_size_,
+                          expected_kind, &bytes_read_);
 }
 
-Result<std::vector<Event>> TraceReader::DecodeChunk(const TraceChunkInfo& chunk) {
-  TraceFilter filter = TraceFilter::kNone;
-  ASSIGN_OR_RETURN(
-      std::vector<uint8_t> payload,
-      ReadSection(chunk.file_offset, TraceSection::kEventChunk, &filter));
-  return DecodeEventChunkPayload(payload, filter, chunk.first_event,
-                                 chunk.event_count);
-}
-
-Result<EventLog> TraceReader::ReadAllEvents() {
-  EventLog log;
-  for (const TraceChunkInfo& chunk : footer_.chunks) {
-    ASSIGN_OR_RETURN(std::vector<Event> events, DecodeChunk(chunk));
-    for (const Event& event : events) {
-      log.Append(event);
+Result<ChunkCache::EventsPtr> TraceReader::DecodeChunk(
+    size_t chunk_index) const {
+  const TraceChunkInfo& chunk = footer_.chunks[chunk_index];
+  const ChunkKey key{cache_file_id_, base_offset_, chunk_index};
+  if (cache_ != nullptr) {
+    if (ChunkCache::EventsPtr cached = cache_->Lookup(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached;
     }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ASSIGN_OR_RETURN(TraceSectionPayload payload,
+                   ReadSection(chunk.file_offset, TraceSection::kEventChunk));
+  ASSIGN_OR_RETURN(
+      std::vector<Event> events,
+      DecodeEventChunkPayload(payload.view, payload.filter, chunk.first_event,
+                              chunk.event_count));
+  auto decoded = std::make_shared<const std::vector<Event>>(std::move(events));
+  if (cache_ != nullptr) {
+    cache_->Insert(key, decoded);
+  }
+  return ChunkCache::EventsPtr(std::move(decoded));
+}
+
+Result<EventLog> TraceReader::ReadAllEvents() const {
+  EventLog log;
+  // One up-front reservation from the footer's event count. The clamp
+  // bounds what a crafted footer can demand before any chunk has decoded
+  // (4M events, the same order as the documented worst-case section
+  // allocation); genuinely larger traces grow geometrically past it via
+  // AppendAll — a handful of reallocations total, never one per chunk.
+  log.Reserve(static_cast<size_t>(
+      std::min<uint64_t>(footer_.total_events, kMaxChunkEvents)));
+  for (size_t i = 0; i < footer_.chunks.size(); ++i) {
+    ASSIGN_OR_RETURN(ChunkCache::EventsPtr events, DecodeChunk(i));
+    log.AppendAll(events->data(), events->size());
   }
   if (log.size() != footer_.total_events) {
     return InvalidArgumentError("decoded event count disagrees with footer");
@@ -152,7 +225,7 @@ Result<EventLog> TraceReader::ReadAllEvents() {
 }
 
 Result<std::vector<Event>> TraceReader::ReadEvents(uint64_t first_event,
-                                                   uint64_t count) {
+                                                   uint64_t count) const {
   std::vector<Event> out;
   if (count == 0) {
     return out;
@@ -162,23 +235,26 @@ Result<std::vector<Event>> TraceReader::ReadEvents(uint64_t first_event,
   const uint64_t end = first_event + count < first_event
                            ? std::numeric_limits<uint64_t>::max()
                            : first_event + count;
-  for (const TraceChunkInfo& chunk : footer_.chunks) {
+  out.reserve(static_cast<size_t>(std::min(
+      {count, footer_.total_events, kMaxChunkEvents})));
+  for (size_t i = 0; i < footer_.chunks.size(); ++i) {
+    const TraceChunkInfo& chunk = footer_.chunks[i];
     const uint64_t chunk_end = chunk.first_event + chunk.event_count;
     if (chunk_end <= first_event || chunk.first_event >= end) {
       continue;  // no overlap: this chunk is never read from disk
     }
-    ASSIGN_OR_RETURN(std::vector<Event> events, DecodeChunk(chunk));
-    for (uint64_t i = 0; i < events.size(); ++i) {
-      const uint64_t index = chunk.first_event + i;
+    ASSIGN_OR_RETURN(ChunkCache::EventsPtr events, DecodeChunk(i));
+    for (uint64_t j = 0; j < events->size(); ++j) {
+      const uint64_t index = chunk.first_event + j;
       if (index >= first_event && index < end) {
-        out.push_back(events[static_cast<size_t>(i)]);
+        out.push_back((*events)[static_cast<size_t>(j)]);
       }
     }
   }
   return out;
 }
 
-Result<RecordedExecution> TraceReader::ReadRecordedExecution() {
+Result<RecordedExecution> TraceReader::ReadRecordedExecution() const {
   RecordedExecution recording;
   recording.model = metadata_.model;
   ASSIGN_OR_RETURN(recording.log, ReadAllEvents());
@@ -191,7 +267,7 @@ Result<RecordedExecution> TraceReader::ReadRecordedExecution() {
   return recording;
 }
 
-Status TraceReader::Verify() {
+Status TraceReader::Verify() const {
   // Chunk table: contiguous coverage of [0, total_events).
   uint64_t next_event = 0;
   for (const TraceChunkInfo& chunk : footer_.chunks) {
@@ -210,7 +286,9 @@ Status TraceReader::Verify() {
   }
 
   // Decode everything (exercises every CRC and every event decoder) and
-  // recompute checkpoint prefix fingerprints + cursor state.
+  // recompute checkpoint prefix fingerprints + cursor state. Note: chunks
+  // already resident in a shared cache are trusted — their CRC was checked
+  // when they were decoded from disk.
   ASSIGN_OR_RETURN(EventLog log, ReadAllEvents());
   const CheckpointIndex recomputed = BuildCheckpointIndex(
       log, checkpoints_.interval, metadata_.events_per_chunk,

@@ -8,18 +8,21 @@ Status TraceStore::Save(const std::string& path,
   return TraceWriter(options).WriteFile(path, recording);
 }
 
-Result<RecordedExecution> TraceStore::Load(const std::string& path) {
-  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+Result<RecordedExecution> TraceStore::Load(
+    const std::string& path, const TraceReaderOptions& reader_options) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path, reader_options));
   return reader.ReadRecordedExecution();
 }
 
-Result<CheckpointIndex> TraceStore::LoadCheckpoints(const std::string& path) {
-  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+Result<CheckpointIndex> TraceStore::LoadCheckpoints(
+    const std::string& path, const TraceReaderOptions& reader_options) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path, reader_options));
   return reader.checkpoints();
 }
 
-Status TraceStore::Verify(const std::string& path) {
-  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path));
+Status TraceStore::Verify(const std::string& path,
+                          const TraceReaderOptions& reader_options) {
+  ASSIGN_OR_RETURN(TraceReader reader, TraceReader::Open(path, reader_options));
   return reader.Verify();
 }
 

@@ -23,13 +23,18 @@ class TraceStore {
   static Status Save(const std::string& path, const RecordedExecution& recording,
                      const TraceWriteOptions& options = {});
 
-  static Result<RecordedExecution> Load(const std::string& path);
+  // `reader_options` selects the I/O backend (stream/pread/mmap) and an
+  // optional shared decoded-chunk cache for the read.
+  static Result<RecordedExecution> Load(
+      const std::string& path, const TraceReaderOptions& reader_options = {});
 
   // Loads just the checkpoint index (small, no event chunks touched).
-  static Result<CheckpointIndex> LoadCheckpoints(const std::string& path);
+  static Result<CheckpointIndex> LoadCheckpoints(
+      const std::string& path, const TraceReaderOptions& reader_options = {});
 
   // Full structural + CRC + checkpoint verification.
-  static Status Verify(const std::string& path);
+  static Status Verify(const std::string& path,
+                       const TraceReaderOptions& reader_options = {});
 };
 
 }  // namespace ddr

@@ -1,0 +1,293 @@
+#include "src/util/random_access_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DDR_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DDR_HAVE_POSIX_IO 0
+#endif
+
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+namespace {
+
+Status CheckWindow(uint64_t offset, size_t length, uint64_t file_size,
+                   const std::string& path) {
+  // Subtraction form: offset + length must not wrap.
+  if (offset > file_size || length > file_size - offset) {
+    return OutOfRangeError(StrPrintf(
+        "read [%llu, +%zu) past end of %s (%llu bytes)",
+        static_cast<unsigned long long>(offset), length, path.c_str(),
+        static_cast<unsigned long long>(file_size)));
+  }
+  return OkStatus();
+}
+
+// ------------------------------------------------------------- kStream
+
+// The portable fallback: one buffered ifstream whose seek cursor is
+// serialized behind a mutex.
+class StreamFile final : public RandomAccessFile {
+ public:
+  StreamFile(std::string path, uint64_t size, std::ifstream stream)
+      : RandomAccessFile(std::move(path), size, IoBackend::kStream),
+        stream_(std::move(stream)) {}
+
+ protected:
+  Result<std::span<const uint8_t>> ReadImpl(
+      uint64_t offset, size_t length,
+      std::vector<uint8_t>* scratch) const override {
+    scratch->resize(length);
+    std::lock_guard<std::mutex> lock(mu_);
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(offset));
+    stream_.read(reinterpret_cast<char*>(scratch->data()),
+                 static_cast<std::streamsize>(length));
+    if (!stream_ && length > 0) {
+      return UnavailableError("short read on " + path());
+    }
+    return std::span<const uint8_t>(scratch->data(), length);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::ifstream stream_;
+};
+
+// Classifies an open failure from errno: only true non-existence is
+// NotFound — permission and resource errors must not masquerade as a
+// missing file (callers branch on the code).
+Status OpenError(const std::string& path, int err) {
+  if (err == ENOENT) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  return UnavailableError(StrPrintf("cannot open file %s: %s", path.c_str(),
+                                    std::strerror(err)));
+}
+
+Result<std::shared_ptr<RandomAccessFile>> OpenStream(const std::string& path) {
+  errno = 0;
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return OpenError(path, errno != 0 ? errno : ENOENT);
+  }
+  stream.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(stream.tellg());
+  return std::shared_ptr<RandomAccessFile>(
+      new StreamFile(path, size, std::move(stream)));
+}
+
+#if DDR_HAVE_POSIX_IO
+
+// -------------------------------------------------------------- kPread
+
+// Positional reads on a raw descriptor: no cursor, no lock — the kernel
+// page cache is the only buffer. Concurrent readers never contend.
+class PreadFile final : public RandomAccessFile {
+ public:
+  PreadFile(std::string path, uint64_t size, int fd)
+      : RandomAccessFile(std::move(path), size, IoBackend::kPread), fd_(fd) {}
+  ~PreadFile() override { ::close(fd_); }
+
+ protected:
+  Result<std::span<const uint8_t>> ReadImpl(
+      uint64_t offset, size_t length,
+      std::vector<uint8_t>* scratch) const override {
+    scratch->resize(length);
+    size_t done = 0;
+    while (done < length) {
+      const ssize_t n = ::pread(fd_, scratch->data() + done, length - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return UnavailableError(StrPrintf("pread(%s): %s", path().c_str(),
+                                          std::strerror(errno)));
+      }
+      if (n == 0) {
+        return UnavailableError("short pread on " + path());
+      }
+      done += static_cast<size_t>(n);
+    }
+    return std::span<const uint8_t>(scratch->data(), length);
+  }
+
+ private:
+  int fd_;
+};
+
+// --------------------------------------------------------------- kMmap
+
+class MmapFile final : public RandomAccessFile {
+ public:
+  MmapFile(std::string path, uint64_t size, const uint8_t* data)
+      : RandomAccessFile(std::move(path), size, IoBackend::kMmap),
+        data_(data) {}
+  ~MmapFile() override {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), static_cast<size_t>(size()));
+    }
+  }
+
+ protected:
+  Result<std::span<const uint8_t>> ReadImpl(
+      uint64_t offset, size_t length,
+      std::vector<uint8_t>* /*scratch*/) const override {
+    return std::span<const uint8_t>(data_ + offset, length);
+  }
+
+ private:
+  const uint8_t* data_;
+};
+
+Result<int> OpenFd(const std::string& path, uint64_t* size) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return OpenError(path, errno);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return UnavailableError("cannot stat file: " + path);
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return fd;
+}
+
+Result<std::shared_ptr<RandomAccessFile>> OpenPread(const std::string& path) {
+  uint64_t size = 0;
+  ASSIGN_OR_RETURN(int fd, OpenFd(path, &size));
+  return std::shared_ptr<RandomAccessFile>(new PreadFile(path, size, fd));
+}
+
+Result<std::shared_ptr<RandomAccessFile>> OpenMmap(const std::string& path) {
+  uint64_t size = 0;
+  ASSIGN_OR_RETURN(int fd, OpenFd(path, &size));
+  if (size == 0) {
+    // mmap(2) rejects zero-length mappings; an empty file has nothing to
+    // map anyway. Callers with allow_fallback land on pread.
+    ::close(fd);
+    return UnavailableError("cannot mmap empty file: " + path);
+  }
+  void* mapped =
+      ::mmap(nullptr, static_cast<size_t>(size), PROT_READ, MAP_PRIVATE, fd, 0);
+  // The descriptor is not needed once the mapping exists.
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    return UnavailableError(
+        StrPrintf("mmap(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  return std::shared_ptr<RandomAccessFile>(
+      new MmapFile(path, size, static_cast<const uint8_t*>(mapped)));
+}
+
+#endif  // DDR_HAVE_POSIX_IO
+
+}  // namespace
+
+std::string_view IoBackendName(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kStream:
+      return "stream";
+    case IoBackend::kPread:
+      return "pread";
+    case IoBackend::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+Result<IoBackend> ParseIoBackend(const std::string& name) {
+  if (name == "stream" || name == "ifstream") {
+    return IoBackend::kStream;
+  }
+  if (name == "pread") {
+    return IoBackend::kPread;
+  }
+  if (name == "mmap") {
+    return IoBackend::kMmap;
+  }
+  return InvalidArgumentError("unknown I/O backend '" + name +
+                              "' (expected stream|pread|mmap)");
+}
+
+IoBackend DefaultIoBackend() {
+  static const IoBackend kDefault = [] {
+    if (const char* env = std::getenv("DDR_IO_BACKEND")) {
+      auto parsed = ParseIoBackend(env);
+      if (parsed.ok()) {
+        return *parsed;
+      }
+    }
+#if DDR_HAVE_POSIX_IO
+    return IoBackend::kMmap;
+#else
+    return IoBackend::kStream;
+#endif
+  }();
+  return kDefault;
+}
+
+uint64_t RandomAccessFile::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<std::span<const uint8_t>> RandomAccessFile::Read(
+    uint64_t offset, size_t length, std::vector<uint8_t>* scratch) const {
+  RETURN_IF_ERROR(CheckWindow(offset, length, size_, path_));
+  ASSIGN_OR_RETURN(std::span<const uint8_t> view,
+                   ReadImpl(offset, length, scratch));
+  bytes_read_.fetch_add(length, std::memory_order_relaxed);
+  return view;
+}
+
+Result<std::shared_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path, const RandomAccessFileOptions& options) {
+#if DDR_HAVE_POSIX_IO
+  switch (options.backend) {
+    case IoBackend::kStream:
+      return OpenStream(path);
+    case IoBackend::kPread:
+      if (auto opened = OpenPread(path); opened.ok() || !options.allow_fallback ||
+                                         opened.status().code() ==
+                                             StatusCode::kNotFound) {
+        return opened;
+      }
+      return OpenStream(path);
+    case IoBackend::kMmap: {
+      auto opened = OpenMmap(path);
+      if (opened.ok() || !options.allow_fallback ||
+          opened.status().code() == StatusCode::kNotFound) {
+        return opened;
+      }
+      if (auto pread = OpenPread(path); pread.ok()) {
+        return pread;
+      }
+      return OpenStream(path);
+    }
+  }
+  return InvalidArgumentError("unknown I/O backend");
+#else
+  if (options.backend != IoBackend::kStream && !options.allow_fallback) {
+    return UnimplementedError(
+        std::string(IoBackendName(options.backend)) +
+        " backend is unavailable on this platform");
+  }
+  return OpenStream(path);
+#endif
+}
+
+}  // namespace ddr

@@ -1,0 +1,114 @@
+// RandomAccessFile: positional, thread-safe reads with interchangeable
+// backends.
+//
+// Every reader in the trace layer used to own one blocking std::ifstream,
+// so N concurrent replays of one corpus paid N file opens and the seek
+// cursor made a shared stream unusable across threads. This layer gives
+// the trace/corpus readers one shared handle with three backends:
+//
+//   kStream  buffered std::ifstream behind a mutex — the portable
+//            fallback, semantically identical to the old reader path.
+//   kPread   positional pread(2): no shared cursor, no lock, kernel page
+//            cache does the buffering. The right default for many
+//            threads hammering one bundle.
+//   kMmap    read-only mmap: Read() returns a span straight into the
+//            mapping — zero copy, and decoders can decompress directly
+//            from the mapped region. Falls back gracefully (see
+//            RandomAccessFileOptions::allow_fallback) when mapping is
+//            unavailable (empty file, exotic filesystem, non-POSIX host).
+//
+// All backends are safe for concurrent Read() calls on one const handle.
+// The process-wide default backend is env-queryable: DDR_IO_BACKEND =
+// stream | pread | mmap.
+
+#ifndef SRC_UTIL_RANDOM_ACCESS_FILE_H_
+#define SRC_UTIL_RANDOM_ACCESS_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+enum class IoBackend : uint8_t {
+  kStream = 0,
+  kPread = 1,
+  kMmap = 2,
+};
+
+std::string_view IoBackendName(IoBackend backend);
+Result<IoBackend> ParseIoBackend(const std::string& name);
+
+// The process default: DDR_IO_BACKEND when set and valid, else kMmap on
+// POSIX hosts (with per-open fallback) and kStream elsewhere.
+IoBackend DefaultIoBackend();
+
+struct RandomAccessFileOptions {
+  IoBackend backend = DefaultIoBackend();
+  // When the preferred backend cannot be set up (mmap of an empty file, a
+  // host without the syscall), degrade mmap -> pread -> stream instead of
+  // failing the open. A missing file is always an error.
+  bool allow_fallback = true;
+};
+
+class RandomAccessFile {
+ public:
+  static Result<std::shared_ptr<RandomAccessFile>> Open(
+      const std::string& path, const RandomAccessFileOptions& options = {});
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+  virtual ~RandomAccessFile() = default;
+
+  // Reads exactly [offset, offset + length). The returned span either
+  // aliases the file's internal mapping (mmap: zero copy, scratch is left
+  // untouched) or `*scratch`, which is resized as needed. Reads past the
+  // end of the file fail with OutOfRange; short reads are errors, never
+  // silent truncation. Safe to call concurrently from many threads; the
+  // span stays valid for the life of the handle (mmap) or until scratch
+  // is next written (copying backends).
+  Result<std::span<const uint8_t>> Read(uint64_t offset, size_t length,
+                                        std::vector<uint8_t>* scratch) const;
+
+  const std::string& path() const { return path_; }
+  uint64_t size() const { return size_; }
+  // Process-unique id for this open handle. Caches key decoded data by
+  // this (not by path): a path can be atomically replaced with new
+  // contents, but an open handle keeps serving the bytes it was opened
+  // on, so handle-keyed cache entries can never go stale.
+  uint64_t id() const { return id_; }
+  IoBackend backend() const { return backend_; }
+  // True when Read() returns views into an in-memory mapping.
+  bool zero_copy() const { return backend_ == IoBackend::kMmap; }
+  // Total logical bytes served across all readers of this handle (mmap
+  // reads count the span length: the accounting tracks what a copying
+  // backend would have pulled, so cold/warm comparisons stay meaningful).
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  RandomAccessFile(std::string path, uint64_t size, IoBackend backend)
+      : path_(std::move(path)), size_(size), backend_(backend), id_(NextId()) {}
+
+  virtual Result<std::span<const uint8_t>> ReadImpl(
+      uint64_t offset, size_t length, std::vector<uint8_t>* scratch) const = 0;
+
+ private:
+  static uint64_t NextId();
+
+  std::string path_;
+  uint64_t size_ = 0;
+  IoBackend backend_ = IoBackend::kStream;
+  uint64_t id_ = 0;
+  mutable std::atomic<uint64_t> bytes_read_{0};
+};
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_RANDOM_ACCESS_FILE_H_

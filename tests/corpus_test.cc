@@ -12,17 +12,30 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/apps/scenarios.h"
 #include "src/core/batch_runner.h"
 #include "src/core/experiment.h"
+#include "src/trace/chunk_cache.h"
 #include "src/trace/corpus.h"
 #include "src/trace/trace_writer.h"
+#include "src/util/random_access_file.h"
 #include "src/util/rng.h"
 
 namespace ddr {
 namespace {
+
+const IoBackend kAllBackends[] = {IoBackend::kStream, IoBackend::kPread,
+                                  IoBackend::kMmap};
+
+CorpusReaderOptions WithBackend(IoBackend backend, uint64_t cache_bytes) {
+  CorpusReaderOptions options;
+  options.io.backend = backend;
+  options.cache_bytes = cache_bytes;
+  return options;
+}
 
 class ScopedPath {
  public:
@@ -202,7 +215,10 @@ TEST(CorpusTest, AtomicWriteLeavesNoPartialFile) {
   EXPECT_FALSE(target.good());
 }
 
-TEST(CorpusTest, DetectsCorruptionAndTruncation) {
+// Every backend must fail identically on damaged bundles: corruption and
+// truncation always surface as a Status, never as garbage events — under
+// mmap just as under the buffered stream path.
+TEST(CorpusTest, DetectsCorruptionAndTruncationOnEveryBackend) {
   ScopedPath path("corrupt");
   {
     CorpusWriter writer(path.get());
@@ -213,33 +229,212 @@ TEST(CorpusTest, DetectsCorruptionAndTruncation) {
   }
   const std::vector<uint8_t> image = ReadFileBytes(path.get());
 
-  // A flipped byte inside an embedded trace: the index still opens, but
-  // verification of that entry fails.
+  for (IoBackend backend : kAllBackends) {
+    const CorpusReaderOptions options = WithBackend(backend, 1 << 20);
+
+    // A flipped byte inside an embedded trace: the index still opens, but
+    // verification of that entry fails.
+    {
+      std::vector<uint8_t> bad = image;
+      bad[bad.size() / 3] ^= 0x20;
+      WriteFileBytes(path.get(), bad);
+      auto corpus = CorpusReader::Open(path.get(), options);
+      ASSERT_TRUE(corpus.ok()) << corpus.status();
+      EXPECT_FALSE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+    }
+
+    // A flipped byte inside the index section (just before the trailer):
+    // Open itself fails on the index CRC.
+    {
+      std::vector<uint8_t> bad = image;
+      bad[bad.size() - kCorpusTrailerBytes - 4] ^= 0x40;
+      WriteFileBytes(path.get(), bad);
+      EXPECT_FALSE(CorpusReader::Open(path.get(), options).ok())
+          << IoBackendName(backend);
+    }
+
+    // Truncations: the trailer (and with it the index) is gone, so Open
+    // fails cleanly at every cut point.
+    for (size_t keep = 0; keep < image.size(); keep += image.size() / 13 + 1) {
+      WriteFileBytes(path.get(),
+                     std::vector<uint8_t>(image.begin(), image.begin() + keep));
+      EXPECT_FALSE(CorpusReader::Open(path.get(), options).ok())
+          << IoBackendName(backend) << " prefix " << keep;
+    }
+  }
+}
+
+// All three I/O backends decode the same DDRC bundle to bit-identical
+// event logs, with VerifyAll green everywhere — zero-copy mmap reads are
+// not allowed to change a single decoded byte.
+TEST(CorpusTest, BackendsDecodeBitIdentically) {
+  ScopedPath path("backends");
+  TraceWriteOptions delta;
+  delta.events_per_chunk = 128;
+  delta.chunk_filter = TraceFilter::kVarintDelta;
   {
-    std::vector<uint8_t> bad = image;
-    bad[bad.size() / 3] ^= 0x20;
-    WriteFileBytes(path.get(), bad);
-    auto corpus = CorpusReader::Open(path.get());
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("row/a", MakeSyntheticRecording(700, 1)).ok());
+    ASSERT_TRUE(writer.Add("col/b", MakeSyntheticRecording(900, 2), delta).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  std::vector<std::vector<uint8_t>> logs_by_backend;
+  for (IoBackend backend : kAllBackends) {
+    auto corpus =
+        CorpusReader::Open(path.get(), WithBackend(backend, 1 << 20));
     ASSERT_TRUE(corpus.ok()) << corpus.status();
-    EXPECT_FALSE(corpus->VerifyAll().ok());
-  }
+    ASSERT_EQ(corpus->io_backend(), backend);
+    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
 
-  // A flipped byte inside the index section (just before the trailer):
-  // Open itself fails on the index CRC.
+    std::vector<uint8_t> combined;
+    for (const CorpusEntry& entry : corpus->entries()) {
+      auto trace = corpus->OpenTrace(entry);
+      ASSERT_TRUE(trace.ok()) << trace.status();
+      auto log = trace->ReadAllEvents();
+      ASSERT_TRUE(log.ok()) << log.status();
+      const std::vector<uint8_t> encoded = log->Encode();
+      combined.insert(combined.end(), encoded.begin(), encoded.end());
+    }
+    logs_by_backend.push_back(std::move(combined));
+  }
+  ASSERT_EQ(logs_by_backend.size(), 3u);
+  EXPECT_EQ(logs_by_backend[0], logs_by_backend[1]);
+  EXPECT_EQ(logs_by_backend[0], logs_by_backend[2]);
+}
+
+// The cache-counter truthfulness property: a warm re-read of a chunk
+// already decoded through the shared cache costs exactly 0 disk bytes,
+// and the hit/miss counters on reader and cache agree with that story.
+TEST(CorpusTest, WarmChunkRereadCostsZeroDiskBytes) {
+  ScopedPath path("warm");
+  TraceWriteOptions options;
+  options.events_per_chunk = 128;
   {
-    std::vector<uint8_t> bad = image;
-    bad[bad.size() - kCorpusTrailerBytes - 4] ^= 0x40;
-    WriteFileBytes(path.get(), bad);
-    EXPECT_FALSE(CorpusReader::Open(path.get()).ok());
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("r", MakeSyntheticRecording(1000)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
   }
 
-  // Truncations: the trailer (and with it the index) is gone, so Open
-  // fails cleanly at every cut point.
-  for (size_t keep = 0; keep < image.size(); keep += image.size() / 13 + 1) {
-    WriteFileBytes(path.get(),
-                   std::vector<uint8_t>(image.begin(), image.begin() + keep));
-    EXPECT_FALSE(CorpusReader::Open(path.get()).ok()) << "prefix " << keep;
+  for (IoBackend backend : kAllBackends) {
+    auto corpus =
+        CorpusReader::Open(path.get(), WithBackend(backend, 8 << 20));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    auto trace = corpus->OpenTrace("r");
+    ASSERT_TRUE(trace.ok()) << trace.status();
+
+    auto cold = trace->ReadEvents(300, 10);
+    ASSERT_TRUE(cold.ok());
+    const uint64_t cold_bytes = trace->bytes_read();
+    EXPECT_EQ(trace->cache_hits(), 0u);
+    EXPECT_EQ(trace->cache_misses(), 1u);
+
+    // Warm re-read, same reader: 0 new disk bytes, one cache hit.
+    auto warm = trace->ReadEvents(300, 10);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(trace->bytes_read(), cold_bytes) << IoBackendName(backend);
+    EXPECT_EQ(trace->cache_hits(), 1u);
+
+    // Warm read through a *different* window of the same corpus: the
+    // chunk decode is shared, so the new window pays only its own open.
+    auto window = corpus->OpenTrace("r");
+    ASSERT_TRUE(window.ok());
+    const uint64_t open_bytes = window->bytes_read();
+    auto shared = window->ReadEvents(300, 10);
+    ASSERT_TRUE(shared.ok());
+    EXPECT_EQ(window->bytes_read(), open_bytes) << IoBackendName(backend);
+    EXPECT_EQ(window->cache_hits(), 1u);
+    ASSERT_EQ(shared->size(), cold->size());
+    for (size_t i = 0; i < shared->size(); ++i) {
+      EXPECT_EQ((*shared)[i].SemanticHash(), (*cold)[i].SemanticHash());
+    }
+
+    const ChunkCacheStats stats = corpus->cache_stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.insertions, 1u);
   }
+
+  // Control: with the cache disabled, the same warm re-read pays the
+  // chunk's disk bytes again.
+  auto cold_corpus =
+      CorpusReader::Open(path.get(), WithBackend(IoBackend::kPread, 0));
+  ASSERT_TRUE(cold_corpus.ok());
+  auto trace = cold_corpus->OpenTrace("r");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->ReadEvents(300, 10).ok());
+  const uint64_t first = trace->bytes_read();
+  ASSERT_TRUE(trace->ReadEvents(300, 10).ok());
+  EXPECT_GT(trace->bytes_read(), first);
+  EXPECT_EQ(trace->cache_hits(), 0u);
+}
+
+// 8 threads replaying distinct and overlapping entries of one shared
+// CorpusReader decode exactly what a single thread decodes.
+TEST(CorpusTest, ConcurrentWindowsMatchSingleThreadedReads) {
+  ScopedPath path("threads");
+  constexpr size_t kEntries = 6;
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    for (size_t i = 0; i < kEntries; ++i) {
+      ASSERT_TRUE(writer
+                      .Add("entry/" + std::to_string(i),
+                           MakeSyntheticRecording(400 + 50 * i, i + 1))
+                      .ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto corpus =
+      CorpusReader::Open(path.get(), WithBackend(IoBackend::kMmap, 16 << 20));
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+
+  // Single-threaded ground truth.
+  std::vector<std::vector<uint8_t>> expected(kEntries);
+  for (size_t e = 0; e < kEntries; ++e) {
+    auto trace = corpus->OpenTrace(corpus->entries()[e]);
+    ASSERT_TRUE(trace.ok());
+    auto log = trace->ReadAllEvents();
+    ASSERT_TRUE(log.ok());
+    expected[e] = log->Encode();
+  }
+
+  // Distinct entries (threads partition the corpus), then overlapping
+  // (every thread reads every entry, hammering the shared cache).
+  for (const bool overlapping : {false, true}) {
+    std::vector<int> mismatches(8, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t]() {
+        for (size_t e = 0; e < kEntries; ++e) {
+          if (!overlapping && e % 8 != static_cast<size_t>(t)) {
+            continue;
+          }
+          auto trace = corpus->OpenTrace(corpus->entries()[e]);
+          if (!trace.ok()) {
+            ++mismatches[t];
+            continue;
+          }
+          auto log = trace->ReadAllEvents();
+          if (!log.ok() || log->Encode() != expected[e]) {
+            ++mismatches[t];
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_EQ(mismatches[t], 0)
+          << (overlapping ? "overlapping" : "distinct") << " thread " << t;
+    }
+  }
+  // The overlapping pass re-read every entry from 8 threads: the shared
+  // cache must have served the bulk of those chunk reads.
+  EXPECT_GT(corpus->cache_stats().hits, corpus->cache_stats().misses);
 }
 
 // A crafted entry whose window length wraps uint64 past the index offset
@@ -428,6 +623,48 @@ TEST(BatchRunnerTest, CorpusReplayMatchesInMemoryRows) {
   for (size_t i = 0; i < built->cells.size(); ++i) {
     EXPECT_EQ(RowSignature(replayed->cells[i]), RowSignature(built->cells[i]))
         << "cell " << i;
+  }
+}
+
+// The serve path at full concurrency: 8 workers sharing one CorpusReader
+// handle and one decoded-chunk cache produce the same deterministic row
+// signatures as a single worker on the cold stream backend — for every
+// I/O backend.
+TEST(BatchRunnerTest, SharedReaderParallelReplayMatchesAcrossBackends) {
+  ScopedPath corpus_path("sharedreplay");
+  BatchOptions options;
+  options.threads = 2;
+  options.models = {DeterminismModel::kPerfect, DeterminismModel::kValue,
+                    DeterminismModel::kFailure};
+  options.corpus_path = corpus_path.get();
+  options.trace_options.chunk_filter = TraceFilter::kVarintDelta;
+  auto built = BatchRunner(FastScenarios(), options).Run();
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  // Baseline: sequential, buffered stream, no cache.
+  ReplayCorpusOptions baseline;
+  baseline.threads = 1;
+  baseline.reader = WithBackend(IoBackend::kStream, 0);
+  auto sequential = ReplayCorpus(corpus_path.get(), FastScenarios(), baseline);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  ASSERT_EQ(sequential->cells.size(), 6u);
+  EXPECT_EQ(sequential->io_backend, "stream");
+  EXPECT_EQ(sequential->cache_stats.hits, 0u);
+  EXPECT_GT(sequential->corpus_bytes_read, 0u);
+
+  for (IoBackend backend : kAllBackends) {
+    ReplayCorpusOptions parallel;
+    parallel.threads = 8;
+    parallel.reader = WithBackend(backend, 32 << 20);
+    auto replayed = ReplayCorpus(corpus_path.get(), FastScenarios(), parallel);
+    ASSERT_TRUE(replayed.ok()) << replayed.status();
+    ASSERT_EQ(replayed->cells.size(), sequential->cells.size());
+    for (size_t i = 0; i < sequential->cells.size(); ++i) {
+      EXPECT_EQ(RowSignature(replayed->cells[i]),
+                RowSignature(sequential->cells[i]))
+          << IoBackendName(backend) << " cell " << i;
+    }
+    EXPECT_EQ(replayed->io_backend, IoBackendName(backend));
   }
 }
 

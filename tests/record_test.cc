@@ -39,6 +39,42 @@ TEST(EventLogTest, AppendTracksCountsAndSize) {
   EXPECT_GT(log.encoded_size_bytes(), 0u);
 }
 
+// EncodedSizeBytes is the size ledger for every Append: it must agree
+// exactly with what EncodeTo actually emits, across varint width
+// boundaries.
+TEST(EventLogTest, EncodedSizeBytesMatchesRealEncoding) {
+  for (uint64_t magnitude : {0ull, 1ull, 127ull, 128ull, 1ull << 14,
+                             (1ull << 21) - 1, 1ull << 42, ~0ull}) {
+    Event event = MakeEvent(EventType::kRngDraw, magnitude);
+    event.value = magnitude;
+    event.aux = magnitude / 3;
+    event.time = static_cast<SimTime>(magnitude % (1ull << 40));
+    Encoder encoder;
+    event.EncodeTo(&encoder);
+    EXPECT_EQ(event.EncodedSizeBytes(), encoder.size()) << magnitude;
+  }
+}
+
+TEST(EventLogTest, AppendAllMatchesRepeatedAppend) {
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 100; ++i) {
+    events.push_back(MakeEvent(i % 2 == 0 ? EventType::kSharedRead
+                                          : EventType::kOutput,
+                               i, static_cast<uint32_t>(i * 7)));
+  }
+  EventLog one_by_one;
+  for (const Event& event : events) {
+    one_by_one.Append(event);
+  }
+  EventLog bulk;
+  bulk.AppendAll(events.data(), events.size());
+  EXPECT_EQ(bulk.size(), one_by_one.size());
+  EXPECT_EQ(bulk.encoded_size_bytes(), one_by_one.encoded_size_bytes());
+  EXPECT_EQ(bulk.CountOfType(EventType::kSharedRead),
+            one_by_one.CountOfType(EventType::kSharedRead));
+  EXPECT_EQ(bulk.Encode(), one_by_one.Encode());
+}
+
 TEST(EventLogTest, EncodeDecodeRoundtrip) {
   EventLog log;
   for (uint64_t i = 0; i < 50; ++i) {

@@ -341,6 +341,70 @@ TEST(TraceReaderTest, PartialRangeReadsTouchOnlyCoveringChunks) {
   EXPECT_EQ(tail->size(), 10u);
 }
 
+// The same DDRT file decodes to bit-identical logs through the buffered
+// stream, pread, and mmap backends, filtered chunks included, and Verify
+// stays green on all of them.
+TEST(TraceReaderTest, IoBackendsDecodeBitIdentically) {
+  for (TraceFilter filter : {TraceFilter::kNone, TraceFilter::kVarintDelta}) {
+    const RecordedExecution recording = MakeSyntheticRecording(3000);
+    ScopedTracePath path("backends");
+    TraceWriteOptions options;
+    options.events_per_chunk = 256;
+    options.chunk_filter = filter;
+    ASSERT_TRUE(TraceStore::Save(path.get(), recording, options).ok());
+
+    std::vector<std::vector<uint8_t>> logs;
+    for (IoBackend backend :
+         {IoBackend::kStream, IoBackend::kPread, IoBackend::kMmap}) {
+      TraceReaderOptions reader_options;
+      reader_options.io.backend = backend;
+      auto reader = TraceReader::Open(path.get(), reader_options);
+      ASSERT_TRUE(reader.ok()) << reader.status();
+      EXPECT_EQ(reader->io_backend(), backend);
+      EXPECT_TRUE(reader->Verify().ok()) << IoBackendName(backend);
+      auto log = reader->ReadAllEvents();
+      ASSERT_TRUE(log.ok()) << log.status();
+      logs.push_back(log->Encode());
+      EXPECT_GT(reader->bytes_read(), 0u);
+    }
+    EXPECT_EQ(logs[0], logs[1]);
+    EXPECT_EQ(logs[0], logs[2]);
+  }
+}
+
+// A TraceReader with an attached ChunkCache decodes every chunk once:
+// the second full read costs zero disk bytes.
+TEST(TraceReaderTest, AttachedCacheMakesRereadsFree) {
+  const RecordedExecution recording = MakeSyntheticRecording(2000);
+  ScopedTracePath path("cached");
+  TraceWriteOptions options;
+  options.events_per_chunk = 128;
+  ASSERT_TRUE(TraceStore::Save(path.get(), recording, options).ok());
+
+  TraceReaderOptions reader_options;
+  reader_options.cache = std::make_shared<ChunkCache>(16 << 20);
+  auto reader = TraceReader::Open(path.get(), reader_options);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  auto first = reader->ReadAllEvents();
+  ASSERT_TRUE(first.ok());
+  const uint64_t cold_bytes = reader->bytes_read();
+  const uint64_t chunk_count = reader->chunks().size();
+  EXPECT_EQ(reader->cache_misses(), chunk_count);
+
+  auto second = reader->ReadAllEvents();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(reader->bytes_read(), cold_bytes);
+  EXPECT_EQ(reader->cache_hits(), chunk_count);
+  EXPECT_EQ(first->Encode(), second->Encode());
+
+  // Partial replay through the cached reader is the serve-side use: the
+  // second window re-decodes nothing.
+  const uint64_t before = reader->bytes_read();
+  ASSERT_TRUE(reader->ReadEvents(500, 100).ok());
+  EXPECT_EQ(reader->bytes_read(), before);
+}
+
 // ------------------------------------------------- Streaming + filters
 
 // The streaming writer produces byte-identical output to the buffered
@@ -638,6 +702,56 @@ TEST(TraceRoundtripReplayTest, RunModelFromFileMatchesRunModel) {
   EXPECT_EQ(from_file->recorded_events, in_memory.recorded_events);
   EXPECT_DOUBLE_EQ(from_file->fidelity, in_memory.fidelity);
   EXPECT_EQ(from_file->diagnosed_cause, in_memory.diagnosed_cause);
+}
+
+// The I/O-layer partial-replay entry point: replaying straight off a
+// cached TraceReader matches the in-memory PartialReplay result, and a
+// second window against the same reader decodes nothing new.
+TEST(PartialReplayTest, PartialReplayFromTraceMatchesInMemoryAndCaches) {
+  BugScenario scenario = MakeMsgDropScenario();
+  ExperimentHarness harness(scenario);
+  ASSERT_TRUE(harness.Prepare().ok());
+  const RecordedExecution recording = harness.Record(DeterminismModel::kPerfect);
+  ASSERT_GT(recording.log.size(), 64u);
+
+  ScopedTracePath path("fromtrace");
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+  options.checkpoint_interval = recording.log.size() / 3;
+  ASSERT_TRUE(harness.SaveRecording(recording, path.get(), options).ok());
+
+  TraceReaderOptions reader_options;
+  reader_options.cache = std::make_shared<ChunkCache>(16 << 20);
+  auto reader = TraceReader::Open(path.get(), reader_options);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_GE(reader->checkpoints().checkpoints.size(), 2u);
+  const uint64_t target =
+      reader->checkpoints().checkpoints.back().event_index;
+
+  ReplayTarget replay_target;
+  replay_target.make_program = scenario.make_program;
+  replay_target.env_options = scenario.env_options;
+  Replayer replayer(replay_target);
+
+  auto loaded = reader->ReadRecordedExecution();
+  ASSERT_TRUE(loaded.ok());
+  const ReplayResult in_memory =
+      replayer.PartialReplay(*loaded, reader->checkpoints(), target);
+
+  const uint64_t warm_bytes = reader->bytes_read();
+  auto from_trace = replayer.PartialReplayFromTrace(*reader, target);
+  ASSERT_TRUE(from_trace.ok()) << from_trace.status();
+  // The reader had already decoded every chunk: this window was free.
+  EXPECT_EQ(reader->bytes_read(), warm_bytes);
+
+  EXPECT_TRUE(from_trace->partial);
+  EXPECT_EQ(from_trace->started_from_event, in_memory.started_from_event);
+  EXPECT_TRUE(from_trace->fast_forward_verified);
+  EXPECT_EQ(from_trace->outcome.trace_fingerprint,
+            in_memory.outcome.trace_fingerprint);
+  EXPECT_EQ(from_trace->outcome.output_fingerprint,
+            in_memory.outcome.output_fingerprint);
+  EXPECT_EQ(from_trace->trace.size(), in_memory.trace.size());
 }
 
 // Partial replay from a mid-trace checkpoint reaches the same outcome as

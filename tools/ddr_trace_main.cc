@@ -30,7 +30,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/apps/scenarios.h"
@@ -60,29 +62,51 @@ void PrintUsage() {
                "  corpus replay <file> [--threads N] [--report path]\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
-               "debug-rcse\n");
+               "debug-rcse\n"
+               "  read-side commands (info|dump|verify|replay|corpus "
+               "info|verify|replay) also take\n"
+               "         --io stream|pread|mmap   I/O backend (default: "
+               "DDR_IO_BACKEND or mmap)\n"
+               "         --cache-mb N             decoded-chunk cache budget "
+               "(default: DDR_CACHE_MB or 64)\n");
+}
+
+// Flag values accept both "--flag value" and "--flag=value".
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
+  }
+  return nullptr;
 }
 
 uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      char* end = nullptr;
-      errno = 0;
-      const uint64_t value = std::strtoull(argv[i + 1], &end, 10);
-      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE) {
-        std::fprintf(stderr, "ddr-trace: invalid value '%s' for %s\n",
-                     argv[i + 1], flag);
-        std::exit(1);
-      }
-      return value;
-    }
+  const char* text = FlagValue(argc, argv, flag);
+  if (text == nullptr) {
+    return fallback;
   }
-  return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "ddr-trace: invalid value '%s' for %s\n", text, flag);
+    std::exit(1);
+  }
+  return value;
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
+    if (std::strcmp(argv[i], flag) == 0 ||
+        (std::strncmp(argv[i], flag, flag_len) == 0 &&
+         argv[i][flag_len] == '=')) {
       return true;
     }
   }
@@ -91,12 +115,59 @@ bool HasFlag(int argc, char** argv, const char* flag) {
 
 const char* ParseStringFlag(int argc, char** argv, const char* flag,
                             const char* fallback) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      return argv[i + 1];
+  const char* text = FlagValue(argc, argv, flag);
+  return text != nullptr ? text : fallback;
+}
+
+// Shared read-side flags: --io stream|pread|mmap and --cache-mb N.
+RandomAccessFileOptions IoOptionsFromFlags(int argc, char** argv) {
+  RandomAccessFileOptions io;
+  if (const char* name = FlagValue(argc, argv, "--io")) {
+    auto backend = ParseIoBackend(name);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "ddr-trace: %s\n", backend.status().ToString().c_str());
+      std::exit(1);
     }
+    io.backend = *backend;
+    // An explicit backend request should fail loudly, not silently degrade.
+    io.allow_fallback = false;
   }
-  return fallback;
+  return io;
+}
+
+TraceReaderOptions ReaderOptionsFromFlags(int argc, char** argv) {
+  TraceReaderOptions options;
+  options.io = IoOptionsFromFlags(argc, argv);
+  // Same default as the corpus commands (DDR_CACHE_MB or 64 MiB), so the
+  // usage text holds for every read-side command; --cache-mb 0 disables.
+  const uint64_t cache_bytes =
+      ParseFlag(argc, argv, "--cache-mb", DefaultChunkCacheBytes() >> 20) << 20;
+  if (cache_bytes > 0) {
+    options.cache = std::make_shared<ChunkCache>(cache_bytes);
+  }
+  return options;
+}
+
+CorpusReaderOptions CorpusOptionsFromFlags(int argc, char** argv) {
+  CorpusReaderOptions options;
+  options.io = IoOptionsFromFlags(argc, argv);
+  options.cache_bytes =
+      ParseFlag(argc, argv, "--cache-mb", DefaultChunkCacheBytes() >> 20) << 20;
+  return options;
+}
+
+void PrintServeStats(const char* label, const std::string& backend,
+                     uint64_t cold_bytes, const ChunkCacheStats& cache) {
+  std::printf(
+      "%s: io %s, %llu cold bytes; cache %llu/%llu hits (%.1f%% hit rate), "
+      "%llu insertions, %llu evictions, %llu bytes resident\n",
+      label, backend.c_str(), static_cast<unsigned long long>(cold_bytes),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.hits + cache.misses),
+      100.0 * cache.hit_rate(),
+      static_cast<unsigned long long>(cache.insertions),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.bytes_in_use));
 }
 
 std::vector<std::string> SplitCommaList(const std::string& text) {
@@ -109,8 +180,8 @@ std::vector<std::string> SplitCommaList(const std::string& text) {
   return out;
 }
 
-int Info(const std::string& path) {
-  auto reader_or = TraceReader::Open(path);
+int Info(const std::string& path, int argc, char** argv) {
+  auto reader_or = TraceReader::Open(path, ReaderOptionsFromFlags(argc, argv));
   if (!reader_or.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
     return 2;
@@ -120,6 +191,8 @@ int Info(const std::string& path) {
   std::printf("file:              %s\n", path.c_str());
   std::printf("file size:         %llu bytes\n",
               static_cast<unsigned long long>(reader.file_size()));
+  std::printf("io backend:        %s\n",
+              std::string(IoBackendName(reader.io_backend())).c_str());
   std::printf("model:             %s\n", meta.model.c_str());
   std::printf("scenario:          %s\n",
               meta.scenario.empty() ? "(unknown)" : meta.scenario.c_str());
@@ -167,8 +240,9 @@ int Info(const std::string& path) {
   return 0;
 }
 
-int Dump(const std::string& path, uint64_t from, uint64_t count) {
-  auto reader_or = TraceReader::Open(path);
+int Dump(const std::string& path, uint64_t from, uint64_t count, int argc,
+         char** argv) {
+  auto reader_or = TraceReader::Open(path, ReaderOptionsFromFlags(argc, argv));
   if (!reader_or.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
     return 2;
@@ -194,8 +268,9 @@ int Dump(const std::string& path, uint64_t from, uint64_t count) {
   return 0;
 }
 
-int VerifyFile(const std::string& path) {
-  const Status status = TraceStore::Verify(path);
+int VerifyFile(const std::string& path, int argc, char** argv) {
+  const Status status =
+      TraceStore::Verify(path, ReaderOptionsFromFlags(argc, argv));
   if (!status.ok()) {
     std::fprintf(stderr, "ddr-trace: verify FAILED: %s\n",
                  status.ToString().c_str());
@@ -205,8 +280,9 @@ int VerifyFile(const std::string& path) {
   return 0;
 }
 
-int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
-  auto reader_or = TraceReader::Open(path);
+int ReplayFile(const std::string& path, uint64_t target, bool has_target,
+               int argc, char** argv) {
+  auto reader_or = TraceReader::Open(path, ReaderOptionsFromFlags(argc, argv));
   if (!reader_or.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", reader_or.status().ToString().c_str());
     return 2;
@@ -221,13 +297,6 @@ int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
                  scenario_name.c_str());
     return 2;
   }
-  auto recording_or = reader.ReadRecordedExecution();
-  if (!recording_or.ok()) {
-    std::fprintf(stderr, "ddr-trace: %s\n",
-                 recording_or.status().ToString().c_str());
-    return 2;
-  }
-
   const BugScenario& scenario = *scenario_or;
   ReplayTarget replay_target;
   replay_target.make_program = scenario.make_program;
@@ -245,9 +314,22 @@ int ReplayFile(const std::string& path, uint64_t target, bool has_target) {
 
   ReplayResult result;
   if (has_target) {
-    result =
-        replayer.PartialReplay(*recording_or, reader.checkpoints(), target, mode);
+    // Reads go through the reader (and its cache, when --cache-mb is
+    // set), so probing several targets against one trace only decodes
+    // each chunk once.
+    auto partial = replayer.PartialReplayFromTrace(reader, target, mode);
+    if (!partial.ok()) {
+      std::fprintf(stderr, "ddr-trace: %s\n", partial.status().ToString().c_str());
+      return 2;
+    }
+    result = std::move(*partial);
   } else {
+    auto recording_or = reader.ReadRecordedExecution();
+    if (!recording_or.ok()) {
+      std::fprintf(stderr, "ddr-trace: %s\n",
+                   recording_or.status().ToString().c_str());
+      return 2;
+    }
     result = replayer.Replay(*recording_or, mode);
   }
 
@@ -387,8 +469,8 @@ int CorpusBuild(const std::string& path, int argc, char** argv) {
   return WriteReportIfRequested(*report, argc, argv);
 }
 
-int CorpusInfo(const std::string& path) {
-  auto corpus = CorpusReader::Open(path);
+int CorpusInfo(const std::string& path, int argc, char** argv) {
+  auto corpus = CorpusReader::Open(path, CorpusOptionsFromFlags(argc, argv));
   if (!corpus.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", corpus.status().ToString().c_str());
     return 2;
@@ -396,6 +478,8 @@ int CorpusInfo(const std::string& path) {
   std::printf("corpus:            %s\n", path.c_str());
   std::printf("file size:         %llu bytes\n",
               static_cast<unsigned long long>(corpus->file_size()));
+  std::printf("io backend:        %s\n",
+              std::string(IoBackendName(corpus->io_backend())).c_str());
   std::printf("entries:           %zu\n", corpus->entries().size());
   std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario", "model",
               "events", "bytes");
@@ -408,8 +492,8 @@ int CorpusInfo(const std::string& path) {
   return 0;
 }
 
-int CorpusVerify(const std::string& path) {
-  auto corpus = CorpusReader::Open(path);
+int CorpusVerify(const std::string& path, int argc, char** argv) {
+  auto corpus = CorpusReader::Open(path, CorpusOptionsFromFlags(argc, argv));
   if (!corpus.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", corpus.status().ToString().c_str());
     return 2;
@@ -421,12 +505,16 @@ int CorpusVerify(const std::string& path) {
     return 2;
   }
   std::printf("%s: OK (%zu entries)\n", path.c_str(), corpus->entries().size());
+  PrintServeStats("verify", std::string(IoBackendName(corpus->io_backend())),
+                  corpus->bytes_read(), corpus->cache_stats());
   return 0;
 }
 
 int CorpusReplay(const std::string& path, int argc, char** argv) {
-  const int threads = static_cast<int>(ParseFlag(argc, argv, "--threads", 1));
-  auto report = ReplayCorpus(path, AllBugScenarios(), threads);
+  ReplayCorpusOptions options;
+  options.threads = static_cast<int>(ParseFlag(argc, argv, "--threads", 1));
+  options.reader = CorpusOptionsFromFlags(argc, argv);
+  auto report = ReplayCorpus(path, AllBugScenarios(), options);
   if (!report.ok()) {
     std::fprintf(stderr, "ddr-trace: %s\n", report.status().ToString().c_str());
     return 2;
@@ -434,6 +522,8 @@ int CorpusReplay(const std::string& path, int argc, char** argv) {
   PrintBatchCells(*report);
   std::printf("replayed %zu recordings from %s\n", report->cells.size(),
               path.c_str());
+  PrintServeStats("serve", report->io_backend, report->corpus_bytes_read,
+                  report->cache_stats);
   return WriteReportIfRequested(*report, argc, argv);
 }
 
@@ -448,10 +538,10 @@ int CorpusMain(int argc, char** argv) {
     return CorpusBuild(path, argc, argv);
   }
   if (subcommand == "info") {
-    return CorpusInfo(path);
+    return CorpusInfo(path, argc, argv);
   }
   if (subcommand == "verify") {
-    return CorpusVerify(path);
+    return CorpusVerify(path, argc, argv);
   }
   if (subcommand == "replay") {
     return CorpusReplay(path, argc, argv);
@@ -471,18 +561,18 @@ int Main(int argc, char** argv) {
   }
   const std::string path = argv[2];
   if (command == "info") {
-    return Info(path);
+    return Info(path, argc, argv);
   }
   if (command == "dump") {
     return Dump(path, ParseFlag(argc, argv, "--from", 0),
-                ParseFlag(argc, argv, "--count", 0));
+                ParseFlag(argc, argv, "--count", 0), argc, argv);
   }
   if (command == "verify") {
-    return VerifyFile(path);
+    return VerifyFile(path, argc, argv);
   }
   if (command == "replay") {
     return ReplayFile(path, ParseFlag(argc, argv, "--target", 0),
-                      HasFlag(argc, argv, "--target"));
+                      HasFlag(argc, argv, "--target"), argc, argv);
   }
   if (command == "record") {
     if (argc < 4) {
