@@ -242,6 +242,72 @@ void RunConcurrencyBench(BenchJsonWriter& json) {
   }
 }
 
+// Append-then-serve: a warm reader survives the bundle being grown
+// underneath it. The reader serves the old index until Reopen; the cache
+// object (and its accumulated counters) carries across the Reopen, and
+// the post-Reopen pass serves old + new entries from the grown bundle.
+void RunAppendBench(BenchJsonWriter& json) {
+  constexpr uint64_t kAppended = 2;
+  auto corpus = CorpusReader::Open(
+      kCorpusPath, Options(IoBackend::kMmap, uint64_t{256} << 20));
+  CHECK(corpus.ok()) << corpus.status();
+  const size_t entries_before = corpus->entries().size();
+
+  // Fill the cache, then take a warm pass so the counters have real hits
+  // to carry across the Reopen.
+  FullPass(*corpus);
+  FullPass(*corpus);
+  const ChunkCacheStats warm_stats = corpus->cache_stats();
+
+  // Grow the bundle while the reader stays open.
+  const auto append_start = std::chrono::steady_clock::now();
+  {
+    auto writer = CorpusWriter::AppendTo(kCorpusPath);
+    CHECK(writer.ok()) << writer.status();
+    TraceWriteOptions options;
+    options.events_per_chunk = 512;
+    options.chunk_filter = TraceFilter::kVarintDelta;
+    for (uint64_t i = 0; i < kAppended; ++i) {
+      CHECK((*writer)
+                ->Add("appended/" + std::to_string(i),
+                      MakeRecording(kEventsPerEntry, 9000 + i), options)
+                .ok());
+    }
+    CHECK((*writer)->Finish().ok());
+  }
+  const double append_seconds = Seconds(append_start);
+  CHECK_EQ(corpus->entries().size(), entries_before);  // old index until Reopen
+
+  CHECK(corpus->Reopen().ok());
+  CHECK_EQ(corpus->entries().size(), entries_before + kAppended);
+  const ChunkCacheStats reopened_stats = corpus->cache_stats();
+  CHECK(reopened_stats.hits >= warm_stats.hits);  // counters survived
+
+  const auto start = std::chrono::steady_clock::now();
+  FullPass(*corpus);
+  const double seconds = Seconds(start);
+  const uint64_t served_events = (entries_before + kAppended) * kEventsPerEntry;
+  const double meps = served_events / seconds / 1e6;
+
+  std::printf(
+      "append %llu entries in %.3fs; reopen serves %zu entries at %7.2f "
+      "Mev/s (cache counters survive: %llu hits carried)\n",
+      static_cast<unsigned long long>(kAppended), append_seconds,
+      entries_before + kAppended, meps,
+      static_cast<unsigned long long>(reopened_stats.hits));
+
+  JsonLine line = json.Line();
+  line.Str("section", "append")
+      .Int("entries_before", entries_before)
+      .Int("entries_appended", kAppended)
+      .Num("append_seconds", append_seconds)
+      .Int("served_events_post_reopen", served_events)
+      .Num("post_reopen_mevents_per_sec", meps)
+      .Int("cache_hits_carried", reopened_stats.hits)
+      .Num("hit_rate", corpus->cache_stats().hit_rate());
+  json.Write(line);
+}
+
 void RunAll() {
   PrintBanner("micro: corpus serving — backends, chunk cache, concurrency");
   BenchJsonWriter json("micro_corpus_serve");
@@ -249,6 +315,7 @@ void RunAll() {
   const double cold_stream_seconds = RunBackendBench(json);
   RunCacheBench(cold_stream_seconds, json);
   RunConcurrencyBench(json);
+  RunAppendBench(json);
   std::remove(kCorpusPath);
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -124,17 +126,78 @@ Result<BatchReport> BatchRunner::Run() {
   }
   models = std::move(unique_models);
 
-  // Phase 1: prep every scenario once, in parallel. The training run only
-  // matters to RCSE recorders, so it is skipped for grids without them.
-  const bool needs_training =
-      std::find(models.begin(), models.end(), DeterminismModel::kDebugRcse) !=
-      models.end();
+  // Resume: lift the existing bundle's cell set, keyed by stamped
+  // scenario + canonical model name (entry names may carry recorder
+  // aliases like "rcse-combined"). Entries whose model string does not
+  // parse belong to no grid cell and are simply carried over.
+  const auto cell_key = [](const std::string& scenario,
+                           DeterminismModel model) {
+    return scenario + "\x1f" + std::string(DeterminismModelName(model));
+  };
+  bool appending = false;
+  std::set<std::string> done_cells;
+  if (options_.resume && !options_.corpus_path.empty()) {
+    CorpusReaderOptions probe;
+    probe.io = options_.resume_io;
+    probe.cache_bytes = 0;
+    auto existing = CorpusReader::Open(options_.corpus_path, probe);
+    if (existing.ok()) {
+      appending = true;
+      for (const CorpusEntry& entry : existing->entries()) {
+        if (auto model = ParseDeterminismModel(entry.model); model.ok()) {
+          done_cells.insert(cell_key(entry.scenario, *model));
+        }
+      }
+    } else if (existing.status().code() != StatusCode::kNotFound) {
+      // A corrupt bundle must surface, not be silently rebuilt from zero.
+      return existing.status();
+    }
+  }
+
+  // The grid cells actually run this pass: all of them on a fresh build,
+  // only the missing ones on a resume. Scenario-major, model-minor order
+  // either way, so appended bundles line up with single-shot ones.
+  struct CellSpec {
+    size_t scenario = 0;
+    DeterminismModel model = DeterminismModel::kPerfect;
+  };
+  std::vector<CellSpec> cell_specs;
+  std::vector<bool> scenario_needed(scenarios_.size(), false);
+  for (size_t s = 0; s < scenarios_.size(); ++s) {
+    for (const DeterminismModel model : models) {
+      if (appending && done_cells.count(cell_key(scenarios_[s].name, model))) {
+        continue;
+      }
+      cell_specs.push_back(CellSpec{s, model});
+      scenario_needed[s] = true;
+    }
+  }
+  if (cell_specs.empty()) {
+    // Nothing missing: do not rewrite (or even open) the bundle.
+    return BatchReport{};
+  }
+
+  // Phase 1: prep every needed scenario once, in parallel. The training
+  // run only matters to RCSE recorders, so it is skipped for grids (or
+  // resume remainders) without them.
+  bool needs_training = false;
+  for (const CellSpec& spec : cell_specs) {
+    needs_training |= spec.model == DeterminismModel::kDebugRcse;
+  }
+  std::vector<size_t> prep_targets;
+  for (size_t s = 0; s < scenarios_.size(); ++s) {
+    if (scenario_needed[s]) {
+      prep_targets.push_back(s);
+    }
+  }
   std::vector<std::shared_ptr<const ScenarioPrep>> preps(scenarios_.size());
-  std::vector<Status> prep_status(scenarios_.size());
-  RunTasks(options_.threads, scenarios_.size(), [&](size_t i) {
-    auto prep = ScenarioPrep::Compute(scenarios_[i], needs_training);
+  std::vector<Status> prep_status(prep_targets.size());
+  RunTasks(options_.threads, prep_targets.size(), [&](size_t i) {
+    auto prep = ScenarioPrep::Compute(scenarios_[prep_targets[i]],
+                                      needs_training);
     if (prep.ok()) {
-      preps[i] = std::make_shared<const ScenarioPrep>(std::move(*prep));
+      preps[prep_targets[i]] =
+          std::make_shared<const ScenarioPrep>(std::move(*prep));
     } else {
       prep_status[i] = prep.status();
     }
@@ -143,10 +206,10 @@ Result<BatchReport> BatchRunner::Run() {
     RETURN_IF_ERROR(status);
   }
 
-  // Phase 2: one task per scenario x model cell. Each worker records on
-  // its own harness (sharing the scenario's prep), scores, and — when a
-  // corpus is requested — serializes the recording to a DDRT image so the
-  // bundle write below is pure ordered I/O.
+  // Phase 2: one task per cell. Each worker records on its own harness
+  // (sharing the scenario's prep), scores, and — when a corpus is
+  // requested — serializes the recording to a DDRT image so the bundle
+  // write below is pure ordered I/O.
   struct TaskOutput {
     BatchCell cell;
     std::vector<uint8_t> image;
@@ -154,11 +217,11 @@ Result<BatchReport> BatchRunner::Run() {
     uint64_t event_count = 0;
     double wall_seconds = 0.0;
   };
-  const size_t task_count = scenarios_.size() * models.size();
+  const size_t task_count = cell_specs.size();
   std::vector<TaskOutput> outputs(task_count);
   RunTasks(options_.threads, task_count, [&](size_t t) {
-    const size_t s = t / models.size();
-    const DeterminismModel model = models[t % models.size()];
+    const size_t s = cell_specs[t].scenario;
+    const DeterminismModel model = cell_specs[t].model;
     ExperimentHarness harness(scenarios_[s], preps[s]);
     const RecordedExecution recording = harness.Record(model);
 
@@ -179,16 +242,23 @@ Result<BatchReport> BatchRunner::Run() {
     }
   });
 
-  // Bundle write, in deterministic task order.
+  // Bundle write, in deterministic task order — a fresh build, or an
+  // atomic append that leaves the original bundle intact on any failure.
   if (!options_.corpus_path.empty()) {
-    CorpusWriter corpus(options_.corpus_path);
-    RETURN_IF_ERROR(corpus.Begin());
-    for (const TaskOutput& out : outputs) {
-      RETURN_IF_ERROR(corpus.AddImage(out.cell.recording_name, out.image,
-                                      out.recorder_model, out.cell.scenario,
-                                      out.event_count, out.wall_seconds));
+    std::unique_ptr<CorpusWriter> corpus;
+    if (appending) {
+      ASSIGN_OR_RETURN(corpus, CorpusWriter::AppendTo(options_.corpus_path,
+                                                      options_.resume_io));
+    } else {
+      corpus = std::make_unique<CorpusWriter>(options_.corpus_path);
+      RETURN_IF_ERROR(corpus->Begin());
     }
-    RETURN_IF_ERROR(corpus.Finish());
+    for (const TaskOutput& out : outputs) {
+      RETURN_IF_ERROR(corpus->AddImage(out.cell.recording_name, out.image,
+                                       out.recorder_model, out.cell.scenario,
+                                       out.event_count, out.wall_seconds));
+    }
+    RETURN_IF_ERROR(corpus->Finish());
   }
 
   BatchReport report;

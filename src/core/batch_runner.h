@@ -39,6 +39,19 @@ struct BatchOptions {
   std::string corpus_path;
   // Chunking/compression/filter for corpus recordings.
   TraceWriteOptions trace_options;
+  // Resume an interrupted or partial grid: when `corpus_path` names an
+  // existing bundle, cells already present (matched by stamped scenario +
+  // canonical determinism-model name — the deterministic prefix of their
+  // RowSignature) are skipped, and only the missing cells record and
+  // append, through CorpusWriter::AppendTo's atomic rewrite. The report
+  // then contains exactly the cells that ran; with nothing missing, the
+  // bundle is not touched at all. A missing file degrades to a normal
+  // full build; a corrupt one is an error, never silently rebuilt.
+  bool resume = false;
+  // I/O backend used to read the existing bundle on a resume (the index
+  // probe and AppendTo's byte copy; nothing decodes, so there is no
+  // cache knob here).
+  RandomAccessFileOptions resume_io;
 };
 
 // One scenario x model cell of the grid.

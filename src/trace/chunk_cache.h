@@ -66,6 +66,14 @@ struct ChunkCacheStats {
 // else 64 MiB.
 uint64_t DefaultChunkCacheBytes();
 
+// Parses a cache budget in MiB ("64") into bytes. Junk, trailing garbage,
+// out-of-range values (ERANGE), and anything whose byte count would
+// overflow uint64 when shifted (including "-1", which strtoull would
+// happily wrap) all yield `fallback_bytes` — a bad DDR_CACHE_MB must
+// degrade to the default, never silently wrap to a bogus budget. This is
+// the env-variable half; the CLI rejects the same inputs loudly.
+uint64_t ChunkCacheBytesFromMbText(const char* text, uint64_t fallback_bytes);
+
 class ChunkCache {
  public:
   using EventsPtr = std::shared_ptr<const std::vector<Event>>;

@@ -82,6 +82,54 @@ class CorpusEmbeddedSink : public TraceByteSink {
 CorpusWriter::CorpusWriter(std::string path)
     : path_(std::move(path)), sink_(path_) {}
 
+Result<std::unique_ptr<CorpusWriter>> CorpusWriter::AppendTo(
+    const std::string& path, const RandomAccessFileOptions& io) {
+  std::unique_ptr<CorpusWriter> writer(new CorpusWriter(path));
+  RETURN_IF_ERROR(writer->BeginAppend(io));
+  return writer;
+}
+
+Status CorpusWriter::BeginAppend(const RandomAccessFileOptions& io) {
+  // Validate the existing bundle and lift its index through the normal
+  // reader path (header/trailer/CRC/window checks all apply). No chunk
+  // ever decodes here, so the cache is disabled.
+  CorpusReaderOptions read_options;
+  read_options.io = io;
+  read_options.cache_bytes = 0;
+  ASSIGN_OR_RETURN(CorpusReader existing,
+                   CorpusReader::Open(path_, read_options));
+  if (existing.index_offset() < kCorpusHeaderBytes) {
+    return InvalidArgumentError("corpus index offset inside header: " + path_);
+  }
+
+  // Copy header + every embedded image — [0, index_offset) — into the
+  // temp sink in bounded chunks; the old index and trailer are dropped
+  // (Finish() writes merged replacements). The copy reads through the
+  // reader's own handle, so index and bytes can never disagree even if
+  // the path is atomically replaced mid-append.
+  begun_ = true;
+  std::vector<uint8_t> scratch;
+  constexpr uint64_t kCopyChunkBytes = 1 << 20;
+  const RandomAccessFile& file = *existing.file_;
+  for (uint64_t copied = 0; copied < existing.index_offset();) {
+    const uint64_t want =
+        std::min(kCopyChunkBytes, existing.index_offset() - copied);
+    ASSIGN_OR_RETURN(std::span<const uint8_t> bytes,
+                     file.Read(copied, static_cast<size_t>(want), &scratch));
+    status_ = sink_.Append(bytes.data(), bytes.size());
+    if (!status_.ok()) {
+      return status_;
+    }
+    copied += want;
+  }
+  offset_ = existing.index_offset();
+  entries_ = existing.entries();
+  for (const CorpusEntry& entry : entries_) {
+    names_.insert(entry.name);
+  }
+  return OkStatus();
+}
+
 Status CorpusWriter::Begin() {
   if (begun_) {
     return FailedPreconditionError("CorpusWriter::Begin called twice");
@@ -206,6 +254,34 @@ Status CorpusWriter::AddImage(const std::string& name,
   return OkStatus();
 }
 
+Status CorpusWriter::AddImageWindow(const CorpusEntry& entry,
+                                    const CorpusReader& source) {
+  RETURN_IF_ERROR(CheckOpenForNewEntry(entry.name));
+  if (entry.length < kTraceHeaderBytes + kTraceTrailerBytes) {
+    return InvalidArgumentError("corpus entry image too small to be a trace");
+  }
+  const RandomAccessFile& file = *source.file_;
+  std::vector<uint8_t> scratch;
+  constexpr uint64_t kCopyChunkBytes = 1 << 20;
+  for (uint64_t copied = 0; copied < entry.length;) {
+    const uint64_t want = std::min(kCopyChunkBytes, entry.length - copied);
+    ASSIGN_OR_RETURN(std::span<const uint8_t> bytes,
+                     file.Read(entry.offset + copied,
+                               static_cast<size_t>(want), &scratch));
+    status_ = sink_.Append(bytes.data(), bytes.size());
+    if (!status_.ok()) {
+      return status_;
+    }
+    copied += want;
+  }
+  CorpusEntry copy = entry;
+  copy.offset = offset_;
+  offset_ += entry.length;
+  names_.insert(copy.name);
+  entries_.push_back(std::move(copy));
+  return OkStatus();
+}
+
 Status CorpusWriter::Finish() {
   if (!begun_) {
     return FailedPreconditionError("CorpusWriter::Finish before Begin");
@@ -241,8 +317,21 @@ Status CorpusWriter::Finish() {
 
 Result<CorpusReader> CorpusReader::Open(const std::string& path,
                                         const CorpusReaderOptions& options) {
+  return OpenImpl(path, options, nullptr);
+}
+
+Status CorpusReader::Reopen() {
+  ASSIGN_OR_RETURN(CorpusReader fresh, OpenImpl(path_, options_, cache_));
+  *this = std::move(fresh);
+  return OkStatus();
+}
+
+Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
+                                            const CorpusReaderOptions& options,
+                                            std::shared_ptr<ChunkCache> cache) {
   CorpusReader reader;
   reader.path_ = path;
+  reader.options_ = options;
   {
     auto file = RandomAccessFile::Open(path, options.io);
     if (!file.ok()) {
@@ -252,7 +341,9 @@ Result<CorpusReader> CorpusReader::Open(const std::string& path,
     }
     reader.file_ = std::move(*file);
   }
-  reader.cache_ = std::make_shared<ChunkCache>(options.cache_bytes);
+  reader.cache_ = cache != nullptr
+                      ? std::move(cache)
+                      : std::make_shared<ChunkCache>(options.cache_bytes);
   reader.file_size_ = reader.file_->size();
   if (reader.file_size_ < kCorpusHeaderBytes + kCorpusTrailerBytes) {
     return InvalidArgumentError("corpus file too small: " + path);
@@ -288,6 +379,7 @@ Result<CorpusReader> CorpusReader::Open(const std::string& path,
     if (magic != kCorpusTrailerMagic) {
       return InvalidArgumentError("bad corpus trailer magic (truncated file?)");
     }
+    reader.index_offset_ = index_offset;
   }
 
   ASSIGN_OR_RETURN(
@@ -362,6 +454,128 @@ Status CorpusReader::VerifyAll() const {
     }
   }
   return OkStatus();
+}
+
+// ----------------------------------------------------------- Mutations
+
+std::string_view NameCollisionPolicyName(NameCollisionPolicy policy) {
+  switch (policy) {
+    case NameCollisionPolicy::kFail:
+      return "fail";
+    case NameCollisionPolicy::kSkip:
+      return "skip";
+    case NameCollisionPolicy::kRenameSuffix:
+      return "rename-suffix";
+  }
+  return "unknown";
+}
+
+Result<NameCollisionPolicy> ParseNameCollisionPolicy(const std::string& name) {
+  if (name == "fail") {
+    return NameCollisionPolicy::kFail;
+  }
+  if (name == "skip") {
+    return NameCollisionPolicy::kSkip;
+  }
+  if (name == "rename-suffix" || name == "rename") {
+    return NameCollisionPolicy::kRenameSuffix;
+  }
+  return InvalidArgumentError("unknown collision policy '" + name +
+                              "' (expected fail|skip|rename-suffix)");
+}
+
+Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
+                                         const std::string& output,
+                                         const MergeCorporaOptions& options) {
+  if (inputs.empty()) {
+    return InvalidArgumentError("corpus merge needs at least one input");
+  }
+
+  // Open every input before writing a byte of output: an unreadable input
+  // must fail the merge with the target untouched. Readers decode nothing
+  // here, so every cache is disabled.
+  CorpusReaderOptions read_options;
+  read_options.io = options.io;
+  read_options.cache_bytes = 0;
+  std::vector<CorpusReader> readers;
+  readers.reserve(inputs.size());
+  for (const std::string& input : inputs) {
+    ASSIGN_OR_RETURN(CorpusReader reader,
+                     CorpusReader::Open(input, read_options));
+    readers.push_back(std::move(reader));
+  }
+
+  CorpusMutationStats stats;
+  CorpusWriter writer(output);
+  RETURN_IF_ERROR(writer.Begin());
+  std::set<std::string> taken;
+  for (size_t r = 0; r < readers.size(); ++r) {
+    const CorpusReader& reader = readers[r];
+    for (const CorpusEntry& entry : reader.entries()) {
+      std::string name = entry.name;
+      if (taken.count(name) != 0) {
+        switch (options.on_collision) {
+          case NameCollisionPolicy::kFail:
+            return AlreadyExistsError("corpus merge: entry '" + entry.name +
+                                      "' from " + inputs[r] +
+                                      " collides with an earlier input");
+          case NameCollisionPolicy::kSkip:
+            ++stats.skipped;
+            continue;
+          case NameCollisionPolicy::kRenameSuffix: {
+            uint64_t suffix = 2;
+            do {
+              name = entry.name + "~" + std::to_string(suffix++);
+            } while (taken.count(name) != 0);
+            ++stats.renamed;
+            break;
+          }
+        }
+      }
+      CorpusEntry renamed = entry;
+      renamed.name = name;
+      // The writer reads the image bytes through the input's own handle:
+      // byte-for-byte copy, nothing decoded.
+      RETURN_IF_ERROR(writer.AddImageWindow(renamed, reader));
+      taken.insert(std::move(name));
+      ++stats.added;
+    }
+  }
+  RETURN_IF_ERROR(writer.Finish());
+  return stats;
+}
+
+Result<CorpusMutationStats> CompactCorpus(
+    const std::string& path, const std::vector<std::string>& drop_names,
+    const RandomAccessFileOptions& io) {
+  CorpusReaderOptions read_options;
+  read_options.io = io;
+  read_options.cache_bytes = 0;
+  ASSIGN_OR_RETURN(CorpusReader reader, CorpusReader::Open(path, read_options));
+
+  // Every requested drop must name a real entry — a typo'd compact that
+  // silently "succeeds" would be indistinguishable from the intended one.
+  std::set<std::string> drop(drop_names.begin(), drop_names.end());
+  for (const std::string& name : drop) {
+    if (reader.Find(name) == nullptr) {
+      return NotFoundError("corpus compact: no entry named '" + name + "' in " +
+                           path);
+    }
+  }
+
+  CorpusMutationStats stats;
+  CorpusWriter writer(path);
+  RETURN_IF_ERROR(writer.Begin());
+  for (const CorpusEntry& entry : reader.entries()) {
+    if (drop.count(entry.name) != 0) {
+      ++stats.dropped;
+      continue;
+    }
+    RETURN_IF_ERROR(writer.AddImageWindow(entry, reader));
+    ++stats.added;
+  }
+  RETURN_IF_ERROR(writer.Finish());
+  return stats;
 }
 
 }  // namespace ddr

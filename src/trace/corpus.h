@@ -30,6 +30,23 @@
 //
 //   ASSIGN_OR_RETURN(CorpusReader corpus, CorpusReader::Open("eval.ddrc"));
 //   ASSIGN_OR_RETURN(TraceReader trace, corpus.OpenTrace("sum/perfect"));
+//
+// Bundles are mutable after the fact, always through the same atomic
+// temp + rename discipline (a half-indexed file can never land at the
+// target path, and concurrent readers of the old bundle keep serving the
+// bytes their handle was opened on until they Reopen()):
+//
+//   append   CorpusWriter::AppendTo re-opens an existing bundle, copies
+//            everything up to the old index, streams new images after it,
+//            and rewrites one merged index + trailer. Appending N entries
+//            to a bundle of M produces the byte-identical file a single
+//            (M+N)-entry build would have.
+//   merge    MergeCorpora copies embedded images byte-for-byte through
+//            RandomAccessFile windows (zero decode, bounded memory) and
+//            rebuilds one index, resolving name collisions by policy.
+//   compact  CompactCorpus drops named entries and rewrites the
+//            survivors' images, byte-identical, into a fresh bundle at
+//            the same path.
 
 #ifndef SRC_TRACE_CORPUS_H_
 #define SRC_TRACE_CORPUS_H_
@@ -65,6 +82,8 @@ struct CorpusEntry {
   double original_wall_seconds = 0.0;
 };
 
+class CorpusReader;
+
 class CorpusWriter {
  public:
   explicit CorpusWriter(std::string path);
@@ -72,7 +91,20 @@ class CorpusWriter {
   CorpusWriter(const CorpusWriter&) = delete;
   CorpusWriter& operator=(const CorpusWriter&) = delete;
 
-  // Writes the corpus header. Must be called exactly once, first.
+  // Re-opens the existing bundle at `path` for appending: the returned
+  // writer has already copied the header and every embedded image into
+  // its temp file (truncating at the old index offset), carries the old
+  // entries (so duplicate-name detection spans old + new), and accepts
+  // Add/AddImage/BeginRecording exactly like a writer after Begin().
+  // Finish() writes the merged index + trailer and atomically renames —
+  // until then the original bundle is untouched, and readers holding an
+  // open handle keep serving the old bytes even afterwards. `io` selects
+  // the backend used to read the existing bundle.
+  static Result<std::unique_ptr<CorpusWriter>> AppendTo(
+      const std::string& path, const RandomAccessFileOptions& io = {});
+
+  // Writes the corpus header. Must be called exactly once, first (the
+  // AppendTo factory takes its place when extending an existing bundle).
   Status Begin();
 
   // Serializes `recording` into the bundle under `name` (unique; reuse is
@@ -88,6 +120,13 @@ class CorpusWriter {
   Status AddImage(const std::string& name, const std::vector<uint8_t>& image,
                   const std::string& model, const std::string& scenario,
                   uint64_t event_count, double original_wall_seconds);
+
+  // Copies the embedded image described by `entry` byte-for-byte out of
+  // `source`'s open handle into this bundle, in bounded-size chunks — no
+  // decode, no whole-image buffering. `entry`'s metadata (and possibly
+  // rewritten name) is carried over; its offset is recomputed for this
+  // bundle. MergeCorpora and CompactCorpus are built on this.
+  Status AddImageWindow(const CorpusEntry& entry, const CorpusReader& source);
 
   // Streaming variant: events are appended chunk-at-a-time to the returned
   // writer (valid until FinishRecording; owned by the corpus). Exactly one
@@ -105,6 +144,9 @@ class CorpusWriter {
   friend class CorpusEmbeddedSink;
 
   Status CheckOpenForNewEntry(const std::string& name);
+  // AppendTo's instance half: copies [0, index_offset) of the existing
+  // bundle into the sink and seeds entries_/names_/offset_ from its index.
+  Status BeginAppend(const RandomAccessFileOptions& io);
 
   std::string path_;
   AtomicFileSink sink_;
@@ -140,8 +182,21 @@ class CorpusReader {
   static Result<CorpusReader> Open(const std::string& path,
                                    const CorpusReaderOptions& options = {});
 
+  // Re-opens the same path with the same options, picking up a bundle
+  // grown (or rewritten) since Open: a fresh handle on the renamed-in
+  // file, a fresh index. The decoded-chunk cache object is carried over,
+  // so its accumulated counters survive and windows of other files it
+  // serves stay warm (chunks of the replaced file re-decode: cache keys
+  // are per-handle by design, precisely so a swapped path can never serve
+  // stale bytes). On failure *this is left untouched and still serves the
+  // old bundle. Not safe to call concurrently with OpenTrace on the same
+  // object; windows handed out before Reopen stay valid either way.
+  Status Reopen();
+
   const std::string& path() const { return path_; }
   uint64_t file_size() const { return file_size_; }
+  // Absolute file offset of the index section — where AppendTo truncates.
+  uint64_t index_offset() const { return index_offset_; }
   const std::vector<CorpusEntry>& entries() const { return entries_; }
   // The backend actually serving reads (after any open-time fallback).
   IoBackend io_backend() const { return file_->backend(); }
@@ -172,14 +227,67 @@ class CorpusReader {
   Status VerifyAll() const;
 
  private:
+  friend class CorpusWriter;  // AppendTo copies bytes through file_
+
   CorpusReader() = default;
 
+  static Result<CorpusReader> OpenImpl(const std::string& path,
+                                       const CorpusReaderOptions& options,
+                                       std::shared_ptr<ChunkCache> cache);
+
   std::string path_;
+  CorpusReaderOptions options_;
   std::shared_ptr<RandomAccessFile> file_;
   std::shared_ptr<ChunkCache> cache_;
   uint64_t file_size_ = 0;
+  uint64_t index_offset_ = 0;
   std::vector<CorpusEntry> entries_;
 };
+
+// ------------------------------------------------- corpus-level mutations
+
+// What MergeCorpora does when two inputs carry the same entry name.
+enum class NameCollisionPolicy : uint8_t {
+  kFail = 0,          // AlreadyExists error naming the entry and input
+  kSkip = 1,          // first occurrence wins, later ones are dropped
+  kRenameSuffix = 2,  // later ones land as "name~2", "name~3", ...
+};
+
+std::string_view NameCollisionPolicyName(NameCollisionPolicy policy);
+Result<NameCollisionPolicy> ParseNameCollisionPolicy(const std::string& name);
+
+// Per-entry accounting for a merge or compact pass.
+struct CorpusMutationStats {
+  size_t added = 0;    // entries written to the output bundle
+  size_t skipped = 0;  // collisions dropped under kSkip
+  size_t renamed = 0;  // collisions re-labelled under kRenameSuffix
+  size_t dropped = 0;  // entries removed by CompactCorpus
+};
+
+struct MergeCorporaOptions {
+  NameCollisionPolicy on_collision = NameCollisionPolicy::kFail;
+  // Backend used to read the input bundles.
+  RandomAccessFileOptions io;
+};
+
+// Merges `inputs` (in order) into one bundle at `output`. Embedded images
+// are copied byte-for-byte through RandomAccessFile windows — nothing is
+// decoded, memory stays bounded — and a single merged index is rebuilt.
+// The output is written atomically, so `output` may equal one of the
+// inputs. Fails without touching `output` if any input is unreadable or,
+// under kFail, on the first name collision.
+Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
+                                         const std::string& output,
+                                         const MergeCorporaOptions& options = {});
+
+// Rewrites the bundle at `path` without the entries in `drop_names`,
+// copying the survivors' images byte-for-byte. Every drop name must exist
+// (NotFound otherwise, and the bundle is untouched); dropping every entry
+// leaves a valid empty bundle. Atomic: readers of the old bundle are
+// unaffected until they Reopen.
+Result<CorpusMutationStats> CompactCorpus(
+    const std::string& path, const std::vector<std::string>& drop_names,
+    const RandomAccessFileOptions& io = {});
 
 }  // namespace ddr
 

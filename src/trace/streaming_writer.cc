@@ -1,9 +1,11 @@
 #include "src/trace/streaming_writer.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 
 #include "src/trace/chunk_codec.h"
@@ -22,6 +24,57 @@ std::string MakeTempPath(const std::string& path) {
   return StrPrintf("%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
                    static_cast<unsigned long long>(
                        counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DDR_HAVE_FSYNC 1
+#else
+#define DDR_HAVE_FSYNC 0
+#endif
+
+// Durability for the temp file's bytes before rename. Without this, a
+// crash right after the "atomic" rename can still leave a zero-length or
+// torn file at the target path: rename only orders the directory entry,
+// not the data blocks behind it.
+Status SyncFile(std::FILE* file, const std::string& tmp_path) {
+#if DDR_HAVE_FSYNC
+  int rc = 0;
+  do {
+    rc = ::fsync(::fileno(file));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return UnavailableError("fsync of trace temp file failed: " + tmp_path);
+  }
+#else
+  (void)file;
+  (void)tmp_path;
+#endif
+  return OkStatus();
+}
+
+// Durability for the rename itself: fsync the parent directory so the new
+// directory entry survives a crash. Best-effort — some filesystems refuse
+// directory fsync, and by this point the data is already safe on disk.
+void SyncParentDir(const std::string& path) {
+#if DDR_HAVE_FSYNC
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  int fd = -1;
+  do {
+    fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return;
+  }
+  int rc = 0;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+#else
+  (void)path;
+#endif
 }
 
 }  // namespace
@@ -65,17 +118,24 @@ Status AtomicFileSink::Close() {
   }
   const bool flushed = std::fflush(file_) == 0;
   const bool file_ok = std::ferror(file_) == 0;
+  const Status synced = flushed && file_ok ? SyncFile(file_, tmp_path_)
+                                           : OkStatus();
   std::fclose(file_);
   file_ = nullptr;
   if (!flushed || !file_ok) {
     std::remove(tmp_path_.c_str());
     return UnavailableError("short write to trace temp file: " + tmp_path_);
   }
+  if (!synced.ok()) {
+    std::remove(tmp_path_.c_str());
+    return synced;
+  }
   if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(tmp_path_.c_str());
     return UnavailableError("cannot rename trace temp file into place: " +
                             path_);
   }
+  SyncParentDir(path_);
   closed_ = true;
   return OkStatus();
 }

@@ -98,7 +98,14 @@ class PreadFile final : public RandomAccessFile {
  public:
   PreadFile(std::string path, uint64_t size, int fd)
       : RandomAccessFile(std::move(path), size, IoBackend::kPread), fd_(fd) {}
-  ~PreadFile() override { ::close(fd_); }
+  // Guarded: closing a negative descriptor (a failed or released handle)
+  // would hit errno at best and, with fd 0 confusion elsewhere, a live
+  // descriptor at worst.
+  ~PreadFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
 
  protected:
   Result<std::span<const uint8_t>> ReadImpl(
@@ -153,7 +160,10 @@ class MmapFile final : public RandomAccessFile {
 };
 
 Result<int> OpenFd(const std::string& path, uint64_t* size) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return OpenError(path, errno);
   }

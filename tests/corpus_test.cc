@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -504,6 +506,458 @@ TEST(CorpusTest, CraftedIndexCountFailsCleanly) {
   EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------- Mutable corpus lifecycle
+
+std::vector<uint8_t> SliceImage(const std::vector<uint8_t>& file,
+                                const CorpusEntry& entry) {
+  return std::vector<uint8_t>(
+      file.begin() + static_cast<ptrdiff_t>(entry.offset),
+      file.begin() + static_cast<ptrdiff_t>(entry.offset + entry.length));
+}
+
+// Appending N entries to an M-entry bundle produces the byte-identical
+// file a single (M+N)-entry build would: same image placement, same
+// merged index, same trailer.
+TEST(CorpusLifecycleTest, AppendToMatchesSingleShotBitForBit) {
+  const RecordedExecution r1 = MakeSyntheticRecording(400, 1);
+  const RecordedExecution r2 = MakeSyntheticRecording(500, 2);
+  const RecordedExecution r3 = MakeSyntheticRecording(300, 3);
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+
+  ScopedPath single("appendsingle");
+  {
+    CorpusWriter writer(single.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", r1, options).ok());
+    ASSERT_TRUE(writer.Add("b", r2, options).ok());
+    ASSERT_TRUE(writer.Add("c", r3, options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  ScopedPath grown("appendgrown");
+  {
+    CorpusWriter writer(grown.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", r1, options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    auto writer = CorpusWriter::AppendTo(grown.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("b", r2, options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  {
+    auto writer = CorpusWriter::AppendTo(grown.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c", r3, options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  EXPECT_EQ(ReadFileBytes(single.get()), ReadFileBytes(grown.get()));
+
+  auto corpus = CorpusReader::Open(grown.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 3u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+TEST(CorpusLifecycleTest, AppendToRejectsDuplicateOfExistingEntry) {
+  const RecordedExecution recording = MakeSyntheticRecording(60);
+  ScopedPath path("appenddup");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("taken", recording).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto writer = CorpusWriter::AppendTo(path.get());
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const Status duplicate = (*writer)->Add("taken", recording);
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(duplicate.message().find("taken"), std::string::npos)
+      << duplicate.message();
+  // Begin on an append writer is a state-machine error, not a reset.
+  EXPECT_EQ((*writer)->Begin().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CorpusLifecycleTest, AppendToMissingOrCorruptBundleFails) {
+  EXPECT_EQ(CorpusWriter::AppendTo("no_such_bundle.ddrc").status().code(),
+            StatusCode::kNotFound);
+
+  ScopedPath path("appendcorrupt");
+  WriteFileBytes(path.get(), std::vector<uint8_t>(64, 0xAB));
+  EXPECT_FALSE(CorpusWriter::AppendTo(path.get()).ok());
+}
+
+// An interrupted append (writer destroyed before Finish) must leave the
+// original bundle byte-identical and readable — the mutation only ever
+// lands via the final rename.
+TEST(CorpusLifecycleTest, InterruptedAppendLeavesOriginalIntact) {
+  ScopedPath path("appendinterrupt");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("keep", MakeSyntheticRecording(200)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const std::vector<uint8_t> before = ReadFileBytes(path.get());
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("lost", MakeSyntheticRecording(300)).ok());
+    // No Finish: destructor discards the temp file.
+  }
+  EXPECT_EQ(ReadFileBytes(path.get()), before);
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 1u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+// Merging the split halves of a grid reproduces every embedded image of
+// the single-shot build byte-for-byte (the whole file, in fact: same
+// order, same offsets, same index).
+TEST(CorpusLifecycleTest, MergeOfSplitBundlesMatchesSingleShotBuild) {
+  const RecordedExecution r1 = MakeSyntheticRecording(350, 4);
+  const RecordedExecution r2 = MakeSyntheticRecording(450, 5);
+  const RecordedExecution r3 = MakeSyntheticRecording(250, 6);
+
+  ScopedPath single("mergesingle");
+  {
+    CorpusWriter writer(single.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("g/a", r1).ok());
+    ASSERT_TRUE(writer.Add("g/b", r2).ok());
+    ASSERT_TRUE(writer.Add("g/c", r3).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  ScopedPath left("mergeleft");
+  {
+    CorpusWriter writer(left.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("g/a", r1).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  ScopedPath right("mergeright");
+  {
+    CorpusWriter writer(right.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("g/b", r2).ok());
+    ASSERT_TRUE(writer.Add("g/c", r3).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  ScopedPath merged("mergeout");
+  auto stats = MergeCorpora({left.get(), right.get()}, merged.get());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->added, 3u);
+  EXPECT_EQ(stats->skipped, 0u);
+  EXPECT_EQ(stats->renamed, 0u);
+
+  EXPECT_EQ(ReadFileBytes(merged.get()), ReadFileBytes(single.get()));
+  auto corpus = CorpusReader::Open(merged.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+TEST(CorpusLifecycleTest, MergeCollisionPolicies) {
+  ScopedPath one("collide1");
+  ScopedPath two("collide2");
+  {
+    CorpusWriter writer(one.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("same", MakeSyntheticRecording(100, 1)).ok());
+    ASSERT_TRUE(writer.Add("only1", MakeSyntheticRecording(120, 2)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    CorpusWriter writer(two.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("same", MakeSyntheticRecording(140, 3)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  // fail: error names the entry, output never appears.
+  ScopedPath failed("collidefail");
+  {
+    MergeCorporaOptions options;
+    options.on_collision = NameCollisionPolicy::kFail;
+    auto stats = MergeCorpora({one.get(), two.get()}, failed.get(), options);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kAlreadyExists);
+    EXPECT_NE(stats.status().message().find("same"), std::string::npos);
+    std::ifstream target(failed.get(), std::ios::binary);
+    EXPECT_FALSE(target.good());
+  }
+
+  // skip: the first occurrence wins.
+  ScopedPath skipped("collideskip");
+  {
+    MergeCorporaOptions options;
+    options.on_collision = NameCollisionPolicy::kSkip;
+    auto stats = MergeCorpora({one.get(), two.get()}, skipped.get(), options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->added, 2u);
+    EXPECT_EQ(stats->skipped, 1u);
+    auto corpus = CorpusReader::Open(skipped.get());
+    ASSERT_TRUE(corpus.ok());
+    ASSERT_EQ(corpus->entries().size(), 2u);
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+    // The survivor is input one's image, byte-for-byte.
+    const std::vector<uint8_t> merged_bytes = ReadFileBytes(skipped.get());
+    const std::vector<uint8_t> one_bytes = ReadFileBytes(one.get());
+    auto one_corpus = CorpusReader::Open(one.get());
+    ASSERT_TRUE(one_corpus.ok());
+    EXPECT_EQ(SliceImage(merged_bytes, *corpus->Find("same")),
+              SliceImage(one_bytes, *one_corpus->Find("same")));
+  }
+
+  // rename-suffix: the later image lands under "same~2", byte-identical
+  // to its source.
+  ScopedPath renamed("colliderename");
+  {
+    MergeCorporaOptions options;
+    options.on_collision = NameCollisionPolicy::kRenameSuffix;
+    auto stats = MergeCorpora({one.get(), two.get()}, renamed.get(), options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->added, 3u);
+    EXPECT_EQ(stats->renamed, 1u);
+    auto corpus = CorpusReader::Open(renamed.get());
+    ASSERT_TRUE(corpus.ok());
+    ASSERT_EQ(corpus->entries().size(), 3u);
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+    const CorpusEntry* alias = corpus->Find("same~2");
+    ASSERT_NE(alias, nullptr);
+    const std::vector<uint8_t> merged_bytes = ReadFileBytes(renamed.get());
+    const std::vector<uint8_t> two_bytes = ReadFileBytes(two.get());
+    auto two_corpus = CorpusReader::Open(two.get());
+    ASSERT_TRUE(two_corpus.ok());
+    EXPECT_EQ(SliceImage(merged_bytes, *alias),
+              SliceImage(two_bytes, *two_corpus->Find("same")));
+  }
+
+  EXPECT_TRUE(ParseNameCollisionPolicy("rename-suffix").ok());
+  EXPECT_FALSE(ParseNameCollisionPolicy("clobber").ok());
+}
+
+TEST(CorpusLifecycleTest, CompactDropsEntriesAndSurvivorsVerify) {
+  ScopedPath path("compact");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("keep/a", MakeSyntheticRecording(200, 1)).ok());
+    ASSERT_TRUE(writer.Add("drop/b", MakeSyntheticRecording(300, 2)).ok());
+    ASSERT_TRUE(writer.Add("keep/c", MakeSyntheticRecording(250, 3)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const std::vector<uint8_t> before = ReadFileBytes(path.get());
+  auto original = CorpusReader::Open(path.get());
+  ASSERT_TRUE(original.ok());
+  const CorpusEntry keep_a = *original->Find("keep/a");
+  const CorpusEntry keep_c = *original->Find("keep/c");
+
+  // Unknown drop name: NotFound, bundle untouched.
+  auto missing = CompactCorpus(path.get(), {"keep/a", "no-such"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ReadFileBytes(path.get()), before);
+
+  auto stats = CompactCorpus(path.get(), {"drop/b"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->dropped, 1u);
+  EXPECT_EQ(stats->added, 2u);
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 2u);
+  EXPECT_EQ(corpus->Find("drop/b"), nullptr);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+  // Survivor images are byte-identical to the originals.
+  const std::vector<uint8_t> after = ReadFileBytes(path.get());
+  EXPECT_EQ(SliceImage(after, *corpus->Find("keep/a")),
+            SliceImage(before, keep_a));
+  EXPECT_EQ(SliceImage(after, *corpus->Find("keep/c")),
+            SliceImage(before, keep_c));
+
+  // Dropping everything leaves a valid empty bundle.
+  auto empty = CompactCorpus(path.get(), {"keep/a", "keep/c"});
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  auto empty_corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(empty_corpus.ok()) << empty_corpus.status();
+  EXPECT_TRUE(empty_corpus->entries().empty());
+  EXPECT_TRUE(empty_corpus->VerifyAll().ok());
+}
+
+// Readers opened before an append keep serving the old bundle (their
+// handle pins the replaced bytes); Reopen picks up the grown index.
+TEST(CorpusLifecycleTest, ReopenPicksUpGrownIndex) {
+  ScopedPath path("reopen");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("old", MakeSyntheticRecording(300, 1)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 1u);
+
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("new", MakeSyntheticRecording(400, 2)).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  // Pre-append reader: old index, old bytes, still fully verifiable.
+  EXPECT_EQ(corpus->entries().size(), 1u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+  EXPECT_EQ(corpus->Find("new"), nullptr);
+
+  ASSERT_TRUE(corpus->Reopen().ok());
+  ASSERT_EQ(corpus->entries().size(), 2u);
+  EXPECT_NE(corpus->Find("new"), nullptr);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+  auto loaded = corpus->LoadRecording("new");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->log.size(), 400u);
+}
+
+// 8 reader threads hammer a shared CorpusReader while an append rewrites
+// the bundle underneath them: every read stays consistent with the old
+// index (no torn reads, no partial entries), and a Reopen afterwards
+// serves the appended bundle.
+TEST(CorpusLifecycleTest, ConcurrentReadersSurviveAppendThenReopen) {
+  ScopedPath path("appendrace");
+  constexpr size_t kOldEntries = 4;
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    for (size_t i = 0; i < kOldEntries; ++i) {
+      ASSERT_TRUE(writer
+                      .Add("old/" + std::to_string(i),
+                           MakeSyntheticRecording(300 + 40 * i, i + 1))
+                      .ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  for (IoBackend backend : kAllBackends) {
+    auto corpus =
+        CorpusReader::Open(path.get(), WithBackend(backend, 8 << 20));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+
+    std::vector<std::vector<uint8_t>> expected(kOldEntries);
+    for (size_t e = 0; e < kOldEntries; ++e) {
+      auto trace = corpus->OpenTrace(corpus->entries()[e]);
+      ASSERT_TRUE(trace.ok());
+      auto log = trace->ReadAllEvents();
+      ASSERT_TRUE(log.ok());
+      expected[e] = log->Encode();
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<int> mismatches(8, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (size_t e = 0; e < kOldEntries; ++e) {
+            auto trace = corpus->OpenTrace(corpus->entries()[e]);
+            if (!trace.ok()) {
+              ++mismatches[t];
+              continue;
+            }
+            auto log = trace->ReadAllEvents();
+            if (!log.ok() || log->Encode() != expected[e]) {
+              ++mismatches[t];
+            }
+          }
+        }
+      });
+    }
+
+    // Append (and rename the file out from under the readers) while they
+    // run. A fresh name per backend round keeps duplicate checks happy.
+    const std::string appended =
+        "race/" + std::string(IoBackendName(backend));
+    {
+      auto writer = CorpusWriter::AppendTo(path.get());
+      ASSERT_TRUE(writer.ok()) << writer.status();
+      ASSERT_TRUE(
+          (*writer)->Add(appended, MakeSyntheticRecording(500, 99)).ok());
+      ASSERT_TRUE((*writer)->Finish().ok());
+    }
+    stop.store(true);
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_EQ(mismatches[t], 0) << IoBackendName(backend) << " thread " << t;
+    }
+
+    // The shared object still serves the old index until Reopen.
+    EXPECT_EQ(corpus->Find(appended), nullptr);
+    ASSERT_TRUE(corpus->Reopen().ok()) << IoBackendName(backend);
+    EXPECT_NE(corpus->Find(appended), nullptr);
+    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+  }
+}
+
+// ------------------------------------------- Writer state-machine holes
+
+TEST(CorpusWriterStateTest, OperationsOutsideBeginFinishReturnStatus) {
+  const RecordedExecution recording = MakeSyntheticRecording(40);
+  ScopedPath path("state");
+  CorpusWriter writer(path.get());
+
+  // Everything before Begin is a FailedPrecondition, not sink corruption.
+  EXPECT_EQ(writer.Add("early", recording).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.AddImage("early", std::vector<uint8_t>(64, 0), "m", "s", 1,
+                            0.0)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.BeginRecording("early").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.FinishRecording({}).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.Finish().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(writer.Begin().ok());
+  EXPECT_EQ(writer.Begin().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(writer.Add("ok", recording).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  // Double Finish and post-Finish adds are errors; the finished file
+  // stays valid.
+  EXPECT_EQ(writer.Finish().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.Add("late", recording).code(),
+            StatusCode::kFailedPrecondition);
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 1u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+TEST(CorpusWriterStateTest, DuplicateNameErrorNamesTheOffender) {
+  const RecordedExecution recording = MakeSyntheticRecording(30);
+  ScopedPath path("dupname");
+  CorpusWriter writer(path.get());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Add("grid/cell-7", recording).ok());
+  const Status duplicate = writer.Add("grid/cell-7", recording);
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(duplicate.message().find("grid/cell-7"), std::string::npos)
+      << duplicate.message();
+  // A streaming duplicate fails at BeginRecording time, same message.
+  const Status streaming = writer.BeginRecording("grid/cell-7").status();
+  EXPECT_EQ(streaming.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(streaming.message().find("grid/cell-7"), std::string::npos);
+  ASSERT_TRUE(writer.Finish().ok());
+}
+
 // --------------------------------------------------------------- Registry
 
 TEST(ScenarioRegistryTest, EnumeratesAllScenariosUniquely) {
@@ -698,6 +1152,99 @@ TEST(BatchRunnerTest, HarnessStreamsDirectlyIntoCorpus) {
   ASSERT_TRUE(replayed.ok()) << replayed.status();
   ASSERT_EQ(replayed->cells.size(), 1u);
   EXPECT_TRUE(replayed->cells[0].row.failure_reproduced);
+}
+
+// The PR's acceptance property: build a sub-grid, resume twice to fill in
+// the missing cells, and the final bundle verifies everywhere and replays
+// to the same deterministic rows as a single-shot build of the full grid.
+TEST(BatchRunnerTest, ResumeAppendsOnlyMissingCells) {
+  const std::vector<DeterminismModel> grid_models = {
+      DeterminismModel::kPerfect, DeterminismModel::kValue,
+      DeterminismModel::kFailure};
+
+  ScopedPath single_path("resumesingle");
+  BatchOptions single;
+  single.threads = 2;
+  single.models = grid_models;
+  single.corpus_path = single_path.get();
+  auto single_report = BatchRunner(FastScenarios(), single).Run();
+  ASSERT_TRUE(single_report.ok()) << single_report.status();
+  ASSERT_EQ(single_report->cells.size(), 6u);
+
+  // Pass 1: one model only. Pass 2 (resume): two models — appends the
+  // missing cells. Pass 3 (resume): full grid — appends the rest.
+  ScopedPath grown_path("resumegrown");
+  size_t ran = 0;
+  for (size_t pass = 1; pass <= grid_models.size(); ++pass) {
+    BatchOptions options;
+    options.threads = 2;
+    options.models.assign(grid_models.begin(),
+                          grid_models.begin() + static_cast<ptrdiff_t>(pass));
+    options.corpus_path = grown_path.get();
+    options.resume = pass > 1;
+    auto report = BatchRunner(FastScenarios(), options).Run();
+    ASSERT_TRUE(report.ok()) << report.status();
+    // Each pass runs exactly the new model's cells (2 scenarios x 1).
+    EXPECT_EQ(report->cells.size(), 2u) << "pass " << pass;
+    ran += report->cells.size();
+  }
+  EXPECT_EQ(ran, 6u);
+
+  // Resuming a complete grid runs nothing and leaves the bundle alone.
+  const std::vector<uint8_t> before = ReadFileBytes(grown_path.get());
+  {
+    BatchOptions options;
+    options.threads = 2;
+    options.models = grid_models;
+    options.corpus_path = grown_path.get();
+    options.resume = true;
+    auto report = BatchRunner(FastScenarios(), options).Run();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->cells.empty());
+    EXPECT_EQ(ReadFileBytes(grown_path.get()), before);
+  }
+
+  auto corpus = CorpusReader::Open(grown_path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ASSERT_EQ(corpus->entries().size(), 6u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+
+  // The grown bundle replays to the same deterministic rows as the
+  // single-shot grid. Entry order differs (cells landed append-pass by
+  // append-pass), so compare the signature multisets.
+  auto single_replay = ReplayCorpus(single_path.get(), FastScenarios());
+  ASSERT_TRUE(single_replay.ok()) << single_replay.status();
+  auto grown_replay = ReplayCorpus(grown_path.get(), FastScenarios());
+  ASSERT_TRUE(grown_replay.ok()) << grown_replay.status();
+  std::vector<std::string> single_sigs;
+  std::vector<std::string> grown_sigs;
+  for (const BatchCell& cell : single_replay->cells) {
+    single_sigs.push_back(RowSignature(cell));
+  }
+  for (const BatchCell& cell : grown_replay->cells) {
+    grown_sigs.push_back(RowSignature(cell));
+  }
+  std::sort(single_sigs.begin(), single_sigs.end());
+  std::sort(grown_sigs.begin(), grown_sigs.end());
+  EXPECT_EQ(single_sigs, grown_sigs);
+
+  // Merging the per-pass layout back into grid order is byte-exact per
+  // image, so a scenario-split resume (which preserves grid order) is
+  // bit-identical to single-shot — asserted at the corpus layer in
+  // CorpusLifecycleTest.AppendToMatchesSingleShotBitForBit.
+}
+
+TEST(BatchRunnerTest, ResumeRefusesCorruptBundle) {
+  ScopedPath path("resumecorrupt");
+  WriteFileBytes(path.get(), std::vector<uint8_t>(128, 0x5A));
+  BatchOptions options;
+  options.models = {DeterminismModel::kPerfect};
+  options.corpus_path = path.get();
+  options.resume = true;
+  auto report = BatchRunner(FastScenarios(), options).Run();
+  ASSERT_FALSE(report.ok());
+  // The junk file is still there, untouched — not silently rebuilt.
+  EXPECT_EQ(ReadFileBytes(path.get()), std::vector<uint8_t>(128, 0x5A));
 }
 
 TEST(BatchRunnerTest, ReplayCorpusRejectsUnknownScenario) {

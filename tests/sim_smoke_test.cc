@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/sim/channel.h"
 #include "src/sim/disk.h"
 #include "src/sim/environment.h"
@@ -316,9 +318,12 @@ TEST(SimSmoke, IoSpecViolationBecomesFailure) {
 
 TEST(SimSmoke, DaemonFiberDoesNotBlockExit) {
   Environment env(TestOptions(43));
+  // Owned outside Run so the blocked fiber's channel outlives its killed
+  // fiber and is still reclaimed (LeakSanitizer runs these tests).
+  std::unique_ptr<Channel<int>> chan;
   Outcome outcome = env.Run("daemon", [&](Environment& e) {
-    Channel<int>* chan = new Channel<int>(e, "never");
-    e.Spawn("daemon", [&e, chan] {
+    chan = std::make_unique<Channel<int>>(e, "never");
+    e.Spawn("daemon", [&] {
       chan->Recv();  // blocks forever; killed at teardown
     });
     e.SleepFor(1 * kMillisecond);

@@ -22,6 +22,16 @@
 //   ddr-trace corpus verify <file>            verify every embedded trace
 //   ddr-trace corpus replay <file> [--threads N] [--report path]
 //                                             replay + score every entry
+//   ddr-trace corpus append <file> [build flags]
+//                                             record only the scenario x
+//                                             model cells missing from the
+//                                             bundle and append them
+//   ddr-trace corpus merge  <out> <in>... [--on-collision fail|skip|rename-suffix]
+//                                             combine bundles, copying
+//                                             images byte-for-byte
+//   ddr-trace corpus compact <file> --drop a,b
+//                                             drop named entries, rewrite
+//                                             the survivors
 //
 // Exit status: 0 on success/OK, 1 on usage error, 2 on a failed
 // verification or replay.
@@ -30,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -60,6 +71,11 @@ void PrintUsage() {
                "  corpus info   <file>\n"
                "  corpus verify <file>\n"
                "  corpus replay <file> [--threads N] [--report path]\n"
+               "  corpus append <file> [build flags]   record + append only "
+               "missing cells\n"
+               "  corpus merge  <out> <in>... [--on-collision "
+               "fail|skip|rename-suffix]\n"
+               "  corpus compact <file> --drop name1,name2\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n"
@@ -119,6 +135,22 @@ const char* ParseStringFlag(int argc, char** argv, const char* flag,
   return text != nullptr ? text : fallback;
 }
 
+// --cache-mb with the shift overflow closed: strtoull alone accepts
+// values (up to 2^64-1) whose << 20 silently wraps to a bogus budget, so
+// megabyte counts above the shiftable ceiling are rejected like any other
+// junk value instead of wrapping.
+uint64_t ParseCacheBytesFlag(int argc, char** argv) {
+  const uint64_t mb =
+      ParseFlag(argc, argv, "--cache-mb", DefaultChunkCacheBytes() >> 20);
+  if (mb > (~uint64_t{0} >> 20)) {
+    std::fprintf(stderr,
+                 "ddr-trace: --cache-mb %llu overflows a byte budget\n",
+                 static_cast<unsigned long long>(mb));
+    std::exit(1);
+  }
+  return mb << 20;
+}
+
 // Shared read-side flags: --io stream|pread|mmap and --cache-mb N.
 RandomAccessFileOptions IoOptionsFromFlags(int argc, char** argv) {
   RandomAccessFileOptions io;
@@ -140,8 +172,7 @@ TraceReaderOptions ReaderOptionsFromFlags(int argc, char** argv) {
   options.io = IoOptionsFromFlags(argc, argv);
   // Same default as the corpus commands (DDR_CACHE_MB or 64 MiB), so the
   // usage text holds for every read-side command; --cache-mb 0 disables.
-  const uint64_t cache_bytes =
-      ParseFlag(argc, argv, "--cache-mb", DefaultChunkCacheBytes() >> 20) << 20;
+  const uint64_t cache_bytes = ParseCacheBytesFlag(argc, argv);
   if (cache_bytes > 0) {
     options.cache = std::make_shared<ChunkCache>(cache_bytes);
   }
@@ -151,8 +182,7 @@ TraceReaderOptions ReaderOptionsFromFlags(int argc, char** argv) {
 CorpusReaderOptions CorpusOptionsFromFlags(int argc, char** argv) {
   CorpusReaderOptions options;
   options.io = IoOptionsFromFlags(argc, argv);
-  options.cache_bytes =
-      ParseFlag(argc, argv, "--cache-mb", DefaultChunkCacheBytes() >> 20) << 20;
+  options.cache_bytes = ParseCacheBytesFlag(argc, argv);
   return options;
 }
 
@@ -420,7 +450,19 @@ int WriteReportIfRequested(const BatchReport& report, int argc, char** argv) {
   return 0;
 }
 
-int CorpusBuild(const std::string& path, int argc, char** argv) {
+int CorpusBuild(const std::string& path, bool append, int argc, char** argv) {
+  if (append) {
+    // Appending to nothing is a spelled-out build, not an implicit one: a
+    // typo'd path should not quietly mint a fresh bundle.
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) {
+      std::fprintf(stderr,
+                   "ddr-trace: corpus append: no bundle at %s (use 'corpus "
+                   "build' to create one)\n",
+                   path.c_str());
+      return 1;
+    }
+  }
   // Scenario selection: all registered scenarios unless --scenarios names
   // a subset.
   std::vector<BugScenario> scenarios;
@@ -452,6 +494,14 @@ int CorpusBuild(const std::string& path, int argc, char** argv) {
   }
   options.threads = static_cast<int>(ParseFlag(argc, argv, "--threads", 1));
   options.corpus_path = path;
+  options.resume = append;
+  if (append) {
+    // --io selects the backend used to read the existing bundle;
+    // --cache-mb is validated for consistency with the other corpus
+    // commands (append decodes nothing, so it has no cache to size).
+    options.resume_io = IoOptionsFromFlags(argc, argv);
+    ParseCacheBytesFlag(argc, argv);
+  }
   options.trace_options.events_per_chunk = ParseFlag(argc, argv, "--chunk", 512);
   options.trace_options.checkpoint_interval = ParseFlag(argc, argv, "--ckpt", 256);
   if (HasFlag(argc, argv, "--delta")) {
@@ -464,9 +514,106 @@ int CorpusBuild(const std::string& path, int argc, char** argv) {
     return 2;
   }
   PrintBatchCells(*report);
-  std::printf("built %s: %zu recordings\n", path.c_str(),
-              report->cells.size());
+  std::printf("%s %s: %zu recordings%s\n", append ? "appended to" : "built",
+              path.c_str(), report->cells.size(),
+              append && report->cells.empty() ? " (nothing missing)" : "");
   return WriteReportIfRequested(*report, argc, argv);
+}
+
+// Positional arguments after `corpus merge <out>`: every token that is
+// not a flag (or a flag's value) is an input bundle path — an input
+// after `--io mmap` still merges, and an unrecognized flag is a loud
+// usage error, never a silently dropped bundle.
+Result<std::vector<std::string>> MergeInputs(int argc, char** argv) {
+  static const char* kValueFlags[] = {"--on-collision", "--io", "--cache-mb"};
+  std::vector<std::string> inputs;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      inputs.push_back(argv[i]);
+      continue;
+    }
+    bool known = false;
+    for (const char* flag : kValueFlags) {
+      const size_t flag_len = std::strlen(flag);
+      if (std::strcmp(argv[i], flag) == 0) {
+        known = true;
+        ++i;  // the flag's value
+        break;
+      }
+      if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+          argv[i][flag_len] == '=') {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return InvalidArgumentError(std::string("unknown corpus merge flag '") +
+                                  argv[i] + "'");
+    }
+  }
+  return inputs;
+}
+
+int CorpusMerge(const std::string& output, int argc, char** argv) {
+  auto inputs_or = MergeInputs(argc, argv);
+  if (!inputs_or.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n",
+                 inputs_or.status().ToString().c_str());
+    PrintUsage();
+    return 1;
+  }
+  const std::vector<std::string>& inputs = *inputs_or;
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "ddr-trace: corpus merge needs at least one input bundle\n");
+    PrintUsage();
+    return 1;
+  }
+  MergeCorporaOptions options;
+  options.io = IoOptionsFromFlags(argc, argv);
+  if (const char* policy = FlagValue(argc, argv, "--on-collision")) {
+    auto parsed = ParseNameCollisionPolicy(policy);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "ddr-trace: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    options.on_collision = *parsed;
+  }
+  auto stats = MergeCorpora(inputs, output, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", stats.status().ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "merged %zu bundle(s) -> %s: %zu entries (%zu skipped, %zu renamed, "
+      "on-collision %s)\n",
+      inputs.size(), output.c_str(), stats->added, stats->skipped,
+      stats->renamed,
+      std::string(NameCollisionPolicyName(options.on_collision)).c_str());
+  return 0;
+}
+
+int CorpusCompact(const std::string& path, int argc, char** argv) {
+  const char* drop_list = ParseStringFlag(argc, argv, "--drop", nullptr);
+  if (drop_list == nullptr) {
+    std::fprintf(stderr,
+                 "ddr-trace: corpus compact requires --drop name1,name2\n");
+    PrintUsage();
+    return 1;
+  }
+  const std::vector<std::string> drop = SplitCommaList(drop_list);
+  if (drop.empty()) {
+    std::fprintf(stderr, "ddr-trace: --drop names nothing to drop\n");
+    return 1;
+  }
+  auto stats = CompactCorpus(path, drop, IoOptionsFromFlags(argc, argv));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", stats.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("compacted %s: dropped %zu, kept %zu entries\n", path.c_str(),
+              stats->dropped, stats->added);
+  return 0;
 }
 
 int CorpusInfo(const std::string& path, int argc, char** argv) {
@@ -535,7 +682,16 @@ int CorpusMain(int argc, char** argv) {
   const std::string subcommand = argv[2];
   const std::string path = argv[3];
   if (subcommand == "build") {
-    return CorpusBuild(path, argc, argv);
+    return CorpusBuild(path, /*append=*/false, argc, argv);
+  }
+  if (subcommand == "append") {
+    return CorpusBuild(path, /*append=*/true, argc, argv);
+  }
+  if (subcommand == "merge") {
+    return CorpusMerge(path, argc, argv);
+  }
+  if (subcommand == "compact") {
+    return CorpusCompact(path, argc, argv);
   }
   if (subcommand == "info") {
     return CorpusInfo(path, argc, argv);
