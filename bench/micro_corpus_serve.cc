@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -259,8 +260,9 @@ void RunAppendBench(BenchJsonWriter& json) {
   FullPass(*corpus);
   const ChunkCacheStats warm_stats = corpus->cache_stats();
 
-  // Grow the bundle while the reader stays open.
+  // Grow the bundle in place while the reader stays open.
   const auto append_start = std::chrono::steady_clock::now();
+  uint64_t append_bytes_written = 0;
   {
     auto writer = CorpusWriter::AppendTo(kCorpusPath);
     CHECK(writer.ok()) << writer.status();
@@ -274,11 +276,13 @@ void RunAppendBench(BenchJsonWriter& json) {
                 .ok());
     }
     CHECK((*writer)->Finish().ok());
+    append_bytes_written = (*writer)->bytes_written();
   }
   const double append_seconds = Seconds(append_start);
   CHECK_EQ(corpus->entries().size(), entries_before);  // old index until Reopen
 
   CHECK(corpus->Reopen().ok());
+  CHECK(corpus->journaled());
   CHECK_EQ(corpus->entries().size(), entries_before + kAppended);
   const ChunkCacheStats reopened_stats = corpus->cache_stats();
   CHECK(reopened_stats.hits >= warm_stats.hits);  // counters survived
@@ -301,11 +305,115 @@ void RunAppendBench(BenchJsonWriter& json) {
       .Int("entries_before", entries_before)
       .Int("entries_appended", kAppended)
       .Num("append_seconds", append_seconds)
+      .Int("append_bytes_written", append_bytes_written)
+      .Int("generation", corpus->generation())
+      .Int("dead_bytes", corpus->dead_bytes())
       .Int("served_events_post_reopen", served_events)
       .Num("post_reopen_mevents_per_sec", meps)
       .Int("cache_hits_carried", reopened_stats.hits)
       .Num("hit_rate", corpus->cache_stats().hit_rate());
   json.Write(line);
+}
+
+// Append scaling: one identical small entry appended to a small and a
+// large base bundle, in both modes. The in-place journal's bytes written
+// must stay flat in the base size — O(new entry + index) — while the
+// rewrite path (the only behavior before the journal existed) is the
+// linear control that pays the whole file every time.
+void RunAppendScalingBench(BenchJsonWriter& json) {
+  constexpr uint64_t kAppendEvents = 2'000;
+  TraceWriteOptions trace_options;
+  trace_options.events_per_chunk = 512;
+  trace_options.chunk_filter = TraceFilter::kVarintDelta;
+
+  const auto copy_file = [](const std::string& from, const std::string& to) {
+    std::ifstream in(from, std::ios::binary);
+    std::ofstream out(to, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+    CHECK(in.good()) << from;
+    CHECK(out.good()) << to;
+  };
+  const auto file_size = [](const std::string& path) -> uint64_t {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    CHECK(in.good()) << path;
+    return static_cast<uint64_t>(in.tellg());
+  };
+
+  uint64_t in_place_written[2] = {0, 0};
+  uint64_t rewrite_written[2] = {0, 0};
+  uint64_t base_sizes[2] = {0, 0};
+  const uint64_t base_entry_counts[2] = {2, 8};
+  for (int b = 0; b < 2; ++b) {
+    const uint64_t base_entries = base_entry_counts[b];
+    const std::string base_path = "micro_corpus_serve_base" +
+                                  std::to_string(base_entries) + ".tmp.ddrc";
+    {
+      CorpusWriter writer(base_path);
+      CHECK(writer.Begin().ok());
+      for (uint64_t i = 0; i < base_entries; ++i) {
+        CHECK(writer
+                  .Add("base/" + std::to_string(i),
+                       MakeRecording(kEventsPerEntry, 3000 + i), trace_options)
+                  .ok());
+      }
+      CHECK(writer.Finish().ok());
+    }
+    base_sizes[b] = file_size(base_path);
+
+    for (const CorpusAppendMode mode :
+         {CorpusAppendMode::kInPlace, CorpusAppendMode::kRewrite}) {
+      const std::string path = "micro_corpus_serve_scale.tmp.ddrc";
+      copy_file(base_path, path);
+      CorpusAppendOptions options;
+      options.mode = mode;
+      const auto start = std::chrono::steady_clock::now();
+      uint64_t bytes_written = 0;
+      {
+        auto writer = CorpusWriter::AppendTo(path, options);
+        CHECK(writer.ok()) << writer.status();
+        CHECK((*writer)
+                  ->Add("appended/one", MakeRecording(kAppendEvents, 77),
+                        trace_options)
+                  .ok());
+        CHECK((*writer)->Finish().ok());
+        bytes_written = (*writer)->bytes_written();
+      }
+      const double seconds = Seconds(start);
+      auto reader = CorpusReader::Open(path);
+      CHECK(reader.ok()) << reader.status();
+      CHECK_EQ(reader->entries().size(), base_entries + 1);
+      CHECK(reader->VerifyAll().ok());
+
+      const bool in_place = mode == CorpusAppendMode::kInPlace;
+      (in_place ? in_place_written : rewrite_written)[b] = bytes_written;
+      std::printf(
+          "append-scaling %-8s: base %llu entries (%8llu B) + 1 entry -> "
+          "%8llu bytes written in %.4fs\n",
+          in_place ? "in-place" : "rewrite",
+          static_cast<unsigned long long>(base_entries),
+          static_cast<unsigned long long>(base_sizes[b]),
+          static_cast<unsigned long long>(bytes_written), seconds);
+
+      JsonLine line = json.Line();
+      line.Str("section", "append-scaling")
+          .Str("mode", in_place ? "in-place" : "rewrite")
+          .Int("base_entries", base_entries)
+          .Int("base_bytes", base_sizes[b])
+          .Int("appended_events", kAppendEvents)
+          .Int("bytes_written", bytes_written)
+          .Num("seconds", seconds);
+      json.Write(line);
+      std::remove(path.c_str());
+    }
+    std::remove(base_path.c_str());
+  }
+
+  // The acceptance shape: in-place cost is flat in base size (only the
+  // index re-list grows), the rewrite cost is linear (it exceeds the
+  // base it copied).
+  CHECK(in_place_written[1] < in_place_written[0] + (64 << 10));
+  CHECK(in_place_written[1] < base_sizes[1] / 2);
+  CHECK(rewrite_written[1] > base_sizes[1]);
 }
 
 void RunAll() {
@@ -316,6 +424,7 @@ void RunAll() {
   RunCacheBench(cold_stream_seconds, json);
   RunConcurrencyBench(json);
   RunAppendBench(json);
+  RunAppendScalingBench(json);
   std::remove(kCorpusPath);
 }
 

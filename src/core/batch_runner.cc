@@ -243,12 +243,18 @@ Result<BatchReport> BatchRunner::Run() {
   });
 
   // Bundle write, in deterministic task order — a fresh build, or an
-  // atomic append that leaves the original bundle intact on any failure.
+  // append that publishes nothing on any failure (the rewrite never
+  // renames its temp file in; a failed in-place journal append leaves
+  // only an unpublished torn tail the next append overwrites).
+  uint64_t corpus_bytes_written = 0;
   if (!options_.corpus_path.empty()) {
     std::unique_ptr<CorpusWriter> corpus;
     if (appending) {
+      CorpusAppendOptions append_options;
+      append_options.mode = options_.resume_mode;
+      append_options.io = options_.resume_io;
       ASSIGN_OR_RETURN(corpus, CorpusWriter::AppendTo(options_.corpus_path,
-                                                      options_.resume_io));
+                                                      append_options));
     } else {
       corpus = std::make_unique<CorpusWriter>(options_.corpus_path);
       RETURN_IF_ERROR(corpus->Begin());
@@ -259,9 +265,11 @@ Result<BatchReport> BatchRunner::Run() {
                                        out.event_count, out.wall_seconds));
     }
     RETURN_IF_ERROR(corpus->Finish());
+    corpus_bytes_written = corpus->bytes_written();
   }
 
   BatchReport report;
+  report.corpus_bytes_written = corpus_bytes_written;
   report.cells.reserve(task_count);
   for (TaskOutput& out : outputs) {
     report.cells.push_back(std::move(out.cell));

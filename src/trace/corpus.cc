@@ -1,9 +1,16 @@
 #include "src/trace/corpus.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <span>
 
 #include "src/trace/trace_writer.h"
+#include "src/util/crc32.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
@@ -58,7 +65,450 @@ Result<std::vector<CorpusEntry>> DecodeCorpusIndex(
   return entries;
 }
 
+// ----------------------------------------------------- journal trailers
+
+// A parsed corpus trailer: the fixed-width record that publishes an index
+// generation. Two wire forms share this struct: the 12-byte v1 trailer
+// (index offset + magic; always generation 1) and the 28-byte journal
+// trailer (index offset, previous trailer's offset, generation, CRC,
+// magic).
+struct CorpusTrailerInfo {
+  uint64_t trailer_offset = 0;  // absolute offset where the trailer begins
+  uint64_t index_offset = 0;
+  uint64_t prev_trailer_offset = 0;  // journal form only
+  uint32_t generation = 1;
+  bool journal_form = false;
+
+  uint64_t end() const {
+    return trailer_offset +
+           (journal_form ? kCorpusJournalTrailerBytes : kCorpusTrailerBytes);
+  }
+};
+
+std::vector<uint8_t> EncodeJournalTrailer(uint64_t index_offset,
+                                          uint64_t prev_trailer_offset,
+                                          uint32_t generation) {
+  Encoder encoder;
+  encoder.PutFixed64(index_offset);
+  encoder.PutFixed64(prev_trailer_offset);
+  encoder.PutFixed32(generation);
+  encoder.PutFixed32(Crc32(encoder.buffer().data(), encoder.size()));
+  encoder.PutFixed32(kCorpusJournalTrailerMagic);
+  return encoder.TakeBuffer();
+}
+
+// Field-level validation of a trailer candidate (magic, CRC for the
+// journal form, index-before-trailer ordering). The decisive check — the
+// CRC'd index section it points at — is LoadIndexForTrailer's job.
+bool ParseTrailerBytes(std::span<const uint8_t> bytes, uint64_t trailer_offset,
+                       bool journal_form, CorpusTrailerInfo* out) {
+  Decoder decoder(bytes.data(), bytes.size());
+  CorpusTrailerInfo info;
+  info.trailer_offset = trailer_offset;
+  info.journal_form = journal_form;
+  if (journal_form) {
+    if (bytes.size() < kCorpusJournalTrailerBytes) {
+      return false;
+    }
+    auto index_offset = decoder.GetFixed64();
+    auto prev = decoder.GetFixed64();
+    auto generation = decoder.GetFixed32();
+    auto crc = decoder.GetFixed32();
+    auto magic = decoder.GetFixed32();
+    if (!index_offset.ok() || !prev.ok() || !generation.ok() || !crc.ok() ||
+        !magic.ok() || *magic != kCorpusJournalTrailerMagic) {
+      return false;
+    }
+    if (*crc != Crc32(bytes.data(), kCorpusJournalTrailerBytes - 8)) {
+      return false;
+    }
+    // Generation 1 is always published by a v1 trailer; a journal form
+    // claiming it is junk that happened to checksum.
+    if (*generation < 2) {
+      return false;
+    }
+    info.index_offset = *index_offset;
+    info.prev_trailer_offset = *prev;
+    info.generation = *generation;
+  } else {
+    if (bytes.size() < kCorpusTrailerBytes) {
+      return false;
+    }
+    auto index_offset = decoder.GetFixed64();
+    auto magic = decoder.GetFixed32();
+    if (!index_offset.ok() || !magic.ok() || *magic != kCorpusTrailerMagic) {
+      return false;
+    }
+    info.index_offset = *index_offset;
+  }
+  if (info.index_offset < kCorpusHeaderBytes ||
+      info.index_offset >= trailer_offset) {
+    return false;
+  }
+  *out = info;
+  return true;
+}
+
+// Reads + field-validates the trailer at a known offset, trying the
+// journal form first (its magic + CRC cannot false-positive on a v1
+// trailer's bytes), then the v1 form.
+bool ReadTrailerFieldsAt(const RandomAccessFile& file, uint64_t offset,
+                         uint64_t file_size, CorpusTrailerInfo* out,
+                         std::vector<uint8_t>* scratch) {
+  if (offset + kCorpusJournalTrailerBytes <= file_size) {
+    auto bytes = file.Read(offset, kCorpusJournalTrailerBytes, scratch);
+    if (bytes.ok() && ParseTrailerBytes(*bytes, offset, /*journal_form=*/true,
+                                        out)) {
+      return true;
+    }
+  }
+  if (offset + kCorpusTrailerBytes <= file_size) {
+    auto bytes = file.Read(offset, kCorpusTrailerBytes, scratch);
+    if (bytes.ok() && ParseTrailerBytes(*bytes, offset, /*journal_form=*/false,
+                                        out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Loads and bounds-checks the index a candidate trailer points at: the
+// section must parse (CRC included) inside [0, trailer) and every entry
+// window must lie between the header and the index. The subtraction form
+// keeps a crafted huge length from wrapping the sum past the bound.
+Result<std::vector<CorpusEntry>> LoadIndexForTrailer(
+    const RandomAccessFile& file, const CorpusTrailerInfo& trailer) {
+  ASSIGN_OR_RETURN(
+      TraceSectionPayload payload,
+      ReadTraceSection(file, /*base=*/0, trailer.index_offset,
+                       trailer.trailer_offset, TraceSection::kCorpusIndex,
+                       /*bytes_read=*/nullptr));
+  ASSIGN_OR_RETURN(std::vector<CorpusEntry> entries,
+                   DecodeCorpusIndex(payload.view));
+  for (const CorpusEntry& entry : entries) {
+    if (entry.offset < kCorpusHeaderBytes ||
+        entry.offset > trailer.index_offset ||
+        entry.length < kTraceHeaderBytes + kTraceTrailerBytes ||
+        entry.length > trailer.index_offset - entry.offset) {
+      return InvalidArgumentError("corpus entry window out of bounds: " +
+                                  entry.name);
+    }
+  }
+  return entries;
+}
+
+uint32_t ReadWordLE(const uint8_t* bytes) {
+  return static_cast<uint32_t>(bytes[0]) |
+         static_cast<uint32_t>(bytes[1]) << 8 |
+         static_cast<uint32_t>(bytes[2]) << 16 |
+         static_cast<uint32_t>(bytes[3]) << 24;
+}
+
+// Finds the latest (highest-offset) valid trailer of a journaled bundle.
+// The common case — a clean file with its trailer flush at end-of-file —
+// is the first candidate tried; after a crash mid-append the scan walks
+// backward past the torn tail until a trailer whose magic, CRC, *and*
+// index section all validate. A false candidate (magic bytes inside
+// image data) fails index validation and the scan continues.
+Result<CorpusTrailerInfo> FindLatestValidTrailer(
+    const RandomAccessFile& file, uint64_t file_size,
+    std::vector<CorpusEntry>* entries_out) {
+  std::vector<uint8_t> scan_buf;
+  std::vector<uint8_t> scratch;
+  constexpr uint64_t kScanWindow = 1 << 16;
+  uint64_t hi = file_size;  // exclusive end of the unscanned region
+  while (hi >= kCorpusHeaderBytes + 4) {
+    const uint64_t lo = hi - kCorpusHeaderBytes >= kScanWindow
+                            ? hi - kScanWindow
+                            : kCorpusHeaderBytes;
+    ASSIGN_OR_RETURN(
+        std::span<const uint8_t> window,
+        file.Read(lo, static_cast<size_t>(hi - lo), &scan_buf));
+    for (uint64_t p = hi - 4;; --p) {
+      const uint32_t word = ReadWordLE(window.data() + (p - lo));
+      const bool journal_magic = word == kCorpusJournalTrailerMagic;
+      if (journal_magic || word == kCorpusTrailerMagic) {
+        const uint64_t size =
+            journal_magic ? kCorpusJournalTrailerBytes : kCorpusTrailerBytes;
+        if (p + 4 >= kCorpusHeaderBytes + size) {
+          const uint64_t start = p + 4 - size;
+          CorpusTrailerInfo info;
+          auto bytes = file.Read(start, static_cast<size_t>(size), &scratch);
+          if (bytes.ok() &&
+              ParseTrailerBytes(*bytes, start, journal_magic, &info)) {
+            auto entries = LoadIndexForTrailer(file, info);
+            if (entries.ok()) {
+              *entries_out = std::move(*entries);
+              return info;
+            }
+          }
+        }
+      }
+      if (p == lo) {
+        break;
+      }
+    }
+    if (lo == kCorpusHeaderBytes) {
+      break;
+    }
+    hi = lo + 3;  // overlap so words spanning the window boundary are seen
+  }
+  return InvalidArgumentError(
+      "no valid corpus trailer found (torn or corrupt journal)");
+}
+
+// Walks the prev-trailer chain from the latest generation down to the v1
+// base, counting dead bytes: every superseded generation's index section
+// + trailer, plus any torn tail past the live trailer. The chain was
+// published by fsync-ordered appends, so a broken link is corruption —
+// surfaced as a Status, never skipped.
+Status WalkJournalChain(const RandomAccessFile& file, uint64_t file_size,
+                        const CorpusTrailerInfo& latest,
+                        uint64_t* dead_bytes) {
+  std::vector<uint8_t> scratch;
+  uint64_t dead = file_size - latest.end();
+  CorpusTrailerInfo current = latest;
+  while (current.journal_form) {
+    CorpusTrailerInfo prev;
+    if (!ReadTrailerFieldsAt(file, current.prev_trailer_offset, file_size,
+                             &prev, &scratch)) {
+      return InvalidArgumentError(
+          StrPrintf("corpus journal chain broken below generation %u",
+                    current.generation));
+    }
+    // Generations are strictly ordered in the file and in number; the
+    // previous trailer must end before this generation's images begin.
+    if (prev.end() > current.index_offset ||
+        prev.generation + 1 != current.generation) {
+      return InvalidArgumentError(
+          StrPrintf("corpus journal chain inconsistent at generation %u",
+                    current.generation));
+    }
+    dead += prev.end() - prev.index_offset;
+    current = prev;
+  }
+  if (current.generation != 1) {
+    return InvalidArgumentError(
+        "corpus journal chain does not reach generation 1");
+  }
+  *dead_bytes = dead;
+  return OkStatus();
+}
+
 }  // namespace
+
+// In-place journal sink: appends new bytes at the tail of an existing
+// bundle through an O_RDWR fd. Unlike AtomicFileSink there is no rename
+// — crash safety comes from write ordering instead (Sync() barriers
+// between the data and the trailer that publishes it). An abandoned or
+// failed append (destruction before Commit()) is deliberately
+// indistinguishable from a crash mid-append: nothing is rolled back —
+// the file must never shrink under concurrent readers (an mmap-backed
+// Open scanning the tail would SIGBUS past a new EOF), and restoring a
+// flipped header to v1 over a garbage tail would brick the strict v1
+// read path. The partial generation is simply left unpublished: the
+// previous trailer stays the latest valid one, recovery scans past the
+// torn bytes, and the next append overwrites them.
+class CorpusJournalSink {
+ public:
+  // `expected_size` / `trailer_offset` describe the bundle as the
+  // caller's reader observed it; they are re-validated under the writer
+  // lock so an append prepared against a since-mutated file fails
+  // instead of writing over published bytes.
+  static Result<std::unique_ptr<CorpusJournalSink>> Open(
+      const std::string& path, uint64_t tail_offset, uint64_t expected_size,
+      uint64_t trailer_offset, bool flip_header);
+  ~CorpusJournalSink();
+
+  CorpusJournalSink(const CorpusJournalSink&) = delete;
+  CorpusJournalSink& operator=(const CorpusJournalSink&) = delete;
+
+  Status Append(const uint8_t* data, size_t size);
+  // Durability barrier: everything appended so far reaches disk before
+  // any later write. Finish() calls this between the index and the
+  // trailer, so a durable trailer implies durable data.
+  Status Sync();
+  // Final fsync; from here the new generation is published and the
+  // destructor no longer rolls back.
+  Status Commit();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  CorpusJournalSink(std::string path, int fd, uint64_t tail_offset)
+      : path_(std::move(path)), fd_(fd), write_offset_(tail_offset) {}
+
+  Status WriteAt(uint64_t offset, const uint8_t* data, size_t size);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t write_offset_ = 0;  // absolute offset of the next Append
+  bool committed_ = false;
+  uint64_t bytes_written_ = 0;
+};
+
+Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
+    const std::string& path, uint64_t tail_offset, uint64_t expected_size,
+    uint64_t trailer_offset, bool flip_header) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDWR);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return UnavailableError("cannot open corpus for in-place append: " + path);
+  }
+  // Exclusive advisory writer lock (released when the fd closes). Unlike
+  // the rename-based mutations — where a race loses an update but never
+  // corrupts the target — two in-place appenders would truncate and
+  // overwrite each other's in-flight bytes, so a second one must fail
+  // loudly, not serialize (its view of the entry set is stale anyway).
+  int lock_rc = 0;
+  do {
+    lock_rc = ::flock(fd, LOCK_EX | LOCK_NB);
+  } while (lock_rc != 0 && errno == EINTR);
+  if (lock_rc != 0) {
+    ::close(fd);
+    return UnavailableError(
+        "another in-place append holds the corpus writer lock: " + path);
+  }
+  // Under the lock, the file must still be what the caller's reader saw
+  // — not just the same size: a same-size canonicalization (compact of a
+  // header-flip-only bundle differs in exactly one header byte) or
+  // rename swap would otherwise slip past, and this writer would stamp a
+  // journal generation onto a file whose header or trailer no longer
+  // match, bricking it. Size, header version, and the trailer bytes at
+  // the observed tail must all agree before a byte is written.
+  const auto changed = [&]() -> Result<std::unique_ptr<CorpusJournalSink>> {
+    ::close(fd);
+    return FailedPreconditionError(
+        "corpus changed while preparing in-place append (concurrent "
+        "mutation?): " +
+        path);
+  };
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<uint64_t>(st.st_size) != expected_size) {
+    return changed();
+  }
+  const auto pread_exact = [&](uint64_t offset, uint8_t* out,
+                               size_t size) -> bool {
+    size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::pread(fd, out + done, size - done,
+                                static_cast<off_t>(offset + done));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  {
+    uint8_t version_bytes[4];
+    if (!pread_exact(4, version_bytes, sizeof(version_bytes))) {
+      return changed();
+    }
+    const uint32_t version = ReadWordLE(version_bytes);
+    const uint32_t expected_version =
+        flip_header ? kCorpusFormatVersion : kCorpusFormatVersionJournal;
+    if (version != expected_version) {
+      return changed();
+    }
+  }
+  {
+    const uint64_t trailer_bytes = tail_offset - trailer_offset;
+    uint8_t buffer[kCorpusJournalTrailerBytes];
+    CorpusTrailerInfo trailer;
+    if ((trailer_bytes != kCorpusTrailerBytes &&
+         trailer_bytes != kCorpusJournalTrailerBytes) ||
+        !pread_exact(trailer_offset, buffer,
+                     static_cast<size_t>(trailer_bytes)) ||
+        !ParseTrailerBytes(
+            std::span<const uint8_t>(buffer,
+                                     static_cast<size_t>(trailer_bytes)),
+            trailer_offset, trailer_bytes == kCorpusJournalTrailerBytes,
+            &trailer)) {
+      return changed();
+    }
+  }
+  std::unique_ptr<CorpusJournalSink> sink(
+      new CorpusJournalSink(path, fd, tail_offset));
+  // Note: a torn tail from a crashed append is NOT truncated here — the
+  // file must never shrink while concurrent readers may be scanning it
+  // (an mmap-backed Open touching pages past a new EOF would SIGBUS).
+  // The new generation is simply written over the garbage from
+  // tail_offset; whatever torn bytes extend past the new trailer stay
+  // accounted as dead bytes (no valid trailer can exist up there: the
+  // crashed append never committed one) until a compact reclaims them.
+  if (flip_header) {
+    Encoder encoder;
+    encoder.PutFixed32(kCorpusFormatVersionJournal);
+    RETURN_IF_ERROR(sink->WriteAt(4, encoder.buffer().data(), encoder.size()));
+    sink->bytes_written_ += encoder.size();
+  }
+  // The version flip must be durable before any byte lands past the old
+  // trailer: a crash mid-append must leave a file the journal recovery
+  // path owns end to end.
+  RETURN_IF_ERROR(sink->Sync());
+  return sink;
+}
+
+CorpusJournalSink::~CorpusJournalSink() {
+  if (fd_ < 0) {
+    return;
+  }
+  // No rollback (see the class comment): closing the fd releases the
+  // writer lock, and an uncommitted partial generation is just a torn
+  // tail the next Open scans past.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status CorpusJournalSink::WriteAt(uint64_t offset, const uint8_t* data,
+                                  size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::pwrite(fd_, data + written, size - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return UnavailableError("short write to corpus journal: " + path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status CorpusJournalSink::Append(const uint8_t* data, size_t size) {
+  if (committed_) {
+    return FailedPreconditionError("append to a committed corpus journal");
+  }
+  RETURN_IF_ERROR(WriteAt(write_offset_, data, size));
+  write_offset_ += size;
+  bytes_written_ += size;
+  return OkStatus();
+}
+
+Status CorpusJournalSink::Sync() {
+  int rc = 0;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return UnavailableError("fsync of corpus journal failed: " + path_);
+  }
+  return OkStatus();
+}
+
+Status CorpusJournalSink::Commit() {
+  RETURN_IF_ERROR(Sync());
+  committed_ = true;
+  return OkStatus();
+}
 
 // Forwards an embedded DDRT stream into the corpus file. Close() is a
 // no-op: the embedded image ends, the corpus file stays open for the next
@@ -69,7 +519,7 @@ class CorpusEmbeddedSink : public TraceByteSink {
 
   using TraceByteSink::Append;
   Status Append(const uint8_t* data, size_t size) override {
-    RETURN_IF_ERROR(owner_->sink_.Append(data, size));
+    RETURN_IF_ERROR(owner_->WriteBytes(data, size));
     owner_->offset_ += size;
     return OkStatus();
   }
@@ -80,53 +530,111 @@ class CorpusEmbeddedSink : public TraceByteSink {
 };
 
 CorpusWriter::CorpusWriter(std::string path)
-    : path_(std::move(path)), sink_(path_) {}
+    : path_(std::move(path)),
+      atomic_(std::make_unique<AtomicFileSink>(path_)) {}
+
+CorpusWriter::CorpusWriter(std::string path, AppendTag)
+    : path_(std::move(path)) {}
+
+CorpusWriter::~CorpusWriter() = default;
 
 Result<std::unique_ptr<CorpusWriter>> CorpusWriter::AppendTo(
-    const std::string& path, const RandomAccessFileOptions& io) {
-  std::unique_ptr<CorpusWriter> writer(new CorpusWriter(path));
-  RETURN_IF_ERROR(writer->BeginAppend(io));
+    const std::string& path, const CorpusAppendOptions& options) {
+  std::unique_ptr<CorpusWriter> writer(new CorpusWriter(path, AppendTag{}));
+  RETURN_IF_ERROR(writer->BeginAppend(options));
   return writer;
 }
 
-Status CorpusWriter::BeginAppend(const RandomAccessFileOptions& io) {
-  // Validate the existing bundle and lift its index through the normal
-  // reader path (header/trailer/CRC/window checks all apply). No chunk
-  // ever decodes here, so the cache is disabled.
-  CorpusReaderOptions read_options;
-  read_options.io = io;
-  read_options.cache_bytes = 0;
-  ASSIGN_OR_RETURN(CorpusReader existing,
-                   CorpusReader::Open(path_, read_options));
-  if (existing.index_offset() < kCorpusHeaderBytes) {
-    return InvalidArgumentError("corpus index offset inside header: " + path_);
+Status CorpusWriter::WriteBytes(const uint8_t* data, size_t size) {
+  if (journal_ != nullptr) {
+    return journal_->Append(data, size);
   }
+  if (atomic_ != nullptr) {
+    return atomic_->Append(data, size);
+  }
+  return FailedPreconditionError("corpus writer has no open sink");
+}
 
-  // Copy header + every embedded image — [0, index_offset) — into the
-  // temp sink in bounded chunks; the old index and trailer are dropped
-  // (Finish() writes merged replacements). The copy reads through the
-  // reader's own handle, so index and bytes can never disagree even if
-  // the path is atomically replaced mid-append.
-  begun_ = true;
-  std::vector<uint8_t> scratch;
-  constexpr uint64_t kCopyChunkBytes = 1 << 20;
-  const RandomAccessFile& file = *existing.file_;
-  for (uint64_t copied = 0; copied < existing.index_offset();) {
-    const uint64_t want =
-        std::min(kCopyChunkBytes, existing.index_offset() - copied);
-    ASSIGN_OR_RETURN(std::span<const uint8_t> bytes,
-                     file.Read(copied, static_cast<size_t>(want), &scratch));
-    status_ = sink_.Append(bytes.data(), bytes.size());
-    if (!status_.ok()) {
-      return status_;
+Status CorpusWriter::BeginAppend(const CorpusAppendOptions& options) {
+  // Validate the existing bundle and lift its index through the normal
+  // reader path (header/trailer/CRC/window checks all apply, and a torn
+  // journal tail is scanned past). No chunk ever decodes here, so the
+  // cache is disabled.
+  CorpusReaderOptions read_options;
+  read_options.io = options.io;
+  read_options.cache_bytes = 0;
+  uint64_t tail = 0;
+  uint64_t observed_size = 0;
+  bool flip = false;
+  {
+    ASSIGN_OR_RETURN(CorpusReader existing,
+                     CorpusReader::Open(path_, read_options));
+    if (existing.index_offset() < kCorpusHeaderBytes) {
+      return InvalidArgumentError("corpus index offset inside header: " +
+                                  path_);
     }
-    copied += want;
+
+    if (options.mode == CorpusAppendMode::kInPlace) {
+      // Journal append: no existing byte is copied. Seed the entry set,
+      // remember the trailer being superseded, and release the reader's
+      // handle (scope end) before the sink starts mutating the file.
+      prev_trailer_offset_ = existing.trailer_offset();
+      generation_ = existing.generation() + 1;
+      tail = existing.tail_offset();
+      observed_size = existing.file_size();
+      flip = !existing.journaled();
+      begun_ = true;
+      offset_ = tail;
+      entries_ = existing.entries();
+      for (const CorpusEntry& entry : entries_) {
+        names_.insert(entry.name);
+      }
+    } else {
+      atomic_ = std::make_unique<AtomicFileSink>(path_);
+      if (existing.journaled()) {
+        // Rewriting a journaled bundle canonicalizes it: fresh v1
+        // header, every live image copied in index order — superseded
+        // index generations and any torn tail are left behind, exactly
+        // like CompactCorpus with an empty drop set.
+        RETURN_IF_ERROR(Begin());
+        for (const CorpusEntry& entry : existing.entries()) {
+          RETURN_IF_ERROR(AddImageWindow(entry, existing));
+        }
+        return OkStatus();
+      }
+      // Canonical v1 bundle: copy header + every embedded image —
+      // [0, index_offset) — into the temp sink in bounded chunks; the
+      // old index and trailer are dropped (Finish() writes merged
+      // replacements). The copy reads through the reader's own handle,
+      // so index and bytes can never disagree even if the path is
+      // atomically replaced mid-append.
+      begun_ = true;
+      std::vector<uint8_t> scratch;
+      constexpr uint64_t kCopyChunkBytes = 1 << 20;
+      const RandomAccessFile& file = *existing.file_;
+      for (uint64_t copied = 0; copied < existing.index_offset();) {
+        const uint64_t want =
+            std::min(kCopyChunkBytes, existing.index_offset() - copied);
+        ASSIGN_OR_RETURN(
+            std::span<const uint8_t> bytes,
+            file.Read(copied, static_cast<size_t>(want), &scratch));
+        status_ = WriteBytes(bytes.data(), bytes.size());
+        if (!status_.ok()) {
+          return status_;
+        }
+        copied += want;
+      }
+      offset_ = existing.index_offset();
+      entries_ = existing.entries();
+      for (const CorpusEntry& entry : entries_) {
+        names_.insert(entry.name);
+      }
+      return OkStatus();
+    }
   }
-  offset_ = existing.index_offset();
-  entries_ = existing.entries();
-  for (const CorpusEntry& entry : entries_) {
-    names_.insert(entry.name);
-  }
+  ASSIGN_OR_RETURN(journal_,
+                   CorpusJournalSink::Open(path_, tail, observed_size,
+                                           prev_trailer_offset_, flip));
   return OkStatus();
 }
 
@@ -139,7 +647,7 @@ Status CorpusWriter::Begin() {
   encoder.PutFixed32(kCorpusFileMagic);
   encoder.PutFixed32(kCorpusFormatVersion);
   encoder.PutFixed32(0);  // flags, reserved
-  status_ = sink_.Append(encoder.buffer());
+  status_ = WriteBytes(encoder.buffer());
   if (status_.ok()) {
     offset_ = encoder.size();
   }
@@ -235,7 +743,7 @@ Status CorpusWriter::AddImage(const std::string& name,
   if (image.size() < kTraceHeaderBytes + kTraceTrailerBytes) {
     return InvalidArgumentError("corpus entry image too small to be a trace");
   }
-  Status appended = sink_.Append(image.data(), image.size());
+  Status appended = WriteBytes(image.data(), image.size());
   if (!appended.ok()) {
     status_ = appended;
     return appended;
@@ -268,7 +776,7 @@ Status CorpusWriter::AddImageWindow(const CorpusEntry& entry,
     ASSIGN_OR_RETURN(std::span<const uint8_t> bytes,
                      file.Read(entry.offset + copied,
                                static_cast<size_t>(want), &scratch));
-    status_ = sink_.Append(bytes.data(), bytes.size());
+    status_ = WriteBytes(bytes.data(), bytes.size());
     if (!status_.ok()) {
       return status_;
     }
@@ -301,16 +809,33 @@ Status CorpusWriter::Finish() {
   const std::vector<uint8_t> index_section = EncodeTraceSection(
       TraceSection::kCorpusIndex, EncodeCorpusIndex(entries_),
       /*allow_compress=*/true);
-  RETURN_IF_ERROR(sink_.Append(index_section));
+  RETURN_IF_ERROR(WriteBytes(index_section));
   const uint64_t index_offset = offset_;
   offset_ += index_section.size();
+
+  if (journal_ != nullptr) {
+    // Publish ordering: the images and the new index must be durable
+    // before the trailer that makes them reachable exists on disk; the
+    // trailer itself is made durable by Commit. A crash between the two
+    // fsyncs recovers to the previous generation.
+    RETURN_IF_ERROR(journal_->Sync());
+    const std::vector<uint8_t> trailer =
+        EncodeJournalTrailer(index_offset, prev_trailer_offset_, generation_);
+    RETURN_IF_ERROR(journal_->Append(trailer.data(), trailer.size()));
+    offset_ += trailer.size();
+    return journal_->Commit();
+  }
 
   Encoder encoder;
   encoder.PutFixed64(index_offset);
   encoder.PutFixed32(kCorpusTrailerMagic);
-  RETURN_IF_ERROR(sink_.Append(encoder.buffer()));
+  RETURN_IF_ERROR(WriteBytes(encoder.buffer()));
   offset_ += encoder.size();
-  return sink_.Close();
+  return atomic_->Close();
+}
+
+uint64_t CorpusWriter::bytes_written() const {
+  return journal_ != nullptr ? journal_->bytes_written() : offset_;
 }
 
 // ---------------------------------------------------------------- Reader
@@ -351,6 +876,7 @@ Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
 
   // Header.
   std::vector<uint8_t> scratch;
+  uint32_t version = 0;
   {
     ASSIGN_OR_RETURN(std::span<const uint8_t> header,
                      reader.file_->Read(0, kCorpusHeaderBytes, &scratch));
@@ -359,47 +885,50 @@ Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
     if (magic != kCorpusFileMagic) {
       return InvalidArgumentError("bad corpus file magic");
     }
-    ASSIGN_OR_RETURN(uint32_t version, decoder.GetFixed32());
-    if (version != kCorpusFormatVersion) {
+    ASSIGN_OR_RETURN(version, decoder.GetFixed32());
+    if (version != kCorpusFormatVersion &&
+        version != kCorpusFormatVersionJournal) {
       return InvalidArgumentError(
           StrPrintf("unsupported corpus format version %u", version));
     }
   }
 
-  // Trailer -> index.
-  uint64_t index_offset = 0;
-  {
+  if (version == kCorpusFormatVersion) {
+    // Canonical single-shot layout: exactly one trailer, flush at
+    // end-of-file — anything else is corruption, never scanned past.
     ASSIGN_OR_RETURN(
-        std::span<const uint8_t> trailer,
+        std::span<const uint8_t> trailer_bytes,
         reader.file_->Read(reader.file_size_ - kCorpusTrailerBytes,
                            kCorpusTrailerBytes, &scratch));
-    Decoder decoder(trailer.data(), trailer.size());
-    ASSIGN_OR_RETURN(index_offset, decoder.GetFixed64());
-    ASSIGN_OR_RETURN(uint32_t magic, decoder.GetFixed32());
-    if (magic != kCorpusTrailerMagic) {
+    CorpusTrailerInfo trailer;
+    if (!ParseTrailerBytes(trailer_bytes,
+                           reader.file_size_ - kCorpusTrailerBytes,
+                           /*journal_form=*/false, &trailer)) {
       return InvalidArgumentError("bad corpus trailer magic (truncated file?)");
     }
-    reader.index_offset_ = index_offset;
+    ASSIGN_OR_RETURN(reader.entries_,
+                     LoadIndexForTrailer(*reader.file_, trailer));
+    reader.index_offset_ = trailer.index_offset;
+    reader.trailer_offset_ = trailer.trailer_offset;
+    reader.tail_offset_ = trailer.end();
+    reader.journaled_ = false;
+    reader.generation_ = 1;
+    reader.dead_bytes_ = 0;
+    return reader;
   }
 
-  ASSIGN_OR_RETURN(
-      TraceSectionPayload index_bytes,
-      ReadTraceSection(*reader.file_, /*base=*/0, index_offset,
-                       reader.file_size_, TraceSection::kCorpusIndex,
-                       /*bytes_read=*/nullptr));
-  ASSIGN_OR_RETURN(reader.entries_, DecodeCorpusIndex(index_bytes.view));
-
-  // Every entry window must lie between the header and the index. The
-  // subtraction form keeps a crafted huge length from wrapping the sum
-  // past the bound.
-  for (const CorpusEntry& entry : reader.entries_) {
-    if (entry.offset < kCorpusHeaderBytes || entry.offset > index_offset ||
-        entry.length < kTraceHeaderBytes + kTraceTrailerBytes ||
-        entry.length > index_offset - entry.offset) {
-      return InvalidArgumentError("corpus entry window out of bounds: " +
-                                  entry.name);
-    }
-  }
+  // Journaled layout: chain-load the latest valid trailer, scanning back
+  // past a torn tail if a crashed append left one.
+  ASSIGN_OR_RETURN(CorpusTrailerInfo trailer,
+                   FindLatestValidTrailer(*reader.file_, reader.file_size_,
+                                          &reader.entries_));
+  reader.index_offset_ = trailer.index_offset;
+  reader.trailer_offset_ = trailer.trailer_offset;
+  reader.tail_offset_ = trailer.end();
+  reader.journaled_ = true;
+  reader.generation_ = trailer.journal_form ? trailer.generation : 1;
+  RETURN_IF_ERROR(WalkJournalChain(*reader.file_, reader.file_size_, trailer,
+                                   &reader.dead_bytes_));
   return reader;
 }
 
@@ -493,7 +1022,10 @@ Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
 
   // Open every input before writing a byte of output: an unreadable input
   // must fail the merge with the target untouched. Readers decode nothing
-  // here, so every cache is disabled.
+  // here, so every cache is disabled. Because each input is read through
+  // the handle opened here — which keeps serving its inode after any
+  // rename, on every backend — `output` may safely name one of the
+  // inputs.
   CorpusReaderOptions read_options;
   read_options.io = options.io;
   read_options.cache_bytes = 0;
@@ -503,6 +1035,18 @@ Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
     ASSIGN_OR_RETURN(CorpusReader reader,
                      CorpusReader::Open(input, read_options));
     readers.push_back(std::move(reader));
+  }
+
+  // Rename-suffix targets are computed against the full original name
+  // set of *all* inputs, not just the names emitted so far: a later
+  // input literally named "foo~2" reserves that name, so an earlier
+  // collision renames past it and the final name set is identical
+  // whatever the input order.
+  std::set<std::string> reserved;
+  for (const CorpusReader& reader : readers) {
+    for (const CorpusEntry& entry : reader.entries()) {
+      reserved.insert(entry.name);
+    }
   }
 
   CorpusMutationStats stats;
@@ -526,7 +1070,7 @@ Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
             uint64_t suffix = 2;
             do {
               name = entry.name + "~" + std::to_string(suffix++);
-            } while (taken.count(name) != 0);
+            } while (taken.count(name) != 0 || reserved.count(name) != 0);
             ++stats.renamed;
             break;
           }
@@ -555,6 +1099,8 @@ Result<CorpusMutationStats> CompactCorpus(
 
   // Every requested drop must name a real entry — a typo'd compact that
   // silently "succeeds" would be indistinguishable from the intended one.
+  // (An empty drop set is the journal-squash case: rewrite the live
+  // entries into canonical v1 form, reclaiming dead index generations.)
   std::set<std::string> drop(drop_names.begin(), drop_names.end());
   for (const std::string& name : drop) {
     if (reader.Find(name) == nullptr) {

@@ -1,8 +1,8 @@
-// DDRC v1 corpus bundles: many named DDRT recordings in one file.
+// DDRC corpus bundles: many named DDRT recordings in one file.
 //
 // A corpus is how replay traffic ships at scale: instead of one trace file
 // per bug, a site packs every scenario x determinism-model recording of an
-// evaluation run into a single indexed bundle. Layout:
+// evaluation run into a single indexed bundle. Canonical (v1) layout:
 //
 //   [header]   12 bytes: magic "DDRC", version, flags
 //   [image]*   complete DDRT file images (header..trailer), back to back
@@ -19,9 +19,9 @@
 // RandomAccessFile handle (stream/pread/mmap) plus one shared
 // decoded-chunk cache, and OpenTrace hands out cheap per-entry windows
 // over both — N threads replaying one bundle pay one file open and share
-// every decoded hot chunk. The corpus file itself is written through
-// AtomicFileSink, so an interrupted build never leaves a half-indexed
-// bundle at the target path.
+// every decoded hot chunk. Fresh builds go through AtomicFileSink, so an
+// interrupted build never leaves a half-indexed bundle at the target
+// path.
 //
 //   CorpusWriter writer("eval.ddrc");
 //   CHECK(writer.Begin().ok());
@@ -31,22 +31,67 @@
 //   ASSIGN_OR_RETURN(CorpusReader corpus, CorpusReader::Open("eval.ddrc"));
 //   ASSIGN_OR_RETURN(TraceReader trace, corpus.OpenTrace("sum/perfect"));
 //
-// Bundles are mutable after the fact, always through the same atomic
-// temp + rename discipline (a half-indexed file can never land at the
-// target path, and concurrent readers of the old bundle keep serving the
-// bytes their handle was opened on until they Reopen()):
+// ---------------------------------------------------------- journal (v2)
 //
-//   append   CorpusWriter::AppendTo re-opens an existing bundle, copies
-//            everything up to the old index, streams new images after it,
-//            and rewrites one merged index + trailer. Appending N entries
-//            to a bundle of M produces the byte-identical file a single
-//            (M+N)-entry build would have.
+// Bundles are mutable after the fact. The copying mutations (merge,
+// compact, rewrite-mode append) go through the atomic temp + rename
+// discipline, but copying the whole bundle to add one entry makes append
+// cost O(file) — fatal for a resume loop extending a multi-GB grid. The
+// in-place append instead grows the bundle as an *index journal* (header
+// version 2):
+//
+//   [header 12B: "DDRC" v2]
+//   [image]* [index g1] [trailer g1]          <- generation 1 (was the v1 body)
+//   [image]* [index g2] [trailer g2]          <- appended generation
+//   ...
+//   [image]* [index gN] [trailer gN 28B]      <- latest generation
+//
+// Each generation's index re-lists *every* live entry, so readers only
+// ever load the latest one; superseded index sections and trailers stay
+// in the file as dead bytes (reported by `dead_bytes()` / `corpus info`,
+// reclaimed by CompactCorpus). An append writes only the new images, one
+// fresh index, and a 28-byte journal trailer — O(new entries + index),
+// never O(file) — and mutates nothing a pre-append reader can see: old
+// images, old index, and old trailer all keep their bytes, so concurrent
+// readers of the same inode are undisturbed.
+//
+// Crash durability is by write ordering, not rename:
+//
+//   1. (first append only) the header version flips 1 -> 2, fsync'd,
+//      before any byte lands past the old trailer — from here on readers
+//      take the journal recovery path;
+//   2. new images + the new index are written past the old trailer and
+//      fsync'd;
+//   3. only then is the new trailer (CRC'd, with its generation number
+//      and the previous trailer's offset) appended and fsync'd.
+//
+// A crash at any point leaves the previous generation's trailer intact
+// and reachable: CorpusReader::Open on a v2 bundle first tries the
+// trailer at end-of-file and otherwise scans backward past the torn tail
+// for the latest trailer whose CRC *and* index section validate, then
+// chain-loads the prev-trailer offsets to count generations and dead
+// bytes. The next in-place append writes the new generation over the
+// torn region (never truncating — the file must not shrink under
+// concurrent readers). A v1-only reader sees version 2 and fails with a
+// clean "unsupported corpus format version", never a garbage decode.
+//
+//   append   CorpusWriter::AppendTo re-opens an existing bundle. In the
+//            default kInPlace mode it journals as above; in kRewrite
+//            mode it rebuilds the canonical v1 single-shot form through
+//            a temp + rename (byte-identical to a fresh build of the
+//            same entries).
 //   merge    MergeCorpora copies embedded images byte-for-byte through
 //            RandomAccessFile windows (zero decode, bounded memory) and
-//            rebuilds one index, resolving name collisions by policy.
-//   compact  CompactCorpus drops named entries and rewrites the
-//            survivors' images, byte-identical, into a fresh bundle at
-//            the same path.
+//            rebuilds one canonical index, resolving name collisions by
+//            policy. `output` may equal one of the inputs: every input
+//            is read through a handle opened before the output's
+//            temp-file rename, and an open handle keeps serving the
+//            replaced inode's bytes on every backend (mmap mapping,
+//            pread fd, buffered stream alike).
+//   compact  CompactCorpus drops named entries (the drop set may be
+//            empty) and rewrites the survivors' images, byte-identical,
+//            into a canonical v1 bundle at the same path — the explicit
+//            "squash the journal" step.
 
 #ifndef SRC_TRACE_CORPUS_H_
 #define SRC_TRACE_CORPUS_H_
@@ -63,11 +108,20 @@
 
 namespace ddr {
 
-inline constexpr uint32_t kCorpusFileMagic = 0x43524444u;    // "DDRC"
+inline constexpr uint32_t kCorpusFileMagic = 0x43524444u;     // "DDRC"
 inline constexpr uint32_t kCorpusTrailerMagic = 0x44445243u;  // "CRDD"
+// Journal trailers end with their own magic so a backward scan can tell
+// them from v1 trailers (and from image bytes) before validating.
+inline constexpr uint32_t kCorpusJournalTrailerMagic = 0x4A445243u;  // "CRDJ"
 inline constexpr uint32_t kCorpusFormatVersion = 1;
+// Stamped in the header the moment a bundle gains a second index
+// generation, so single-trailer (v1-only) readers fail with a clean
+// unsupported-version error instead of misparsing the journal tail.
+inline constexpr uint32_t kCorpusFormatVersionJournal = 2;
 inline constexpr size_t kCorpusHeaderBytes = 12;   // magic + version + flags
 inline constexpr size_t kCorpusTrailerBytes = 12;  // index offset + magic
+// index offset + prev trailer offset + generation + CRC + magic.
+inline constexpr size_t kCorpusJournalTrailerBytes = 28;
 
 // One recording in the bundle. The metadata fields mirror the embedded
 // trace's own metadata section so listing a corpus does not decode any
@@ -83,25 +137,66 @@ struct CorpusEntry {
 };
 
 class CorpusReader;
+class CorpusJournalSink;
+
+// How CorpusWriter::AppendTo grows an existing bundle.
+enum class CorpusAppendMode : uint8_t {
+  // Journal the new entries in place: O(new entries + index) bytes
+  // written, crash-safe by write ordering, leaves (small) dead index
+  // bytes behind. The default — the only mode whose cost is flat in the
+  // size of the existing bundle.
+  kInPlace = 0,
+  // Rewrite the whole bundle to canonical v1 form through a temp +
+  // rename: O(file) bytes written, byte-identical to a single-shot
+  // build of the same entries.
+  kRewrite = 1,
+};
+
+struct CorpusAppendOptions {
+  CorpusAppendMode mode = CorpusAppendMode::kInPlace;
+  // Backend used to read the existing bundle (index probe + any copying).
+  RandomAccessFileOptions io;
+};
 
 class CorpusWriter {
  public:
   explicit CorpusWriter(std::string path);
+  ~CorpusWriter();
 
   CorpusWriter(const CorpusWriter&) = delete;
   CorpusWriter& operator=(const CorpusWriter&) = delete;
 
   // Re-opens the existing bundle at `path` for appending: the returned
-  // writer has already copied the header and every embedded image into
-  // its temp file (truncating at the old index offset), carries the old
-  // entries (so duplicate-name detection spans old + new), and accepts
-  // Add/AddImage/BeginRecording exactly like a writer after Begin().
-  // Finish() writes the merged index + trailer and atomically renames —
-  // until then the original bundle is untouched, and readers holding an
-  // open handle keep serving the old bytes even afterwards. `io` selects
-  // the backend used to read the existing bundle.
+  // writer carries the old entries (so duplicate-name detection spans
+  // old + new) and accepts Add/AddImage/BeginRecording exactly like a
+  // writer after Begin(). Nothing is published until Finish():
+  //
+  //  - kInPlace (default): Finish() appends a new index generation and
+  //    fsync-ordered journal trailer after the existing bytes; no
+  //    existing byte is copied, so bytes_written() is O(new entries +
+  //    index). Abandoning the writer before Finish is crash-equivalent:
+  //    nothing is published (the previous trailer stays the latest
+  //    valid one) and the staged bytes remain as an unpublished torn
+  //    tail — the file is never truncated, because a shrink could
+  //    SIGBUS concurrent mmap readers scanning the tail. Torn bytes,
+  //    whether from a crash or an abandoned append, are overwritten by
+  //    the next append and accounted as dead_bytes until then.
+  //    In-place appends are single-writer: the writer holds an exclusive
+  //    advisory lock (flock) on the bundle until Finish or destruction,
+  //    and a second concurrent in-place appender fails loudly with
+  //    Unavailable — unlike the rename-based paths, racing in-place
+  //    writers would corrupt the file, not just lose an update. The
+  //    bundle is also re-validated under the lock, so an append prepared
+  //    against a since-mutated file fails with FailedPrecondition
+  //    instead of truncating published bytes.
+  //  - kRewrite: the canonical single-shot file is rebuilt in a temp
+  //    file and atomically renamed in; until then the original bundle is
+  //    untouched.
+  //
+  // Readers holding an open handle keep serving the old index either way
+  // (in-place appends never mutate bytes a published index points at).
   static Result<std::unique_ptr<CorpusWriter>> AppendTo(
-      const std::string& path, const RandomAccessFileOptions& io = {});
+      const std::string& path, const CorpusAppendOptions& options = {});
 
   // Writes the corpus header. Must be called exactly once, first (the
   // AppendTo factory takes its place when extending an existing bundle).
@@ -135,25 +230,47 @@ class CorpusWriter {
                                                TraceWriteOptions options = {});
   Status FinishRecording(const TraceFinishInfo& info);
 
-  // Writes the index + trailer and renames the bundle into place.
+  // Writes the index + trailer and publishes the bundle (rename for
+  // build/rewrite, ordered fsyncs for in-place append).
   Status Finish();
 
   const std::vector<CorpusEntry>& entries() const { return entries_; }
 
+  // Physical bytes this writer has pushed to disk so far: the whole file
+  // for a build or rewrite-mode append, only the delta (new images +
+  // index + trailer + the 4-byte header flip) for an in-place append —
+  // the number the O(delta) append guarantee is asserted on.
+  uint64_t bytes_written() const;
+
  private:
   friend class CorpusEmbeddedSink;
 
+  struct AppendTag {};
+  CorpusWriter(std::string path, AppendTag);
+
   Status CheckOpenForNewEntry(const std::string& name);
-  // AppendTo's instance half: copies [0, index_offset) of the existing
-  // bundle into the sink and seeds entries_/names_/offset_ from its index.
-  Status BeginAppend(const RandomAccessFileOptions& io);
+  // AppendTo's instance half: seeds entries_/names_/offset_ from the
+  // existing bundle and arranges the journal sink (kInPlace) or the
+  // canonical copy into a temp sink (kRewrite).
+  Status BeginAppend(const CorpusAppendOptions& options);
+  // Routes bytes to whichever sink this writer runs on.
+  Status WriteBytes(const uint8_t* data, size_t size);
+  Status WriteBytes(const std::vector<uint8_t>& bytes) {
+    return WriteBytes(bytes.data(), bytes.size());
+  }
 
   std::string path_;
-  AtomicFileSink sink_;
+  std::unique_ptr<AtomicFileSink> atomic_;      // build / rewrite path
+  std::unique_ptr<CorpusJournalSink> journal_;  // in-place append path
   bool begun_ = false;
   bool finished_ = false;
   Status status_;  // first error, sticky
   uint64_t offset_ = 0;
+
+  // In-place append bookkeeping: the trailer being superseded and the
+  // generation number the new trailer will carry.
+  uint64_t prev_trailer_offset_ = 0;
+  uint32_t generation_ = 1;
 
   std::vector<CorpusEntry> entries_;
   std::set<std::string> names_;
@@ -183,10 +300,10 @@ class CorpusReader {
                                    const CorpusReaderOptions& options = {});
 
   // Re-opens the same path with the same options, picking up a bundle
-  // grown (or rewritten) since Open: a fresh handle on the renamed-in
-  // file, a fresh index. The decoded-chunk cache object is carried over,
+  // grown (or rewritten) since Open: a fresh handle on the current file,
+  // the latest index. The decoded-chunk cache object is carried over,
   // so its accumulated counters survive and windows of other files it
-  // serves stay warm (chunks of the replaced file re-decode: cache keys
+  // serves stay warm (chunks of a replaced file re-decode: cache keys
   // are per-handle by design, precisely so a swapped path can never serve
   // stale bytes). On failure *this is left untouched and still serves the
   // old bundle. Not safe to call concurrently with OpenTrace on the same
@@ -195,8 +312,23 @@ class CorpusReader {
 
   const std::string& path() const { return path_; }
   uint64_t file_size() const { return file_size_; }
-  // Absolute file offset of the index section — where AppendTo truncates.
+  // Absolute file offset of the (latest) index section.
   uint64_t index_offset() const { return index_offset_; }
+  // True when the header carries the journal version: the bundle has (or
+  // had) more than one index generation.
+  bool journaled() const { return journaled_; }
+  // Number of index generations in the journal chain (1 for a canonical
+  // single-shot bundle).
+  uint32_t generation() const { return generation_; }
+  // Bytes no live read can reach: superseded index sections + trailers,
+  // plus any torn tail past the latest valid trailer. CompactCorpus
+  // reclaims them.
+  uint64_t dead_bytes() const { return dead_bytes_; }
+  // Absolute offset of the latest valid trailer, and of its end (the
+  // logical tail — equal to file_size() unless a torn tail was scanned
+  // past; the next in-place append writes from tail_offset()).
+  uint64_t trailer_offset() const { return trailer_offset_; }
+  uint64_t tail_offset() const { return tail_offset_; }
   const std::vector<CorpusEntry>& entries() const { return entries_; }
   // The backend actually serving reads (after any open-time fallback).
   IoBackend io_backend() const { return file_->backend(); }
@@ -223,7 +355,8 @@ class CorpusReader {
       const std::string& name, double* original_wall_seconds = nullptr) const;
 
   // Structural + CRC verification of every embedded trace (and, via Open,
-  // of the index itself), plus index-vs-embedded-metadata consistency.
+  // of the index itself and the journal chain), plus index-vs-embedded-
+  // metadata consistency.
   Status VerifyAll() const;
 
  private:
@@ -241,6 +374,11 @@ class CorpusReader {
   std::shared_ptr<ChunkCache> cache_;
   uint64_t file_size_ = 0;
   uint64_t index_offset_ = 0;
+  bool journaled_ = false;
+  uint32_t generation_ = 1;
+  uint64_t dead_bytes_ = 0;
+  uint64_t trailer_offset_ = 0;
+  uint64_t tail_offset_ = 0;
   std::vector<CorpusEntry> entries_;
 };
 
@@ -270,21 +408,28 @@ struct MergeCorporaOptions {
   RandomAccessFileOptions io;
 };
 
-// Merges `inputs` (in order) into one bundle at `output`. Embedded images
-// are copied byte-for-byte through RandomAccessFile windows — nothing is
-// decoded, memory stays bounded — and a single merged index is rebuilt.
-// The output is written atomically, so `output` may equal one of the
-// inputs. Fails without touching `output` if any input is unreadable or,
-// under kFail, on the first name collision.
+// Merges `inputs` (in order) into one canonical bundle at `output`.
+// Embedded images are copied byte-for-byte through RandomAccessFile
+// windows — nothing is decoded, memory stays bounded — and a single
+// merged index is rebuilt. The output is written atomically, so `output`
+// may equal one of the inputs (the inputs' handles are opened before the
+// rename and keep serving the replaced inode). Rename-suffix targets are
+// computed against the full name set of *all* inputs, so the final name
+// set does not depend on input order (a later input literally named
+// "foo~2" keeps that name; an earlier collision renames past it). Fails
+// without touching `output` if any input is unreadable or, under kFail,
+// on the first name collision.
 Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
                                          const std::string& output,
                                          const MergeCorporaOptions& options = {});
 
 // Rewrites the bundle at `path` without the entries in `drop_names`,
-// copying the survivors' images byte-for-byte. Every drop name must exist
-// (NotFound otherwise, and the bundle is untouched); dropping every entry
-// leaves a valid empty bundle. Atomic: readers of the old bundle are
-// unaffected until they Reopen.
+// copying the survivors' images byte-for-byte into a canonical v1 bundle
+// — with an empty drop set this is the explicit "squash the journal"
+// step, bit-identical to a single-shot build of the live entries. Every
+// drop name must exist (NotFound otherwise, and the bundle is
+// untouched); dropping every entry leaves a valid empty bundle. Atomic:
+// readers of the old bundle are unaffected until they Reopen.
 Result<CorpusMutationStats> CompactCorpus(
     const std::string& path, const std::vector<std::string>& drop_names,
     const RandomAccessFileOptions& io = {});

@@ -1,0 +1,63 @@
+// Centralized command-line flag handling for ddr-trace-style CLIs.
+//
+// Every subcommand declares its known flags as a table and runs the whole
+// argument vector through CheckKnownFlags before doing any work, so a
+// typo'd flag ("--cach-mb") is a loud usage error on *every* subcommand —
+// never a silently ignored no-op that leaves the user convinced they
+// changed a setting. The accessors accept both "--flag value" and
+// "--flag=value" forms.
+//
+//   constexpr CliFlag kFlags[] = {{"--io", true}, {"--verbose", false}};
+//   RETURN_IF_ERROR(CheckKnownFlags(argc, argv, /*start=*/2, kFlags));
+//   const char* io = CliFlagValue(argc, argv, /*start=*/2, "--io");
+
+#ifndef SRC_UTIL_CLI_FLAGS_H_
+#define SRC_UTIL_CLI_FLAGS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+// One recognized "--flag" of a CLI (sub)command. Value flags accept
+// "--flag v" (consuming the next token) and "--flag=v"; boolean flags are
+// presence-only.
+struct CliFlag {
+  const char* name;  // including the leading "--"
+  bool takes_value;
+};
+
+// Scans argv[start, argc): every token beginning with "--" must match a
+// flag in `known` (a known value flag consumes the following token as its
+// value). The first unknown flag fails with InvalidArgument naming it.
+// Tokens that do not begin with "--" are positionals and are ignored
+// here.
+Status CheckKnownFlags(int argc, char* const* argv, int start,
+                       std::span<const CliFlag> known);
+
+// The positional (non-flag) tokens of argv[start, argc): everything that
+// is neither a known flag nor a known value flag's consumed value.
+// Callers run CheckKnownFlags first, so unknown flags never masquerade as
+// positionals.
+std::vector<std::string> PositionalArgs(int argc, char* const* argv, int start,
+                                        std::span<const CliFlag> known);
+
+// "--flag value" / "--flag=value" lookup over argv[start, argc); nullptr
+// when the flag is absent.
+const char* CliFlagValue(int argc, char* const* argv, int start,
+                         const char* flag);
+
+// True when the flag appears (either form).
+bool HasCliFlag(int argc, char* const* argv, int start, const char* flag);
+
+// Whole-token unsigned parse: rejects empty input, junk, trailing
+// garbage, leading signs/whitespace (strtoull quietly wraps "-1" to
+// 2^64-1), and out-of-range values.
+Result<uint64_t> ParseCliUint64(const char* text);
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_CLI_FLAGS_H_

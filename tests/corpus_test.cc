@@ -25,6 +25,7 @@
 #include "src/trace/trace_writer.h"
 #include "src/util/random_access_file.h"
 #include "src/util/rng.h"
+#include "src/util/string_util.h"
 
 namespace ddr {
 namespace {
@@ -515,9 +516,21 @@ std::vector<uint8_t> SliceImage(const std::vector<uint8_t>& file,
       file.begin() + static_cast<ptrdiff_t>(entry.offset + entry.length));
 }
 
-// Appending N entries to an M-entry bundle produces the byte-identical
-// file a single (M+N)-entry build would: same image placement, same
-// merged index, same trailer.
+CorpusAppendOptions RewriteMode() {
+  CorpusAppendOptions options;
+  options.mode = CorpusAppendMode::kRewrite;
+  return options;
+}
+
+uint64_t FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  return static_cast<uint64_t>(in.tellg());
+}
+
+// Rewrite-mode appends: appending N entries to an M-entry bundle
+// produces the byte-identical file a single (M+N)-entry build would —
+// same image placement, same merged index, same trailer.
 TEST(CorpusLifecycleTest, AppendToMatchesSingleShotBitForBit) {
   const RecordedExecution r1 = MakeSyntheticRecording(400, 1);
   const RecordedExecution r2 = MakeSyntheticRecording(500, 2);
@@ -543,13 +556,13 @@ TEST(CorpusLifecycleTest, AppendToMatchesSingleShotBitForBit) {
     ASSERT_TRUE(writer.Finish().ok());
   }
   {
-    auto writer = CorpusWriter::AppendTo(grown.get());
+    auto writer = CorpusWriter::AppendTo(grown.get(), RewriteMode());
     ASSERT_TRUE(writer.ok()) << writer.status();
     ASSERT_TRUE((*writer)->Add("b", r2, options).ok());
     ASSERT_TRUE((*writer)->Finish().ok());
   }
   {
-    auto writer = CorpusWriter::AppendTo(grown.get());
+    auto writer = CorpusWriter::AppendTo(grown.get(), RewriteMode());
     ASSERT_TRUE(writer.ok()) << writer.status();
     ASSERT_TRUE((*writer)->Add("c", r3, options).ok());
     ASSERT_TRUE((*writer)->Finish().ok());
@@ -591,29 +604,483 @@ TEST(CorpusLifecycleTest, AppendToMissingOrCorruptBundleFails) {
   EXPECT_FALSE(CorpusWriter::AppendTo(path.get()).ok());
 }
 
-// An interrupted append (writer destroyed before Finish) must leave the
-// original bundle byte-identical and readable — the mutation only ever
-// lands via the final rename.
+// An interrupted append (writer destroyed before Finish) must never
+// publish the partial entries. The rewrite mode leaves the original
+// byte-identical (its temp file never renames in); the in-place mode is
+// deliberately crash-equivalent — nothing is truncated (the file must
+// not shrink under concurrent readers), so the staged bytes remain as an
+// unpublished torn tail the recovery path scans past.
 TEST(CorpusLifecycleTest, InterruptedAppendLeavesOriginalIntact) {
-  ScopedPath path("appendinterrupt");
+  // Rewrite mode: byte-identical rollback.
+  {
+    ScopedPath path("appendinterruptrw");
+    {
+      CorpusWriter writer(path.get());
+      ASSERT_TRUE(writer.Begin().ok());
+      ASSERT_TRUE(writer.Add("keep", MakeSyntheticRecording(200)).ok());
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    const std::vector<uint8_t> before = ReadFileBytes(path.get());
+    {
+      auto writer = CorpusWriter::AppendTo(path.get(), RewriteMode());
+      ASSERT_TRUE(writer.ok()) << writer.status();
+      ASSERT_TRUE((*writer)->Add("lost", MakeSyntheticRecording(300)).ok());
+      // No Finish: destructor discards the temp file.
+    }
+    EXPECT_EQ(ReadFileBytes(path.get()), before);
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    ASSERT_EQ(corpus->entries().size(), 1u);
+    EXPECT_FALSE(corpus->journaled());
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+  }
+
+  // In-place mode: crash-equivalent — the staged generation is never
+  // published, the original entries stay fully readable, and the torn
+  // bytes are accounted dead until the next append overwrites them.
+  {
+    ScopedPath path("appendinterruptip");
+    {
+      CorpusWriter writer(path.get());
+      ASSERT_TRUE(writer.Begin().ok());
+      ASSERT_TRUE(writer.Add("keep", MakeSyntheticRecording(200)).ok());
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    const uint64_t before_size = FileSizeBytes(path.get());
+    {
+      auto writer = CorpusWriter::AppendTo(path.get());
+      ASSERT_TRUE(writer.ok()) << writer.status();
+      ASSERT_TRUE((*writer)->Add("lost", MakeSyntheticRecording(300)).ok());
+      // No Finish: no trailer was written, so nothing is published.
+    }
+    EXPECT_GE(FileSizeBytes(path.get()), before_size);  // never shrinks
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    ASSERT_EQ(corpus->entries().size(), 1u);
+    EXPECT_EQ(corpus->Find("lost"), nullptr);
+    EXPECT_EQ(corpus->generation(), 1u);
+    EXPECT_GT(corpus->dead_bytes(), 0u);  // the torn staged bytes
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+
+    // A later append overwrites the torn bytes and publishes normally.
+    {
+      auto writer = CorpusWriter::AppendTo(path.get());
+      ASSERT_TRUE(writer.ok()) << writer.status();
+      ASSERT_TRUE((*writer)->Add("next", MakeSyntheticRecording(100)).ok());
+      ASSERT_TRUE((*writer)->Finish().ok());
+    }
+    ASSERT_TRUE(corpus->Reopen().ok());
+    ASSERT_EQ(corpus->entries().size(), 2u);
+    EXPECT_EQ(corpus->generation(), 2u);
+    EXPECT_NE(corpus->Find("next"), nullptr);
+    EXPECT_EQ(corpus->Find("lost"), nullptr);
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+  }
+}
+
+// ------------------------------------------- In-place journal appends
+
+// The O(delta) acceptance property, asserted on sink byte accounting: an
+// in-place append to an N-entry bundle writes the new images + one index
+// + one trailer (+ the 4-byte header version flip) — never a copy of the
+// existing bytes — so the cost is flat in the size of the base bundle.
+TEST(CorpusJournalTest, InPlaceAppendWritesOnlyTheDelta) {
+  TraceWriteOptions options;
+  options.events_per_chunk = 128;
+
+  ScopedPath small_base("journalsmall");
+  ScopedPath big_base("journalbig");
+  const auto build = [&](const std::string& path, size_t entries) {
+    CorpusWriter writer(path);
+    ASSERT_TRUE(writer.Begin().ok());
+    for (size_t i = 0; i < entries; ++i) {
+      ASSERT_TRUE(writer
+                      .Add("base/" + std::to_string(i),
+                           MakeSyntheticRecording(3000, i + 1), options)
+                      .ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  };
+  build(small_base.get(), 2);
+  build(big_base.get(), 12);
+
+  const auto append_one = [&](const std::string& path) -> uint64_t {
+    auto writer = CorpusWriter::AppendTo(path);
+    EXPECT_TRUE(writer.ok()) << writer.status();
+    EXPECT_TRUE((*writer)
+                    ->Add("appended/one", MakeSyntheticRecording(50, 99),
+                          options)
+                    .ok());
+    EXPECT_TRUE((*writer)->Finish().ok());
+    return (*writer)->bytes_written();
+  };
+
+  const uint64_t small_before = FileSizeBytes(small_base.get());
+  auto small_pre = CorpusReader::Open(small_base.get());
+  ASSERT_TRUE(small_pre.ok()) << small_pre.status();
+  const uint64_t small_old_index = small_pre->index_offset();
+  const uint64_t small_written = append_one(small_base.get());
+  EXPECT_EQ(small_written,
+            FileSizeBytes(small_base.get()) - small_before + 4);
+
+  const uint64_t big_before = FileSizeBytes(big_base.get());
+  const uint64_t big_written = append_one(big_base.get());
+  // Bytes written are exactly the on-disk delta plus the header flip...
+  EXPECT_EQ(big_written, FileSizeBytes(big_base.get()) - big_before + 4);
+  // ...and flat in the base size: the 6x-larger base pays only its
+  // longer index re-list, not a copy of its images.
+  EXPECT_GT(big_before, 4 * small_before);
+  EXPECT_LT(big_written, big_before / 4);
+  EXPECT_LT(big_written, small_written + 2048);
+
+  for (IoBackend backend : kAllBackends) {
+    auto corpus =
+        CorpusReader::Open(big_base.get(), WithBackend(backend, 1 << 20));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_TRUE(corpus->journaled());
+    EXPECT_EQ(corpus->generation(), 2u);
+    ASSERT_EQ(corpus->entries().size(), 13u);
+    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+    auto loaded = corpus->LoadRecording("appended/one");
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->log.size(), 50u);
+  }
+
+  // Dead bytes are exactly the superseded generation-1 index + trailer.
+  auto small_after = CorpusReader::Open(small_base.get());
+  ASSERT_TRUE(small_after.ok()) << small_after.status();
+  EXPECT_EQ(small_after->dead_bytes(), small_before - small_old_index);
+}
+
+// Repeated in-place appends chain generations; every generation's
+// entries stay readable, dead bytes grow only by superseded indexes, and
+// duplicate-name detection spans the whole chain.
+TEST(CorpusJournalTest, SequentialAppendsChainGenerations) {
+  ScopedPath path("journalchain");
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
   {
     CorpusWriter writer(path.get());
     ASSERT_TRUE(writer.Begin().ok());
-    ASSERT_TRUE(writer.Add("keep", MakeSyntheticRecording(200)).ok());
+    ASSERT_TRUE(
+        writer.Add("gen1/a", MakeSyntheticRecording(300, 1), options).ok());
     ASSERT_TRUE(writer.Finish().ok());
   }
-  const std::vector<uint8_t> before = ReadFileBytes(path.get());
+  uint64_t last_dead = 0;
+  for (uint32_t gen = 2; gen <= 4; ++gen) {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)
+                    ->Add("gen" + std::to_string(gen) + "/a",
+                          MakeSyntheticRecording(200 + gen * 10, gen), options)
+                    .ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_EQ(corpus->generation(), gen);
+    EXPECT_EQ(corpus->entries().size(), gen);
+    EXPECT_GT(corpus->dead_bytes(), last_dead);
+    last_dead = corpus->dead_bytes();
+    EXPECT_EQ(corpus->tail_offset(), corpus->file_size());
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+  }
+  auto writer = CorpusWriter::AppendTo(path.get());
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ((*writer)->Add("gen2/a", MakeSyntheticRecording(10)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// Crash-mid-append simulation: any prefix of a generation-3 bundle that
+// still covers generation 2 recovers to generation 2's entries (the
+// previous trailer stays reachable past the torn tail) on every backend;
+// the full file serves generation 3; and the next append writes the new
+// generation over the garbage — never truncating — before chaining on.
+TEST(CorpusJournalTest, TornTailRecoversPreviousGeneration) {
+  ScopedPath path("journaltorn");
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", MakeSyntheticRecording(400, 1), options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
   {
     auto writer = CorpusWriter::AppendTo(path.get());
     ASSERT_TRUE(writer.ok()) << writer.status();
-    ASSERT_TRUE((*writer)->Add("lost", MakeSyntheticRecording(300)).ok());
-    // No Finish: destructor discards the temp file.
+    ASSERT_TRUE((*writer)->Add("b", MakeSyntheticRecording(500, 2), options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
   }
-  EXPECT_EQ(ReadFileBytes(path.get()), before);
+  const std::vector<uint8_t> gen2 = ReadFileBytes(path.get());
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c", MakeSyntheticRecording(600, 3), options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  const std::vector<uint8_t> gen3 = ReadFileBytes(path.get());
+  ASSERT_GT(gen3.size(), gen2.size());
+
+  const size_t step = std::max<size_t>(1, (gen3.size() - gen2.size()) / 9);
+  for (size_t keep = gen2.size(); keep < gen3.size(); keep += step) {
+    WriteFileBytes(path.get(),
+                   std::vector<uint8_t>(gen3.begin(), gen3.begin() + keep));
+    for (IoBackend backend : kAllBackends) {
+      auto corpus = CorpusReader::Open(path.get(), WithBackend(backend, 0));
+      ASSERT_TRUE(corpus.ok())
+          << corpus.status() << " keep " << keep << " " << IoBackendName(backend);
+      EXPECT_EQ(corpus->generation(), 2u) << "keep " << keep;
+      ASSERT_EQ(corpus->entries().size(), 2u);
+      EXPECT_EQ(corpus->Find("c"), nullptr);
+      // The torn tail is accounted as dead bytes past the live trailer.
+      EXPECT_EQ(corpus->file_size() - corpus->tail_offset(),
+                keep - gen2.size());
+      EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+    }
+  }
+  // The complete file serves generation 3.
+  WriteFileBytes(path.get(), gen3);
+  {
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_EQ(corpus->generation(), 3u);
+    EXPECT_EQ(corpus->entries().size(), 3u);
+  }
+
+  // Appending onto a torn file writes the new generation over the
+  // garbage — the file is never truncated (shrinking it could SIGBUS a
+  // concurrent mmap reader scanning the tail), so whatever torn bytes
+  // extend past the new trailer stay accounted as dead until a compact.
+  WriteFileBytes(path.get(), std::vector<uint8_t>(
+                                 gen3.begin(), gen3.begin() + gen2.size() +
+                                                   (gen3.size() - gen2.size()) / 2));
+  const uint64_t torn_size = FileSizeBytes(path.get());
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c2", MakeSyntheticRecording(120, 7), options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
   auto corpus = CorpusReader::Open(path.get());
   ASSERT_TRUE(corpus.ok()) << corpus.status();
-  ASSERT_EQ(corpus->entries().size(), 1u);
+  EXPECT_EQ(corpus->generation(), 3u);
+  EXPECT_GE(corpus->file_size(), torn_size);  // never shrank
+  ASSERT_EQ(corpus->entries().size(), 3u);
+  EXPECT_NE(corpus->Find("c2"), nullptr);
+  EXPECT_EQ(corpus->Find("c"), nullptr);
   EXPECT_TRUE(corpus->VerifyAll().ok());
+
+  // Compact reclaims everything: leftover torn bytes and superseded
+  // index generations alike.
+  auto squashed = CompactCorpus(path.get(), {});
+  ASSERT_TRUE(squashed.ok()) << squashed.status();
+  auto compacted = CorpusReader::Open(path.get());
+  ASSERT_TRUE(compacted.ok()) << compacted.status();
+  EXPECT_EQ(compacted->dead_bytes(), 0u);
+  EXPECT_EQ(compacted->tail_offset(), compacted->file_size());
+  EXPECT_TRUE(compacted->VerifyAll().ok());
+}
+
+// A crash after the header version flip but before any appended byte
+// leaves a v2 header over a v1 body: the journal recovery path serves it
+// (generation 1, zero dead bytes) and the next append chains normally.
+TEST(CorpusJournalTest, HeaderFlipAloneStaysReadable) {
+  ScopedPath path("journalflip");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("only", MakeSyntheticRecording(300, 1)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path.get());
+  bytes[4] = 2;  // the little-endian version field
+  WriteFileBytes(path.get(), bytes);
+
+  for (IoBackend backend : kAllBackends) {
+    auto corpus = CorpusReader::Open(path.get(), WithBackend(backend, 0));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_TRUE(corpus->journaled());
+    EXPECT_EQ(corpus->generation(), 1u);
+    EXPECT_EQ(corpus->dead_bytes(), 0u);
+    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+  }
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("second", MakeSyntheticRecording(100, 2)).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus->generation(), 2u);
+  ASSERT_EQ(corpus->entries().size(), 2u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+// In-place appends are single-writer: a second concurrent in-place
+// appender must fail loudly (racing journal writers would truncate and
+// interleave each other's bytes — corruption, not just a lost update),
+// and the lock releases when the writer finishes or is abandoned.
+TEST(CorpusJournalTest, ConcurrentInPlaceAppendersAreExcluded) {
+  ScopedPath path("journallock");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("base", MakeSyntheticRecording(200, 1)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto first = CorpusWriter::AppendTo(path.get());
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto second = CorpusWriter::AppendTo(path.get());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.status().message().find("lock"), std::string::npos)
+      << second.status().message();
+
+  // The first appender still works and commits normally...
+  ASSERT_TRUE((*first)->Add("locked", MakeSyntheticRecording(100, 2)).ok());
+  ASSERT_TRUE((*first)->Finish().ok());
+  first->reset();  // ...and releases the lock, so the next append runs.
+
+  auto third = CorpusWriter::AppendTo(path.get());
+  ASSERT_TRUE(third.ok()) << third.status();
+  ASSERT_TRUE((*third)->Add("after", MakeSyntheticRecording(100, 3)).ok());
+  ASSERT_TRUE((*third)->Finish().ok());
+
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus->entries().size(), 3u);
+  EXPECT_EQ(corpus->generation(), 3u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+}
+
+// Cross-version guard: logic that only understands the v1 single-trailer
+// layout must reject a journaled bundle with a clean unsupported-version
+// error, never a garbage decode — and a version-blind v1 trailer parse
+// cannot misfire either, because the journal trailer ends in a different
+// magic.
+TEST(CorpusJournalTest, V1SingleTrailerLogicRejectsJournaledBundles) {
+  ScopedPath path("journalcompat");
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", MakeSyntheticRecording(200, 1)).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("b", MakeSyntheticRecording(250, 2)).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  const std::vector<uint8_t> bytes = ReadFileBytes(path.get());
+
+  // The PR-4 era open sequence: header magic + version check expecting
+  // exactly kCorpusFormatVersion.
+  const auto open_v1_strict = [&]() -> Status {
+    Decoder header(bytes.data(), kCorpusHeaderBytes);
+    auto magic = header.GetFixed32();
+    EXPECT_TRUE(magic.ok());
+    EXPECT_EQ(*magic, kCorpusFileMagic);
+    auto version = header.GetFixed32();
+    EXPECT_TRUE(version.ok());
+    if (*version != kCorpusFormatVersion) {
+      return InvalidArgumentError(
+          StrPrintf("unsupported corpus format version %u", *version));
+    }
+    return OkStatus();
+  };
+  const Status rejected = open_v1_strict();
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("version 2"), std::string::npos)
+      << rejected.message();
+
+  // A version-ignoring v1 reader would parse the last 12 bytes as
+  // [index offset | magic]: the magic mismatch stops it before the bogus
+  // offset is ever used.
+  Decoder trailer(bytes.data() + bytes.size() - kCorpusTrailerBytes,
+                  kCorpusTrailerBytes);
+  ASSERT_TRUE(trailer.GetFixed64().ok());
+  auto trailer_magic = trailer.GetFixed32();
+  ASSERT_TRUE(trailer_magic.ok());
+  EXPECT_NE(*trailer_magic, kCorpusTrailerMagic);
+
+  // An unknown future version is a clean error from the real reader too.
+  std::vector<uint8_t> future = bytes;
+  future[4] = 9;
+  WriteFileBytes(path.get(), future);
+  auto opened = CorpusReader::Open(path.get());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().message().find("version"), std::string::npos);
+}
+
+// CompactCorpus is the explicit journal squash: compacting a journaled
+// bundle with an empty drop set produces the bit-identical file a
+// single-shot build of the same entries would — and rewrite-mode
+// AppendTo canonicalizes the same way while appending.
+TEST(CorpusJournalTest, CompactSquashesJournalToSingleShotBytes) {
+  const RecordedExecution r1 = MakeSyntheticRecording(400, 1);
+  const RecordedExecution r2 = MakeSyntheticRecording(500, 2);
+  const RecordedExecution r3 = MakeSyntheticRecording(300, 3);
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+
+  ScopedPath single("squashsingle");
+  {
+    CorpusWriter writer(single.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", r1, options).ok());
+    ASSERT_TRUE(writer.Add("b", r2, options).ok());
+    ASSERT_TRUE(writer.Add("c", r3, options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  const auto build_journaled = [&](const std::string& path) {
+    CorpusWriter writer(path);
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", r1, options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    auto append = CorpusWriter::AppendTo(path);
+    ASSERT_TRUE(append.ok()) << append.status();
+    ASSERT_TRUE((*append)->Add("b", r2, options).ok());
+    ASSERT_TRUE((*append)->Finish().ok());
+  };
+
+  ScopedPath journaled("squashjournal");
+  build_journaled(journaled.get());
+  {
+    auto writer = CorpusWriter::AppendTo(journaled.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c", r3, options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  EXPECT_NE(ReadFileBytes(single.get()), ReadFileBytes(journaled.get()));
+
+  auto stats = CompactCorpus(journaled.get(), {});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->added, 3u);
+  EXPECT_EQ(stats->dropped, 0u);
+  EXPECT_EQ(ReadFileBytes(single.get()), ReadFileBytes(journaled.get()));
+  auto corpus = CorpusReader::Open(journaled.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_FALSE(corpus->journaled());
+  EXPECT_EQ(corpus->dead_bytes(), 0u);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
+
+  // Rewrite-mode append onto a journaled bundle canonicalizes too.
+  ScopedPath rewritten("squashrewrite");
+  build_journaled(rewritten.get());
+  {
+    auto writer = CorpusWriter::AppendTo(rewritten.get(), RewriteMode());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c", r3, options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  EXPECT_EQ(ReadFileBytes(single.get()), ReadFileBytes(rewritten.get()));
 }
 
 // Merging the split halves of a grid reproduces every embedded image of
@@ -742,6 +1209,145 @@ TEST(CorpusLifecycleTest, MergeCollisionPolicies) {
   EXPECT_FALSE(ParseNameCollisionPolicy("clobber").ok());
 }
 
+// `output` may equal one of the inputs on every backend: each input is
+// read through a handle opened before the output's temp-file rename, and
+// an open handle (mmap mapping, pread fd, buffered stream alike) keeps
+// serving the replaced inode's bytes, so a self-merge is an ordinary
+// atomic rewrite.
+TEST(CorpusLifecycleTest, MergeOutputMayEqualAnInput) {
+  for (IoBackend backend : kAllBackends) {
+    ScopedPath target("selfmerge_" +
+                      std::string(IoBackendName(backend)));
+    ScopedPath other("selfmergeother_" +
+                     std::string(IoBackendName(backend)));
+    {
+      CorpusWriter writer(target.get());
+      ASSERT_TRUE(writer.Begin().ok());
+      ASSERT_TRUE(writer.Add("x", MakeSyntheticRecording(200, 1)).ok());
+      ASSERT_TRUE(writer.Add("y", MakeSyntheticRecording(240, 2)).ok());
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    {
+      CorpusWriter writer(other.get());
+      ASSERT_TRUE(writer.Begin().ok());
+      ASSERT_TRUE(writer.Add("z", MakeSyntheticRecording(180, 3)).ok());
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    const std::vector<uint8_t> target_before = ReadFileBytes(target.get());
+    const std::vector<uint8_t> other_before = ReadFileBytes(other.get());
+    auto target_pre = CorpusReader::Open(target.get());
+    ASSERT_TRUE(target_pre.ok());
+    auto other_pre = CorpusReader::Open(other.get());
+    ASSERT_TRUE(other_pre.ok());
+    const CorpusEntry x_before = *target_pre->Find("x");
+    const CorpusEntry z_before = *other_pre->Find("z");
+
+    MergeCorporaOptions options;
+    options.io.backend = backend;
+    auto stats =
+        MergeCorpora({target.get(), other.get()}, target.get(), options);
+    ASSERT_TRUE(stats.ok()) << IoBackendName(backend) << ": "
+                            << stats.status();
+    EXPECT_EQ(stats->added, 3u);
+
+    auto merged = CorpusReader::Open(target.get());
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    ASSERT_EQ(merged->entries().size(), 3u);
+    EXPECT_TRUE(merged->VerifyAll().ok()) << IoBackendName(backend);
+    const std::vector<uint8_t> merged_bytes = ReadFileBytes(target.get());
+    EXPECT_EQ(SliceImage(merged_bytes, *merged->Find("x")),
+              SliceImage(target_before, x_before));
+    EXPECT_EQ(SliceImage(merged_bytes, *merged->Find("z")),
+              SliceImage(other_before, z_before));
+
+    // A failing self-merge (collision under kFail against a bundle that
+    // re-lists "x") leaves the input byte-identical: the temp file never
+    // renames in.
+    ScopedPath clash("selfmergeclash_" +
+                     std::string(IoBackendName(backend)));
+    {
+      CorpusWriter writer(clash.get());
+      ASSERT_TRUE(writer.Begin().ok());
+      ASSERT_TRUE(writer.Add("x", MakeSyntheticRecording(90, 4)).ok());
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    auto failed =
+        MergeCorpora({target.get(), clash.get()}, target.get(), options);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kAlreadyExists);
+    EXPECT_EQ(ReadFileBytes(target.get()), merged_bytes);
+  }
+}
+
+// Rename-suffix targets are computed against the full name set of all
+// inputs, so the final name set is identical whatever the input order —
+// a later input literally named "foo~2" keeps its name and an earlier
+// collision renames past it (the order-dependent bug gave "foo~2~2" in
+// one order and "foo~3" in the other).
+TEST(CorpusLifecycleTest, RenameSuffixStableAcrossInputOrder) {
+  ScopedPath a("suffixa");
+  ScopedPath b("suffixb");
+  ScopedPath c("suffixc");
+  const RecordedExecution ra = MakeSyntheticRecording(110, 1);
+  const RecordedExecution rb = MakeSyntheticRecording(130, 2);
+  const RecordedExecution rc = MakeSyntheticRecording(150, 3);
+  const auto build_one = [](const std::string& path, const std::string& name,
+                            const RecordedExecution& recording) {
+    CorpusWriter writer(path);
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add(name, recording).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  };
+  build_one(a.get(), "foo", ra);
+  build_one(b.get(), "foo", rb);
+  build_one(c.get(), "foo~2", rc);
+
+  MergeCorporaOptions options;
+  options.on_collision = NameCollisionPolicy::kRenameSuffix;
+
+  const auto merged_names = [&](const std::vector<std::string>& inputs,
+                                const std::string& output) {
+    auto stats = MergeCorpora(inputs, output, options);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->renamed, 1u);
+    auto corpus = CorpusReader::Open(output);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    std::vector<std::string> names;
+    for (const CorpusEntry& entry : corpus->entries()) {
+      names.push_back(entry.name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+
+  ScopedPath out1("suffixout1");
+  ScopedPath out2("suffixout2");
+  const std::vector<std::string> names1 =
+      merged_names({a.get(), b.get(), c.get()}, out1.get());
+  const std::vector<std::string> names2 =
+      merged_names({a.get(), c.get(), b.get()}, out2.get());
+  EXPECT_EQ(names1, names2);
+  EXPECT_EQ(names1,
+            (std::vector<std::string>{"foo", "foo~2", "foo~3"}));
+
+  // The literal "foo~2" keeps its own image; the colliding "foo" from
+  // input b landed as "foo~3" — in both orders.
+  for (const std::string& out : {out1.get(), out2.get()}) {
+    auto corpus = CorpusReader::Open(out);
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_TRUE(corpus->VerifyAll().ok());
+    const std::vector<uint8_t> out_bytes = ReadFileBytes(out);
+    auto b_corpus = CorpusReader::Open(b.get());
+    auto c_corpus = CorpusReader::Open(c.get());
+    ASSERT_TRUE(b_corpus.ok());
+    ASSERT_TRUE(c_corpus.ok());
+    EXPECT_EQ(SliceImage(out_bytes, *corpus->Find("foo~2")),
+              SliceImage(ReadFileBytes(c.get()), *c_corpus->Find("foo~2")));
+    EXPECT_EQ(SliceImage(out_bytes, *corpus->Find("foo~3")),
+              SliceImage(ReadFileBytes(b.get()), *b_corpus->Find("foo")));
+  }
+}
+
 TEST(CorpusLifecycleTest, CompactDropsEntriesAndSurvivorsVerify) {
   ScopedPath path("compact");
   {
@@ -811,13 +1417,16 @@ TEST(CorpusLifecycleTest, ReopenPicksUpGrownIndex) {
     ASSERT_TRUE((*writer)->Finish().ok());
   }
 
-  // Pre-append reader: old index, old bytes, still fully verifiable.
+  // Pre-append reader: old index, old bytes, still fully verifiable (the
+  // in-place append only adds bytes past the trailer the old index knew).
   EXPECT_EQ(corpus->entries().size(), 1u);
   EXPECT_TRUE(corpus->VerifyAll().ok());
   EXPECT_EQ(corpus->Find("new"), nullptr);
 
   ASSERT_TRUE(corpus->Reopen().ok());
   ASSERT_EQ(corpus->entries().size(), 2u);
+  EXPECT_TRUE(corpus->journaled());
+  EXPECT_EQ(corpus->generation(), 2u);
   EXPECT_NE(corpus->Find("new"), nullptr);
   EXPECT_TRUE(corpus->VerifyAll().ok());
   auto loaded = corpus->LoadRecording("new");
@@ -825,10 +1434,10 @@ TEST(CorpusLifecycleTest, ReopenPicksUpGrownIndex) {
   EXPECT_EQ(loaded->log.size(), 400u);
 }
 
-// 8 reader threads hammer a shared CorpusReader while an append rewrites
-// the bundle underneath them: every read stays consistent with the old
-// index (no torn reads, no partial entries), and a Reopen afterwards
-// serves the appended bundle.
+// 8 reader threads hammer a shared CorpusReader while an in-place append
+// grows the bundle underneath them: every read stays consistent with the
+// old index (the journal append never touches a byte the old index
+// points at), and a Reopen afterwards serves the appended bundle.
 TEST(CorpusLifecycleTest, ConcurrentReadersSurviveAppendThenReopen) {
   ScopedPath path("appendrace");
   constexpr size_t kOldEntries = 4;
@@ -879,8 +1488,8 @@ TEST(CorpusLifecycleTest, ConcurrentReadersSurviveAppendThenReopen) {
       });
     }
 
-    // Append (and rename the file out from under the readers) while they
-    // run. A fresh name per backend round keeps duplicate checks happy.
+    // Append in place while the readers run. A fresh name per backend
+    // round keeps duplicate checks happy.
     const std::string appended =
         "race/" + std::string(IoBackendName(backend));
     {
@@ -1186,6 +1795,14 @@ TEST(BatchRunnerTest, ResumeAppendsOnlyMissingCells) {
     ASSERT_TRUE(report.ok()) << report.status();
     // Each pass runs exactly the new model's cells (2 scenarios x 1).
     EXPECT_EQ(report->cells.size(), 2u) << "pass " << pass;
+    EXPECT_GT(report->corpus_bytes_written, 0u) << "pass " << pass;
+    if (pass > 1) {
+      // The in-place resume wrote only the new cells + index, never a
+      // copy of the whole bundle.
+      EXPECT_LT(report->corpus_bytes_written,
+                FileSizeBytes(grown_path.get()))
+          << "pass " << pass;
+    }
     ran += report->cells.size();
   }
   EXPECT_EQ(ran, 6u);
@@ -1207,6 +1824,9 @@ TEST(BatchRunnerTest, ResumeAppendsOnlyMissingCells) {
   auto corpus = CorpusReader::Open(grown_path.get());
   ASSERT_TRUE(corpus.ok()) << corpus.status();
   ASSERT_EQ(corpus->entries().size(), 6u);
+  // Two resume passes journaled two generations onto the base build.
+  EXPECT_TRUE(corpus->journaled());
+  EXPECT_EQ(corpus->generation(), 3u);
   EXPECT_TRUE(corpus->VerifyAll().ok());
 
   // The grown bundle replays to the same deterministic rows as the

@@ -51,10 +51,50 @@
 #include "src/trace/corpus.h"
 #include "src/trace/trace_reader.h"
 #include "src/trace/trace_store.h"
+#include "src/util/cli_flags.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
 namespace {
+
+// ------------------------------------------------------------ flag tables
+//
+// Every (sub)command declares its full flag vocabulary here and runs the
+// argument vector through RequireKnownFlags before doing anything else,
+// so a typo'd flag is a loud usage error on every command — `corpus
+// merge` used to be the only one that checked.
+
+constexpr CliFlag kReadFlags[] = {{"--io", true}, {"--cache-mb", true}};
+constexpr CliFlag kDumpFlags[] = {{"--io", true},
+                                  {"--cache-mb", true},
+                                  {"--from", true},
+                                  {"--count", true}};
+constexpr CliFlag kReplayFlags[] = {{"--io", true},
+                                    {"--cache-mb", true},
+                                    {"--target", true}};
+constexpr CliFlag kRecordFlags[] = {{"--model", true},
+                                    {"--chunk", true},
+                                    {"--ckpt", true},
+                                    {"--delta", false}};
+constexpr CliFlag kCorpusBuildFlags[] = {
+    {"--scenarios", true}, {"--models", true},   {"--threads", true},
+    {"--chunk", true},     {"--ckpt", true},     {"--delta", false},
+    {"--report", true},    {"--io", true},       {"--cache-mb", true}};
+constexpr CliFlag kCorpusAppendFlags[] = {
+    {"--scenarios", true}, {"--models", true},   {"--threads", true},
+    {"--chunk", true},     {"--ckpt", true},     {"--delta", false},
+    {"--report", true},    {"--io", true},       {"--cache-mb", true},
+    {"--in-place", false}, {"--rewrite", false}};
+constexpr CliFlag kCorpusReplayFlags[] = {{"--threads", true},
+                                          {"--report", true},
+                                          {"--io", true},
+                                          {"--cache-mb", true}};
+constexpr CliFlag kCorpusMergeFlags[] = {{"--on-collision", true},
+                                         {"--io", true},
+                                         {"--cache-mb", true}};
+constexpr CliFlag kCorpusCompactFlags[] = {{"--drop", true},
+                                           {"--io", true},
+                                           {"--cache-mb", true}};
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -71,11 +111,16 @@ void PrintUsage() {
                "  corpus info   <file>\n"
                "  corpus verify <file>\n"
                "  corpus replay <file> [--threads N] [--report path]\n"
-               "  corpus append <file> [build flags]   record + append only "
-               "missing cells\n"
+               "  corpus append <file> [build flags] [--in-place|--rewrite]\n"
+               "                record + append only missing cells; --in-place"
+               " (default)\n"
+               "                journals O(delta) bytes, --rewrite rebuilds "
+               "the canonical file\n"
                "  corpus merge  <out> <in>... [--on-collision "
                "fail|skip|rename-suffix]\n"
-               "  corpus compact <file> --drop name1,name2\n"
+               "  corpus compact <file> [--drop name1,name2]\n"
+               "                drop entries and/or squash a journaled bundle "
+               "to canonical form\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n"
@@ -87,19 +132,20 @@ void PrintUsage() {
                "(default: DDR_CACHE_MB or 64)\n");
 }
 
+// Enforces a command's flag table; a typo'd or unsupported flag is a
+// usage error, never a silent no-op.
+void RequireKnownFlags(int argc, char** argv, std::span<const CliFlag> known) {
+  const Status checked = CheckKnownFlags(argc, argv, /*start=*/2, known);
+  if (!checked.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", checked.ToString().c_str());
+    PrintUsage();
+    std::exit(1);
+  }
+}
+
 // Flag values accept both "--flag value" and "--flag=value".
 const char* FlagValue(int argc, char** argv, const char* flag) {
-  const size_t flag_len = std::strlen(flag);
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      return argv[i + 1];
-    }
-    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-        argv[i][flag_len] == '=') {
-      return argv[i] + flag_len + 1;
-    }
-  }
-  return nullptr;
+  return CliFlagValue(argc, argv, /*start=*/2, flag);
 }
 
 uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
@@ -107,26 +153,16 @@ uint64_t ParseFlag(int argc, char** argv, const char* flag, uint64_t fallback) {
   if (text == nullptr) {
     return fallback;
   }
-  char* end = nullptr;
-  errno = 0;
-  const uint64_t value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
+  auto value = ParseCliUint64(text);
+  if (!value.ok()) {
     std::fprintf(stderr, "ddr-trace: invalid value '%s' for %s\n", text, flag);
     std::exit(1);
   }
-  return value;
+  return *value;
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {
-  const size_t flag_len = std::strlen(flag);
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0 ||
-        (std::strncmp(argv[i], flag, flag_len) == 0 &&
-         argv[i][flag_len] == '=')) {
-      return true;
-    }
-  }
-  return false;
+  return HasCliFlag(argc, argv, /*start=*/2, flag);
 }
 
 const char* ParseStringFlag(int argc, char** argv, const char* flag,
@@ -501,6 +537,15 @@ int CorpusBuild(const std::string& path, bool append, int argc, char** argv) {
     // commands (append decodes nothing, so it has no cache to size).
     options.resume_io = IoOptionsFromFlags(argc, argv);
     ParseCacheBytesFlag(argc, argv);
+    const bool in_place = HasFlag(argc, argv, "--in-place");
+    const bool rewrite = HasFlag(argc, argv, "--rewrite");
+    if (in_place && rewrite) {
+      std::fprintf(stderr,
+                   "ddr-trace: --in-place and --rewrite are exclusive\n");
+      return 1;
+    }
+    options.resume_mode =
+        rewrite ? CorpusAppendMode::kRewrite : CorpusAppendMode::kInPlace;
   }
   options.trace_options.events_per_chunk = ParseFlag(argc, argv, "--chunk", 512);
   options.trace_options.checkpoint_interval = ParseFlag(argc, argv, "--ckpt", 256);
@@ -514,55 +559,21 @@ int CorpusBuild(const std::string& path, bool append, int argc, char** argv) {
     return 2;
   }
   PrintBatchCells(*report);
-  std::printf("%s %s: %zu recordings%s\n", append ? "appended to" : "built",
-              path.c_str(), report->cells.size(),
+  std::printf("%s %s: %zu recordings, %llu bytes written%s\n",
+              append ? "appended to" : "built", path.c_str(),
+              report->cells.size(),
+              static_cast<unsigned long long>(report->corpus_bytes_written),
               append && report->cells.empty() ? " (nothing missing)" : "");
   return WriteReportIfRequested(*report, argc, argv);
 }
 
-// Positional arguments after `corpus merge <out>`: every token that is
-// not a flag (or a flag's value) is an input bundle path — an input
-// after `--io mmap` still merges, and an unrecognized flag is a loud
-// usage error, never a silently dropped bundle.
-Result<std::vector<std::string>> MergeInputs(int argc, char** argv) {
-  static const char* kValueFlags[] = {"--on-collision", "--io", "--cache-mb"};
-  std::vector<std::string> inputs;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      inputs.push_back(argv[i]);
-      continue;
-    }
-    bool known = false;
-    for (const char* flag : kValueFlags) {
-      const size_t flag_len = std::strlen(flag);
-      if (std::strcmp(argv[i], flag) == 0) {
-        known = true;
-        ++i;  // the flag's value
-        break;
-      }
-      if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-          argv[i][flag_len] == '=') {
-        known = true;
-        break;
-      }
-    }
-    if (!known) {
-      return InvalidArgumentError(std::string("unknown corpus merge flag '") +
-                                  argv[i] + "'");
-    }
-  }
-  return inputs;
-}
-
 int CorpusMerge(const std::string& output, int argc, char** argv) {
-  auto inputs_or = MergeInputs(argc, argv);
-  if (!inputs_or.ok()) {
-    std::fprintf(stderr, "ddr-trace: %s\n",
-                 inputs_or.status().ToString().c_str());
-    PrintUsage();
-    return 1;
-  }
-  const std::vector<std::string>& inputs = *inputs_or;
+  // Positional arguments after `corpus merge <out>`: every token that is
+  // not a flag (or a flag's value) is an input bundle path — an input
+  // after `--io mmap` still merges (RequireKnownFlags already rejected
+  // anything unrecognized, so a typo can never be silently dropped).
+  const std::vector<std::string> inputs =
+      PositionalArgs(argc, argv, /*start=*/4, kCorpusMergeFlags);
   if (inputs.empty()) {
     std::fprintf(stderr,
                  "ddr-trace: corpus merge needs at least one input bundle\n");
@@ -594,17 +605,15 @@ int CorpusMerge(const std::string& output, int argc, char** argv) {
 }
 
 int CorpusCompact(const std::string& path, int argc, char** argv) {
-  const char* drop_list = ParseStringFlag(argc, argv, "--drop", nullptr);
-  if (drop_list == nullptr) {
-    std::fprintf(stderr,
-                 "ddr-trace: corpus compact requires --drop name1,name2\n");
-    PrintUsage();
-    return 1;
-  }
-  const std::vector<std::string> drop = SplitCommaList(drop_list);
-  if (drop.empty()) {
-    std::fprintf(stderr, "ddr-trace: --drop names nothing to drop\n");
-    return 1;
+  // Without --drop, compact is the journal squash: rewrite the live
+  // entries into canonical single-shot form, reclaiming dead bytes.
+  std::vector<std::string> drop;
+  if (const char* drop_list = ParseStringFlag(argc, argv, "--drop", nullptr)) {
+    drop = SplitCommaList(drop_list);
+    if (drop.empty()) {
+      std::fprintf(stderr, "ddr-trace: --drop names nothing to drop\n");
+      return 1;
+    }
   }
   auto stats = CompactCorpus(path, drop, IoOptionsFromFlags(argc, argv));
   if (!stats.ok()) {
@@ -627,6 +636,17 @@ int CorpusInfo(const std::string& path, int argc, char** argv) {
               static_cast<unsigned long long>(corpus->file_size()));
   std::printf("io backend:        %s\n",
               std::string(IoBackendName(corpus->io_backend())).c_str());
+  std::printf("layout:            %s\n",
+              corpus->journaled() ? "journaled (v2)" : "single-shot (v1)");
+  std::printf("generations:       %u\n", corpus->generation());
+  std::printf("dead bytes:        %llu (%.1f%% of file%s)\n",
+              static_cast<unsigned long long>(corpus->dead_bytes()),
+              corpus->file_size() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(corpus->dead_bytes()) /
+                        static_cast<double>(corpus->file_size()),
+              corpus->dead_bytes() != 0 ? "; run 'corpus compact' to reclaim"
+                                        : "");
   std::printf("entries:           %zu\n", corpus->entries().size());
   std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario", "model",
               "events", "bytes");
@@ -682,24 +702,31 @@ int CorpusMain(int argc, char** argv) {
   const std::string subcommand = argv[2];
   const std::string path = argv[3];
   if (subcommand == "build") {
+    RequireKnownFlags(argc, argv, kCorpusBuildFlags);
     return CorpusBuild(path, /*append=*/false, argc, argv);
   }
   if (subcommand == "append") {
+    RequireKnownFlags(argc, argv, kCorpusAppendFlags);
     return CorpusBuild(path, /*append=*/true, argc, argv);
   }
   if (subcommand == "merge") {
+    RequireKnownFlags(argc, argv, kCorpusMergeFlags);
     return CorpusMerge(path, argc, argv);
   }
   if (subcommand == "compact") {
+    RequireKnownFlags(argc, argv, kCorpusCompactFlags);
     return CorpusCompact(path, argc, argv);
   }
   if (subcommand == "info") {
+    RequireKnownFlags(argc, argv, kReadFlags);
     return CorpusInfo(path, argc, argv);
   }
   if (subcommand == "verify") {
+    RequireKnownFlags(argc, argv, kReadFlags);
     return CorpusVerify(path, argc, argv);
   }
   if (subcommand == "replay") {
+    RequireKnownFlags(argc, argv, kCorpusReplayFlags);
     return CorpusReplay(path, argc, argv);
   }
   PrintUsage();
@@ -717,16 +744,20 @@ int Main(int argc, char** argv) {
   }
   const std::string path = argv[2];
   if (command == "info") {
+    RequireKnownFlags(argc, argv, kReadFlags);
     return Info(path, argc, argv);
   }
   if (command == "dump") {
+    RequireKnownFlags(argc, argv, kDumpFlags);
     return Dump(path, ParseFlag(argc, argv, "--from", 0),
                 ParseFlag(argc, argv, "--count", 0), argc, argv);
   }
   if (command == "verify") {
+    RequireKnownFlags(argc, argv, kReadFlags);
     return VerifyFile(path, argc, argv);
   }
   if (command == "replay") {
+    RequireKnownFlags(argc, argv, kReplayFlags);
     return ReplayFile(path, ParseFlag(argc, argv, "--target", 0),
                       HasFlag(argc, argv, "--target"), argc, argv);
   }
@@ -735,6 +766,7 @@ int Main(int argc, char** argv) {
       PrintUsage();
       return 1;
     }
+    RequireKnownFlags(argc, argv, kRecordFlags);
     return RecordScenario(/*scenario_name=*/argv[2], /*path=*/argv[3], argc,
                           argv);
   }
