@@ -16,6 +16,8 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "src/server/corpus_client.h"
+#include "src/server/corpus_server.h"
 #include "src/trace/corpus.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
@@ -416,6 +418,109 @@ void RunAppendScalingBench(BenchJsonWriter& json) {
   CHECK(rewrite_written[1] > base_sizes[1]);
 }
 
+// The daemon transport tax: N clients over a unix-domain socket each
+// verifying every entry (a full decode through the server's shared
+// cache) vs the identical workload done in-process on one shared
+// CorpusReader. Same work, same cache shape — the delta is framing +
+// socket hops + the admission queue.
+void RunServerBench(BenchJsonWriter& json) {
+  constexpr char kSocketPath[] = "micro_corpus_serve.tmp.sock";
+  constexpr int kRounds = 3;
+
+  std::vector<std::string> names;
+  {
+    auto probe = CorpusReader::Open(
+        kCorpusPath, Options(IoBackend::kMmap, uint64_t{256} << 20));
+    CHECK(probe.ok()) << probe.status();
+    for (const CorpusEntry& entry : probe->entries()) {
+      names.push_back(entry.name);
+    }
+  }
+
+  for (int client_count : {1, 2, 4, 8}) {
+    const uint64_t requests =
+        static_cast<uint64_t>(kRounds) * names.size() *
+        static_cast<uint64_t>(client_count);
+
+    // In-process baseline: the same verify workload on one shared reader.
+    auto direct = CorpusReader::Open(
+        kCorpusPath, Options(IoBackend::kMmap, uint64_t{256} << 20));
+    CHECK(direct.ok()) << direct.status();
+    const auto direct_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < client_count; ++t) {
+        threads.emplace_back([&]() {
+          for (int round = 0; round < kRounds; ++round) {
+            for (const CorpusEntry& entry : direct->entries()) {
+              auto trace = direct->OpenTrace(entry);
+              CHECK(trace.ok()) << trace.status();
+              CHECK(trace->Verify().ok());
+            }
+          }
+        });
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+    }
+    const double direct_seconds = Seconds(direct_start);
+
+    // Served: same requests through the daemon, one connection per client.
+    CorpusServerOptions options;
+    options.socket_path = kSocketPath;
+    options.workers = client_count;
+    options.queue_capacity = 64;
+    options.reader = Options(IoBackend::kMmap, uint64_t{256} << 20);
+    auto server = CorpusServer::Start(kCorpusPath, options);
+    CHECK(server.ok()) << server.status();
+    const auto socket_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < client_count; ++t) {
+        threads.emplace_back([&]() {
+          auto client = CorpusClient::ConnectUnixSocket(kSocketPath);
+          CHECK(client.ok()) << client.status();
+          for (int round = 0; round < kRounds; ++round) {
+            for (const std::string& name : names) {
+              auto verified = client->Verify(name);
+              CHECK(verified.ok()) << verified.status();
+            }
+          }
+        });
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+    }
+    const double socket_seconds = Seconds(socket_start);
+    const ServeStats stats = (*server)->Snapshot();
+    (*server)->RequestStop();
+    (*server)->Wait();
+
+    const double direct_rps = requests / direct_seconds;
+    const double socket_rps = requests / socket_seconds;
+    std::printf(
+        "server %d client(s): %8.1f req/s over unix socket vs %8.1f "
+        "in-process (tax %.2fx, hit rate %5.1f%%)\n",
+        client_count, socket_rps, direct_rps, socket_seconds / direct_seconds,
+        100.0 * stats.cache.hit_rate());
+
+    JsonLine line = json.Line();
+    line.Str("section", "server")
+        .Int("clients", static_cast<uint64_t>(client_count))
+        .Int("requests", requests)
+        .Num("direct_seconds", direct_seconds)
+        .Num("socket_seconds", socket_seconds)
+        .Num("direct_requests_per_sec", direct_rps)
+        .Num("socket_requests_per_sec", socket_rps)
+        .Num("transport_tax", socket_seconds / direct_seconds)
+        .Num("hit_rate", stats.cache.hit_rate())
+        .Int("bytes_served", stats.bytes_served);
+    json.Write(line);
+  }
+}
+
 void RunAll() {
   PrintBanner("micro: corpus serving — backends, chunk cache, concurrency");
   BenchJsonWriter json("micro_corpus_serve");
@@ -425,6 +530,7 @@ void RunAll() {
   RunConcurrencyBench(json);
   RunAppendBench(json);
   RunAppendScalingBench(json);
+  RunServerBench(json);
   std::remove(kCorpusPath);
 }
 

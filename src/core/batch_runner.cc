@@ -285,6 +285,78 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
   return ReplayCorpus(corpus_path, scenarios, options);
 }
 
+CorpusEntryScorer::CorpusEntryScorer(std::vector<BugScenario> scenarios)
+    : scenarios_(std::move(scenarios)) {
+  for (size_t i = 0; i < scenarios_.size(); ++i) {
+    index_[scenarios_[i].name] = i;
+  }
+}
+
+Result<std::shared_ptr<const ScenarioPrep>> CorpusEntryScorer::PrepFor(
+    size_t scenario_index) const {
+  // First caller for a scenario installs the future and computes outside
+  // the lock; everyone else (including concurrent callers of *other*
+  // scenarios, which compute their own preps in parallel) waits on the
+  // shared future. A failed prep is cached too: recomputing a
+  // deterministic failure per request would just be a slow way to fail.
+  std::shared_future<PrepResult> future;
+  std::promise<PrepResult> promise;
+  bool compute = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = preps_.find(scenario_index);
+    if (it == preps_.end()) {
+      compute = true;
+      future = promise.get_future().share();
+      preps_.emplace(scenario_index, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (compute) {
+    // Replaying never records, so the RCSE training artifacts are never
+    // consumed here — skip the training run regardless of entry models.
+    auto prep = ScenarioPrep::Compute(scenarios_[scenario_index],
+                                      /*include_training=*/false);
+    if (prep.ok()) {
+      promise.set_value(PrepResult{
+          OkStatus(), std::make_shared<const ScenarioPrep>(std::move(*prep))});
+    } else {
+      promise.set_value(PrepResult{prep.status(), nullptr});
+    }
+  }
+  const PrepResult& result = future.get();
+  RETURN_IF_ERROR(result.first);
+  return result.second;
+}
+
+Result<BatchCell> CorpusEntryScorer::ScoreEntry(
+    const CorpusReader& corpus, const CorpusEntry& entry,
+    const std::string& model_override) const {
+  auto it = index_.find(entry.scenario);
+  if (it == index_.end()) {
+    return NotFoundError("corpus entry '" + entry.name +
+                         "' names unknown scenario '" + entry.scenario + "'");
+  }
+  ASSIGN_OR_RETURN(
+      DeterminismModel model,
+      ParseDeterminismModel(model_override.empty() ? entry.model
+                                                   : model_override));
+  ASSIGN_OR_RETURN(std::shared_ptr<const ScenarioPrep> prep,
+                   PrepFor(it->second));
+  // A cheap per-entry TraceReader window onto the corpus's shared handle:
+  // no file open, and decoded chunks are shared through the corpus cache.
+  ASSIGN_OR_RETURN(TraceReader trace, corpus.OpenTrace(entry));
+  ASSIGN_OR_RETURN(RecordedExecution recording, trace.ReadRecordedExecution());
+  ExperimentHarness harness(scenarios_[it->second], prep);
+  BatchCell cell;
+  cell.scenario = entry.scenario;
+  cell.recording_name = entry.name;
+  cell.row = harness.ReplayAndScore(model, recording,
+                                    trace.metadata().original_wall_seconds);
+  return cell;
+}
+
 Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
                                  const std::vector<BugScenario>& scenarios,
                                  const ReplayCorpusOptions& options) {
@@ -292,77 +364,33 @@ Result<BatchReport> ReplayCorpus(const std::string& corpus_path,
   ASSIGN_OR_RETURN(CorpusReader corpus,
                    CorpusReader::Open(corpus_path, options.reader));
 
-  // Map each entry to its scenario; prepare each needed scenario once.
-  std::map<std::string, size_t> scenario_index;
-  for (size_t i = 0; i < scenarios.size(); ++i) {
-    scenario_index[scenarios[i].name] = i;
+  // Validate every entry's scenario before any prep runs: a stray entry
+  // must fail the pass upfront, not after minutes of seed search.
+  CorpusEntryScorer scorer(scenarios);
+  std::set<std::string> known;
+  for (const BugScenario& scenario : scenarios) {
+    known.insert(scenario.name);
   }
-  std::vector<size_t> entry_scenario(corpus.entries().size());
-  std::map<size_t, std::shared_ptr<const ScenarioPrep>> preps;
-  for (size_t e = 0; e < corpus.entries().size(); ++e) {
-    const CorpusEntry& entry = corpus.entries()[e];
-    auto it = scenario_index.find(entry.scenario);
-    if (it == scenario_index.end()) {
+  for (const CorpusEntry& entry : corpus.entries()) {
+    if (known.count(entry.scenario) == 0) {
       return NotFoundError("corpus entry '" + entry.name +
                            "' names unknown scenario '" + entry.scenario + "'");
     }
-    entry_scenario[e] = it->second;
-    preps.emplace(it->second, nullptr);
-  }
-  {
-    std::vector<size_t> needed;
-    for (const auto& [index, prep] : preps) {
-      needed.push_back(index);
-    }
-    std::vector<Status> prep_status(needed.size());
-    RunTasks(threads, needed.size(), [&](size_t i) {
-      // Replaying never records, so the RCSE training artifacts are never
-      // consumed here — skip the training run regardless of entry models.
-      auto prep = ScenarioPrep::Compute(scenarios[needed[i]],
-                                        /*include_training=*/false);
-      if (prep.ok()) {
-        preps.at(needed[i]) =
-            std::make_shared<const ScenarioPrep>(std::move(*prep));
-      } else {
-        prep_status[i] = prep.status();
-      }
-    });
-    for (const Status& status : prep_status) {
-      RETURN_IF_ERROR(status);
-    }
   }
 
-  // Score every entry from the bundle alone. Each worker takes a cheap
-  // per-entry TraceReader window onto the corpus's single shared handle:
-  // no per-task file opens, and decoded chunks are shared through the
-  // corpus cache across overlapping reads.
+  // Score every entry from the bundle alone. Preps build lazily inside
+  // the scorer — the first worker to hit each scenario computes it,
+  // workers on other scenarios compute theirs concurrently — and results
+  // land indexed by entry, so placement is interleaving-independent.
   std::vector<BatchCell> cells(corpus.entries().size());
   std::vector<Status> cell_status(corpus.entries().size());
   RunTasks(threads, corpus.entries().size(), [&](size_t e) {
-    const CorpusEntry& entry = corpus.entries()[e];
-    auto model = ParseDeterminismModel(entry.model);
-    if (!model.ok()) {
-      cell_status[e] = model.status();
-      return;
+    auto cell = scorer.ScoreEntry(corpus, corpus.entries()[e]);
+    if (cell.ok()) {
+      cells[e] = std::move(*cell);
+    } else {
+      cell_status[e] = cell.status();
     }
-    auto trace = corpus.OpenTrace(entry);
-    if (!trace.ok()) {
-      cell_status[e] = trace.status();
-      return;
-    }
-    auto recording = trace->ReadRecordedExecution();
-    if (!recording.ok()) {
-      cell_status[e] = recording.status();
-      return;
-    }
-    // .at(): the key set was fixed before the fan-out; an absent key is a
-    // bug, not a request to insert concurrently.
-    ExperimentHarness harness(scenarios[entry_scenario[e]],
-                              preps.at(entry_scenario[e]));
-    cells[e].scenario = entry.scenario;
-    cells[e].recording_name = entry.name;
-    cells[e].row = harness.ReplayAndScore(
-        *model, *recording, trace->metadata().original_wall_seconds);
   });
   for (const Status& status : cell_status) {
     RETURN_IF_ERROR(status);

@@ -21,6 +21,10 @@
 #ifndef SRC_CORE_BATCH_RUNNER_H_
 #define SRC_CORE_BATCH_RUNNER_H_
 
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,6 +109,43 @@ class BatchRunner {
  private:
   std::vector<BugScenario> scenarios_;
   BatchOptions options_;
+};
+
+// Scores individual corpus entries through the replay pipeline, sharing
+// one lazily-built ScenarioPrep per scenario across every call and every
+// thread. This is the per-request half of ReplayCorpus, split out so a
+// long-lived server can score entries one at a time — arriving on any
+// worker thread, against a reader that gets Reopen'd between calls —
+// while paying each scenario's seed search exactly once for the life of
+// the scorer. Results are bit-identical (RowSignature) to a ReplayCorpus
+// pass over the same bundle: same prep (include_training=false), same
+// window read path, same ReplayAndScore.
+class CorpusEntryScorer {
+ public:
+  explicit CorpusEntryScorer(std::vector<BugScenario> scenarios);
+
+  // Replays + scores one entry read through `corpus`'s shared handle.
+  // `model_override` empty = the entry's stamped model. Thread-safe; the
+  // first caller needing a scenario computes its prep, concurrent callers
+  // of the same scenario wait for that one computation.
+  Result<BatchCell> ScoreEntry(const CorpusReader& corpus,
+                               const CorpusEntry& entry,
+                               const std::string& model_override = {}) const;
+
+  const std::vector<BugScenario>& scenarios() const { return scenarios_; }
+
+ private:
+  // OK-status + prep pairs travel through shared_futures so a failed prep
+  // is also computed once and replayed to every waiter.
+  using PrepResult = std::pair<Status, std::shared_ptr<const ScenarioPrep>>;
+
+  Result<std::shared_ptr<const ScenarioPrep>> PrepFor(
+      size_t scenario_index) const;
+
+  std::vector<BugScenario> scenarios_;
+  std::map<std::string, size_t> index_;  // scenario name -> scenarios_ index
+  mutable std::mutex mu_;
+  mutable std::map<size_t, std::shared_future<PrepResult>> preps_;
 };
 
 struct ReplayCorpusOptions {

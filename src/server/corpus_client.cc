@@ -1,0 +1,83 @@
+#include "src/server/corpus_client.h"
+
+#include "src/util/codec.h"
+
+namespace ddr {
+
+Result<CorpusClient> CorpusClient::ConnectUnixSocket(const std::string& path) {
+  ASSIGN_OR_RETURN(Socket socket, ConnectUnix(path));
+  return CorpusClient(std::move(socket));
+}
+
+Result<CorpusClient> CorpusClient::ConnectTcpSocket(const std::string& host,
+                                                    uint16_t port) {
+  ASSIGN_OR_RETURN(Socket socket, ConnectTcp(host, port));
+  return CorpusClient(std::move(socket));
+}
+
+Result<std::vector<uint8_t>> CorpusClient::Call(const RpcRequest& request) {
+  RETURN_IF_ERROR(WriteFrame(socket_, EncodeRequest(request)));
+  ASSIGN_OR_RETURN(auto frame, ReadFrame(socket_));
+  if (!frame.has_value()) {
+    return UnavailableError("server closed the connection");
+  }
+  ASSIGN_OR_RETURN(RpcResponse response, DecodeResponse(*frame));
+  RETURN_IF_ERROR(response.ToStatus());
+  return std::move(response.payload);
+}
+
+Result<ServeInfo> CorpusClient::Info() {
+  RpcRequest request;
+  request.command = RpcCommand::kInfo;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  return DecodeServeInfo(payload);
+}
+
+Result<std::vector<ServeEntry>> CorpusClient::List() {
+  RpcRequest request;
+  request.command = RpcCommand::kList;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  return DecodeServeEntries(payload);
+}
+
+Result<uint64_t> CorpusClient::Verify(const std::string& name) {
+  RpcRequest request;
+  request.command = RpcCommand::kVerify;
+  request.name = name;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  Decoder decoder(payload.data(), payload.size());
+  ASSIGN_OR_RETURN(uint64_t verified, decoder.GetVarint64());
+  return verified;
+}
+
+Result<BatchCell> CorpusClient::Replay(const std::string& name,
+                                       const std::string& model) {
+  RpcRequest request;
+  request.command = RpcCommand::kReplay;
+  request.name = name;
+  request.model = model;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  return DecodeBatchCell(payload);
+}
+
+Result<ServeStats> CorpusClient::Stats() {
+  RpcRequest request;
+  request.command = RpcCommand::kStats;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  return DecodeServeStats(payload);
+}
+
+Result<ServeRefresh> CorpusClient::Refresh() {
+  RpcRequest request;
+  request.command = RpcCommand::kRefresh;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(request));
+  return DecodeServeRefresh(payload);
+}
+
+Status CorpusClient::Shutdown() {
+  RpcRequest request;
+  request.command = RpcCommand::kShutdown;
+  return Call(request).status();
+}
+
+}  // namespace ddr

@@ -1,0 +1,58 @@
+// CorpusClient: the library half of the serve/query protocol.
+//
+// One client owns one connection and speaks the synchronous
+// request/response protocol from protocol.h: each call sends one frame
+// and blocks for the answering frame. Server-side errors come back as
+// the server's Status verbatim (code + message), transport failures as
+// Unavailable — so `Unavailable: server overloaded ...` is what an
+// admission-queue rejection looks like from here. Concurrency is
+// per-connection: to issue requests in parallel, open more clients
+// (exactly what the lifecycle tests and the bench do).
+
+#ifndef SRC_SERVER_CORPUS_CLIENT_H_
+#define SRC_SERVER_CORPUS_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/util/socket.h"
+
+namespace ddr {
+
+class CorpusClient {
+ public:
+  static Result<CorpusClient> ConnectUnixSocket(const std::string& path);
+  // `host` numeric IPv4; pair with CorpusServer::tcp_port().
+  static Result<CorpusClient> ConnectTcpSocket(const std::string& host,
+                                               uint16_t port);
+
+  CorpusClient(CorpusClient&&) = default;
+  CorpusClient& operator=(CorpusClient&&) = default;
+
+  Result<ServeInfo> Info();
+  Result<std::vector<ServeEntry>> List();
+  // name "" = verify the whole bundle; returns entries verified.
+  Result<uint64_t> Verify(const std::string& name = {});
+  // The scored cell, bit-identical (RowSignature) to an in-process
+  // replay of the same entry. `model` empty = the entry's stamped model.
+  Result<BatchCell> Replay(const std::string& name,
+                           const std::string& model = {});
+  Result<ServeStats> Stats();
+  Result<ServeRefresh> Refresh();
+  // Acknowledged before the server starts draining.
+  Status Shutdown();
+
+ private:
+  explicit CorpusClient(Socket socket) : socket_(std::move(socket)) {}
+
+  // One round trip; returns the OK payload or the server's Status.
+  Result<std::vector<uint8_t>> Call(const RpcRequest& request);
+
+  Socket socket_;
+};
+
+}  // namespace ddr
+
+#endif  // SRC_SERVER_CORPUS_CLIENT_H_

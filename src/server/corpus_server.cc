@@ -1,0 +1,565 @@
+#include "src/server/corpus_server.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/apps/scenarios.h"
+#include "src/util/codec.h"
+#include "src/util/file_lock.h"
+#include "src/util/socket.h"
+#include "src/util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DDR_SERVER_HAVE_UNLINK 1
+#else
+#define DDR_SERVER_HAVE_UNLINK 0
+#endif
+
+namespace ddr {
+
+namespace {
+
+// One accepted client. The write mutex serializes response frames: a
+// worker finishing a queued request and the reader thread answering an
+// overload for the same client must never interleave bytes.
+struct Connection {
+  uint64_t id = 0;
+  Socket socket;
+  std::mutex write_mu;
+};
+
+struct Task {
+  std::shared_ptr<Connection> conn;
+  RpcRequest request;
+};
+
+enum class PushResult : uint8_t {
+  kAccepted = 0,
+  kFull = 1,    // bounded queue overflow -> loud Unavailable
+  kClosed = 2,  // server draining -> Unavailable, but not an overload
+};
+
+RpcResponse ErrorResponse(const Status& status) {
+  RpcResponse response;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+RpcResponse OkResponse(std::vector<uint8_t> payload = {}) {
+  RpcResponse response;
+  response.payload = std::move(payload);
+  return response;
+}
+
+}  // namespace
+
+struct CorpusServer::Impl {
+  std::string bundle_path;
+  CorpusServerOptions options;
+  uint16_t tcp_port = 0;  // resolved after a port-0 bind
+
+  Socket listener;
+  bool unix_endpoint = false;
+
+  // The one shared reader + cache. Requests execute under the shared
+  // side; Refresh swaps generations under the exclusive side (windows
+  // handed out before a Reopen stay valid, so in-flight requests only
+  // need to have *entered* under the old index, not to outlive the swap).
+  mutable std::shared_mutex reader_mu;
+  std::optional<CorpusReader> reader;
+
+  std::optional<CorpusEntryScorer> scorer;
+
+  // Bounded admission queue.
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Task> queue;
+  bool queue_closed = false;
+
+  // Connection registry (for drain wakeups) + reader threads.
+  std::mutex conn_mu;
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> conn_threads;
+  uint64_t next_conn_id = 1;
+
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  std::thread watcher;
+
+  std::atomic<bool> stop{false};
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  std::once_flag drain_once;
+
+  // Counters (see ServeStats).
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> requests_by_command[kRpcCommandCount] = {};
+  std::atomic<uint64_t> bytes_served{0};
+  std::atomic<uint64_t> overload_rejections{0};
+  std::atomic<uint64_t> refreshes{0};
+  std::atomic<uint64_t> generations_picked_up{0};
+  std::atomic<uint64_t> clients_total{0};
+  std::atomic<uint64_t> clients_active{0};
+
+  // --- queue ---------------------------------------------------------
+
+  PushResult TryPush(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      if (queue_closed) {
+        return PushResult::kClosed;
+      }
+      if (queue.size() >= std::max<size_t>(options.queue_capacity, 1)) {
+        return PushResult::kFull;
+      }
+      queue.push_back(std::move(task));
+    }
+    queue_cv.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  // Blocks for work; nullopt once the queue is closed and drained.
+  std::optional<Task> Pop() {
+    std::unique_lock<std::mutex> lock(queue_mu);
+    queue_cv.wait(lock, [&] { return !queue.empty() || queue_closed; });
+    if (queue.empty()) {
+      return std::nullopt;
+    }
+    Task task = std::move(queue.front());
+    queue.pop_front();
+    return task;
+  }
+
+  // --- responses -----------------------------------------------------
+
+  void WriteResponse(Connection& conn, const RpcResponse& response) {
+    const std::vector<uint8_t> payload = EncodeResponse(response);
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    // A failed write means the client went away; its reader thread sees
+    // the close independently, so the error is dropped, not propagated.
+    if (WriteFrame(conn.socket, payload).ok()) {
+      bytes_served.fetch_add(payload.size() + kRpcFrameHeaderBytes,
+                             std::memory_order_relaxed);
+    }
+  }
+
+  // --- request execution ---------------------------------------------
+
+  RpcResponse Handle(const RpcRequest& request) {
+    switch (request.command) {
+      case RpcCommand::kInfo:
+        return HandleInfo();
+      case RpcCommand::kList:
+        return HandleList();
+      case RpcCommand::kVerify:
+        return HandleVerify(request.name);
+      case RpcCommand::kReplay:
+        return HandleReplay(request.name, request.model);
+      case RpcCommand::kStats:
+        return OkResponse(EncodeServeStats(Snapshot()));
+      case RpcCommand::kRefresh: {
+        auto refreshed = Refresh();
+        if (!refreshed.ok()) {
+          return ErrorResponse(refreshed.status());
+        }
+        return OkResponse(EncodeServeRefresh(*refreshed));
+      }
+      case RpcCommand::kShutdown:
+        // Normally answered inline by the reader thread; acknowledging
+        // here too keeps a queued one harmless.
+        return OkResponse();
+    }
+    return ErrorResponse(InvalidArgumentError("unknown rpc command"));
+  }
+
+  RpcResponse HandleInfo() {
+    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ServeInfo info;
+    info.path = reader->path();
+    info.file_size = reader->file_size();
+    info.journaled = reader->journaled();
+    info.generation = reader->generation();
+    info.dead_bytes = reader->dead_bytes();
+    info.entry_count = reader->entries().size();
+    info.io_backend = std::string(IoBackendName(reader->io_backend()));
+    // The probe never blocks; on probe failure report "no writer" rather
+    // than failing the whole info (the rest of the answer is still good).
+    info.writer_active = CorpusWriterActive(bundle_path).value_or(false);
+    return OkResponse(EncodeServeInfo(info));
+  }
+
+  RpcResponse HandleList() {
+    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    std::vector<ServeEntry> entries;
+    entries.reserve(reader->entries().size());
+    for (const CorpusEntry& entry : reader->entries()) {
+      ServeEntry row;
+      row.name = entry.name;
+      row.model = entry.model;
+      row.scenario = entry.scenario;
+      row.event_count = entry.event_count;
+      row.length = entry.length;
+      entries.push_back(std::move(row));
+    }
+    return OkResponse(EncodeServeEntries(entries));
+  }
+
+  RpcResponse HandleVerify(const std::string& name) {
+    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    if (name.empty()) {
+      if (Status verified = reader->VerifyAll(); !verified.ok()) {
+        return ErrorResponse(verified);
+      }
+      Encoder encoder;
+      encoder.PutVarint64(reader->entries().size());
+      return OkResponse(encoder.TakeBuffer());
+    }
+    const CorpusEntry* entry = reader->Find(name);
+    if (entry == nullptr) {
+      return ErrorResponse(
+          NotFoundError("no corpus entry named '" + name + "'"));
+    }
+    auto trace = reader->OpenTrace(*entry);
+    if (!trace.ok()) {
+      return ErrorResponse(trace.status());
+    }
+    if (Status verified = trace->Verify(); !verified.ok()) {
+      return ErrorResponse(Status(
+          verified.code(),
+          "corpus entry '" + name + "': " + verified.message()));
+    }
+    Encoder encoder;
+    encoder.PutVarint64(1);
+    return OkResponse(encoder.TakeBuffer());
+  }
+
+  RpcResponse HandleReplay(const std::string& name, const std::string& model) {
+    if (name.empty()) {
+      return ErrorResponse(
+          InvalidArgumentError("replay needs an entry name"));
+    }
+    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    const CorpusEntry* entry = reader->Find(name);
+    if (entry == nullptr) {
+      return ErrorResponse(
+          NotFoundError("no corpus entry named '" + name + "'"));
+    }
+    auto cell = scorer->ScoreEntry(*reader, *entry, model);
+    if (!cell.ok()) {
+      return ErrorResponse(cell.status());
+    }
+    return OkResponse(EncodeBatchCell(*cell));
+  }
+
+  Result<ServeRefresh> Refresh() {
+    std::unique_lock<std::shared_mutex> lock(reader_mu);
+    ServeRefresh out;
+    out.generation_before = reader->generation();
+    out.entries_before = reader->entries().size();
+    // On failure the reader is untouched and keeps serving the old
+    // generation — the caller sees the error, clients see no change.
+    RETURN_IF_ERROR(reader->Reopen());
+    out.generation_after = reader->generation();
+    out.entries_after = reader->entries().size();
+    out.picked_up = out.generation_after != out.generation_before ||
+                    out.entries_after != out.entries_before;
+    refreshes.fetch_add(1, std::memory_order_relaxed);
+    if (out.picked_up) {
+      generations_picked_up.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  ServeStats Snapshot() const {
+    ServeStats stats;
+    stats.requests_total = requests_total.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kRpcCommandCount; ++i) {
+      stats.requests_by_command[i] =
+          requests_by_command[i].load(std::memory_order_relaxed);
+    }
+    stats.bytes_served = bytes_served.load(std::memory_order_relaxed);
+    stats.overload_rejections =
+        overload_rejections.load(std::memory_order_relaxed);
+    stats.refreshes = refreshes.load(std::memory_order_relaxed);
+    stats.generations_picked_up =
+        generations_picked_up.load(std::memory_order_relaxed);
+    stats.clients_total = clients_total.load(std::memory_order_relaxed);
+    stats.clients_active = clients_active.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    stats.generation = reader->generation();
+    stats.entry_count = reader->entries().size();
+    stats.corpus_bytes_read = reader->bytes_read();
+    stats.cache = reader->cache_stats();
+    return stats;
+  }
+
+  // --- threads -------------------------------------------------------
+
+  void AcceptLoop() {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Short poll timeout keeps the loop responsive to RequestStop
+      // without busy-waiting.
+      auto readable = WaitReadable(listener, 200);
+      if (!readable.ok() || !*readable) {
+        continue;
+      }
+      auto accepted = AcceptConnection(listener);
+      if (!accepted.ok()) {
+        continue;  // transient (e.g. client gone before accept)
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->socket = std::move(*accepted);
+      clients_total.fetch_add(1, std::memory_order_relaxed);
+      clients_active.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        conn->id = next_conn_id++;
+        connections.push_back(conn);
+        conn_threads.emplace_back([this, conn] { ServeConnection(conn); });
+      }
+    }
+  }
+
+  void ServeConnection(std::shared_ptr<Connection> conn) {
+    while (true) {
+      auto frame = ReadFrame(conn->socket);
+      if (!frame.ok()) {
+        // Torn frame / bad magic / CRC mismatch: the stream is not
+        // trustworthy past this point. Best-effort answer, then hang up.
+        WriteResponse(*conn, ErrorResponse(frame.status()));
+        break;
+      }
+      if (!frame->has_value()) {
+        break;  // clean EOF
+      }
+      auto request = DecodeRequest(**frame);
+      if (!request.ok()) {
+        // The framing was sound, so the stream stays usable: answer the
+        // error and keep the connection.
+        WriteResponse(*conn, ErrorResponse(request.status()));
+        continue;
+      }
+      requests_total.fetch_add(1, std::memory_order_relaxed);
+      requests_by_command[static_cast<size_t>(request->command)].fetch_add(
+          1, std::memory_order_relaxed);
+      if (request->command == RpcCommand::kShutdown) {
+        // Control command: answered inline (it must not sit behind — or
+        // be rejected by — a full queue), acked before the drain starts.
+        WriteResponse(*conn, OkResponse());
+        RequestStop();
+        continue;
+      }
+      switch (TryPush(Task{conn, std::move(*request)})) {
+        case PushResult::kAccepted:
+          break;
+        case PushResult::kFull:
+          overload_rejections.fetch_add(1, std::memory_order_relaxed);
+          WriteResponse(
+              *conn,
+              ErrorResponse(UnavailableError(StrPrintf(
+                  "server overloaded: admission queue is full (%zu)",
+                  std::max<size_t>(options.queue_capacity, 1)))));
+          break;
+        case PushResult::kClosed:
+          WriteResponse(*conn, ErrorResponse(UnavailableError(
+                                   "server is draining (shutdown)")));
+          break;
+      }
+    }
+    clients_active.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (size_t i = 0; i < connections.size(); ++i) {
+      if (connections[i]->id == conn->id) {
+        connections.erase(connections.begin() + i);
+        break;
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    while (auto task = Pop()) {
+      if (options.debug_handler_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.debug_handler_delay_ms));
+      }
+      WriteResponse(*task->conn, Handle(task->request));
+    }
+  }
+
+  void WatcherLoop() {
+    using Clock = std::chrono::steady_clock;
+    auto next_probe =
+        Clock::now() + std::chrono::milliseconds(options.watch_interval_ms);
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (Clock::now() < next_probe) {
+        continue;
+      }
+      next_probe =
+          Clock::now() + std::chrono::milliseconds(options.watch_interval_ms);
+      struct stat st;
+      if (::stat(bundle_path.c_str(), &st) != 0) {
+        continue;
+      }
+      uint64_t seen = 0;
+      {
+        std::shared_lock<std::shared_mutex> lock(reader_mu);
+        seen = reader->file_size();
+      }
+      if (static_cast<uint64_t>(st.st_size) != seen) {
+        // Size moved: attempt the pickup. Reopen does the real trailer
+        // inspection; a mid-append (unpublished) tail reopens to the
+        // same generation and counts as no pickup. Errors leave the old
+        // generation serving and the next probe retries.
+        (void)Refresh();
+      }
+    }
+  }
+
+  void RequestStop() {
+    stop.store(true, std::memory_order_release);
+    stop_cv.notify_all();
+  }
+
+  void Drain() {
+    std::call_once(drain_once, [&] {
+      stop.store(true, std::memory_order_release);
+      // 1. Stop accepting; release the endpoint.
+      if (accept_thread.joinable()) {
+        accept_thread.join();
+      }
+      listener.Close();
+#if DDR_SERVER_HAVE_UNLINK
+      if (unix_endpoint) {
+        ::unlink(options.socket_path.c_str());
+      }
+#endif
+      if (watcher.joinable()) {
+        watcher.join();
+      }
+      // 2. Close the queue: reader threads answer "draining" from here
+      // on; workers finish everything already admitted, then exit.
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        queue_closed = true;
+      }
+      queue_cv.notify_all();
+      for (std::thread& worker : workers) {
+        if (worker.joinable()) {
+          worker.join();
+        }
+      }
+      // 3. Every admitted response has been written. Wake reader threads
+      // blocked on idle connections and join them.
+      {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        for (const auto& conn : connections) {
+          conn->socket.ShutdownBoth();
+        }
+      }
+      // conn_threads only grows under conn_mu and growth stopped with the
+      // accept loop, so the vector is stable to iterate unlocked here.
+      for (std::thread& thread : conn_threads) {
+        if (thread.joinable()) {
+          thread.join();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        connections.clear();
+      }
+    });
+  }
+};
+
+CorpusServer::CorpusServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+CorpusServer::~CorpusServer() {
+  impl_->RequestStop();
+  impl_->Drain();
+}
+
+Result<std::unique_ptr<CorpusServer>> CorpusServer::Start(
+    const std::string& bundle_path, const CorpusServerOptions& options) {
+  const bool unix_endpoint = !options.socket_path.empty();
+  if (unix_endpoint == (options.tcp_port >= 0)) {
+    return InvalidArgumentError(
+        "serve needs exactly one endpoint: --socket <path> or --port <n>");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->bundle_path = bundle_path;
+  impl->options = options;
+  impl->unix_endpoint = unix_endpoint;
+
+  // Open the bundle first — a server with nothing to serve must fail
+  // before it binds the endpoint.
+  ASSIGN_OR_RETURN(CorpusReader reader,
+                   CorpusReader::Open(bundle_path, options.reader));
+  impl->reader.emplace(std::move(reader));
+  impl->scorer.emplace(options.scenarios.empty() ? AllBugScenarios()
+                                                 : options.scenarios);
+
+  if (unix_endpoint) {
+    ASSIGN_OR_RETURN(impl->listener, ListenUnix(options.socket_path));
+  } else {
+    ASSIGN_OR_RETURN(impl->listener,
+                     ListenTcp(static_cast<uint16_t>(options.tcp_port)));
+    ASSIGN_OR_RETURN(impl->tcp_port, LocalPort(impl->listener));
+  }
+
+  const int workers = std::max(options.workers, 1);
+  impl->workers.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    impl->workers.emplace_back([impl_ptr = impl.get()] {
+      impl_ptr->WorkerLoop();
+    });
+  }
+  impl->accept_thread =
+      std::thread([impl_ptr = impl.get()] { impl_ptr->AcceptLoop(); });
+  if (options.watch_interval_ms > 0) {
+    impl->watcher =
+        std::thread([impl_ptr = impl.get()] { impl_ptr->WatcherLoop(); });
+  }
+  return std::unique_ptr<CorpusServer>(new CorpusServer(std::move(impl)));
+}
+
+const std::string& CorpusServer::socket_path() const {
+  return impl_->options.socket_path;
+}
+
+uint16_t CorpusServer::tcp_port() const { return impl_->tcp_port; }
+
+bool CorpusServer::running() const {
+  return !impl_->stop.load(std::memory_order_acquire);
+}
+
+void CorpusServer::RequestStop() { impl_->RequestStop(); }
+
+void CorpusServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(impl_->stop_mu);
+    impl_->stop_cv.wait(lock, [&] {
+      return impl_->stop.load(std::memory_order_acquire);
+    });
+  }
+  impl_->Drain();
+}
+
+Result<ServeRefresh> CorpusServer::Refresh() { return impl_->Refresh(); }
+
+ServeStats CorpusServer::Snapshot() const { return impl_->Snapshot(); }
+
+}  // namespace ddr

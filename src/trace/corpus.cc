@@ -11,6 +11,7 @@
 
 #include "src/trace/trace_writer.h"
 #include "src/util/crc32.h"
+#include "src/util/file_lock.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
@@ -361,14 +362,10 @@ Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
   // corrupts the target — two in-place appenders would truncate and
   // overwrite each other's in-flight bytes, so a second one must fail
   // loudly, not serialize (its view of the entry set is stale anyway).
-  int lock_rc = 0;
-  do {
-    lock_rc = ::flock(fd, LOCK_EX | LOCK_NB);
-  } while (lock_rc != 0 && errno == EINTR);
-  if (lock_rc != 0) {
+  // CorpusWriterActive is the read-side probe of this same lock.
+  if (Status locked = TryFlockExclusive(fd, path); !locked.ok()) {
     ::close(fd);
-    return UnavailableError(
-        "another in-place append holds the corpus writer lock: " + path);
+    return locked;
   }
   // Under the lock, the file must still be what the caller's reader saw
   // — not just the same size: a same-size canonicalization (compact of a
@@ -962,7 +959,22 @@ Result<RecordedExecution> CorpusReader::LoadRecording(
   return trace.ReadRecordedExecution();
 }
 
+void CorpusReader::AdviseReadahead(ReadaheadMode mode) const {
+  file_->Advise(mode);
+}
+
 Status CorpusReader::VerifyAll() const {
+  // A full verify is the canonical cold sequential scan — every image
+  // front to back — so widen kernel readahead for its duration and
+  // restore the handle's open-time hint after (serving traffic is
+  // point-lookup shaped; a sticky sequential hint would hurt it).
+  file_->Advise(ReadaheadMode::kSequential);
+  const Status status = VerifyAllImpl();
+  file_->Advise(file_->readahead());
+  return status;
+}
+
+Status CorpusReader::VerifyAllImpl() const {
   for (const CorpusEntry& entry : entries_) {
     auto trace = OpenTrace(entry);
     if (!trace.ok()) {
@@ -1122,6 +1134,10 @@ Result<CorpusMutationStats> CompactCorpus(
   }
   RETURN_IF_ERROR(writer.Finish());
   return stats;
+}
+
+Result<bool> CorpusWriterActive(const std::string& path) {
+  return FileExclusivelyLocked(path);
 }
 
 }  // namespace ddr

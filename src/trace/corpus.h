@@ -356,13 +356,22 @@ class CorpusReader {
 
   // Structural + CRC verification of every embedded trace (and, via Open,
   // of the index itself and the journal chain), plus index-vs-embedded-
-  // metadata consistency.
+  // metadata consistency. Hints kernel readahead sequential for the
+  // duration of the scan (the one front-to-back read path) and restores
+  // the handle's open-time hint after.
   Status VerifyAll() const;
+
+  // Forwards an access-pattern hint to the underlying handle (advisory;
+  // see RandomAccessFile::Advise). Cold full-bundle scans want
+  // kSequential; point-lookup serving wants the open-time default.
+  void AdviseReadahead(ReadaheadMode mode) const;
 
  private:
   friend class CorpusWriter;  // AppendTo copies bytes through file_
 
   CorpusReader() = default;
+
+  Status VerifyAllImpl() const;
 
   static Result<CorpusReader> OpenImpl(const std::string& path,
                                        const CorpusReaderOptions& options,
@@ -433,6 +442,12 @@ Result<CorpusMutationStats> MergeCorpora(const std::vector<std::string>& inputs,
 Result<CorpusMutationStats> CompactCorpus(
     const std::string& path, const std::vector<std::string>& drop_names,
     const RandomAccessFileOptions& io = {});
+
+// True when an in-place appender currently holds the bundle's exclusive
+// writer flock — the non-blocking TryLockShared probe behind the
+// "writer: active" line of `corpus info` and the server's info response.
+// Never blocks and never disturbs the writer; the answer is a snapshot.
+Result<bool> CorpusWriterActive(const std::string& path);
 
 }  // namespace ddr
 

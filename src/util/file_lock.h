@@ -1,0 +1,39 @@
+// Advisory flock(2) helpers shared by the corpus writer lock and its
+// read-side probes.
+//
+// In-place corpus appends are single-writer: the appender takes an
+// exclusive flock on the bundle for the life of the append (see
+// CorpusWriter::AppendTo). Read-side tools want to *report* that state
+// without ever blocking on it or racing the writer: the probe here takes
+// a shared lock non-blockingly on its own descriptor — which succeeds
+// exactly when no exclusive holder exists — and releases it immediately.
+// Advisory locks are per open-file-description, so probing can neither
+// disturb the writer nor leak a lock.
+
+#ifndef SRC_UTIL_FILE_LOCK_H_
+#define SRC_UTIL_FILE_LOCK_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+// Takes a non-blocking exclusive flock on an already-open descriptor.
+// The caller keeps ownership of the fd; the lock is released when the fd
+// closes. Unavailable when any other holder (shared or exclusive) exists,
+// Unimplemented on hosts without flock.
+Status TryFlockExclusive(int fd, const std::string& path);
+
+// TryLockShared probe: opens `path` read-only and attempts a non-blocking
+// *shared* flock on the private descriptor. Returns true when the shared
+// lock could not be taken — i.e. an exclusive holder (an in-place
+// appender) is active right now — and false when it was acquired (and
+// instantly released with the descriptor). NotFound when the file is
+// missing; Unimplemented on hosts without flock. The answer is inherently
+// a snapshot: a writer may arrive or finish the instant after.
+Result<bool> FileExclusivelyLocked(const std::string& path);
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_FILE_LOCK_H_

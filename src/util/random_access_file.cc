@@ -131,6 +131,27 @@ class PreadFile final : public RandomAccessFile {
     return std::span<const uint8_t>(scratch->data(), length);
   }
 
+  void AdviseImpl(ReadaheadMode mode) const override {
+#if defined(POSIX_FADV_SEQUENTIAL)
+    int advice = POSIX_FADV_NORMAL;
+    switch (mode) {
+      case ReadaheadMode::kNormal:
+        advice = POSIX_FADV_NORMAL;
+        break;
+      case ReadaheadMode::kSequential:
+        advice = POSIX_FADV_SEQUENTIAL;
+        break;
+      case ReadaheadMode::kRandom:
+        advice = POSIX_FADV_RANDOM;
+        break;
+    }
+    // Advisory: failure (e.g. an fs that ignores hints) changes nothing.
+    (void)::posix_fadvise(fd_, 0, 0, advice);
+#else
+    (void)mode;
+#endif
+  }
+
  private:
   int fd_;
 };
@@ -153,6 +174,23 @@ class MmapFile final : public RandomAccessFile {
       uint64_t offset, size_t length,
       std::vector<uint8_t>* /*scratch*/) const override {
     return std::span<const uint8_t>(data_ + offset, length);
+  }
+
+  void AdviseImpl(ReadaheadMode mode) const override {
+    int advice = MADV_NORMAL;
+    switch (mode) {
+      case ReadaheadMode::kNormal:
+        advice = MADV_NORMAL;
+        break;
+      case ReadaheadMode::kSequential:
+        advice = MADV_SEQUENTIAL;
+        break;
+      case ReadaheadMode::kRandom:
+        advice = MADV_RANDOM;
+        break;
+    }
+    (void)::madvise(const_cast<uint8_t*>(data_), static_cast<size_t>(size()),
+                    advice);
   }
 
  private:
@@ -233,6 +271,18 @@ Result<IoBackend> ParseIoBackend(const std::string& name) {
                               "' (expected stream|pread|mmap)");
 }
 
+std::string_view ReadaheadModeName(ReadaheadMode mode) {
+  switch (mode) {
+    case ReadaheadMode::kNormal:
+      return "normal";
+    case ReadaheadMode::kSequential:
+      return "sequential";
+    case ReadaheadMode::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
 IoBackend DefaultIoBackend() {
   static const IoBackend kDefault = [] {
     if (const char* env = std::getenv("DDR_IO_BACKEND")) {
@@ -266,38 +316,48 @@ Result<std::span<const uint8_t>> RandomAccessFile::Read(
 
 Result<std::shared_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path, const RandomAccessFileOptions& options) {
+  auto open_backend = [&]() -> Result<std::shared_ptr<RandomAccessFile>> {
 #if DDR_HAVE_POSIX_IO
-  switch (options.backend) {
-    case IoBackend::kStream:
-      return OpenStream(path);
-    case IoBackend::kPread:
-      if (auto opened = OpenPread(path); opened.ok() || !options.allow_fallback ||
-                                         opened.status().code() ==
-                                             StatusCode::kNotFound) {
-        return opened;
+    switch (options.backend) {
+      case IoBackend::kStream:
+        return OpenStream(path);
+      case IoBackend::kPread:
+        if (auto opened = OpenPread(path);
+            opened.ok() || !options.allow_fallback ||
+            opened.status().code() == StatusCode::kNotFound) {
+          return opened;
+        }
+        return OpenStream(path);
+      case IoBackend::kMmap: {
+        auto opened = OpenMmap(path);
+        if (opened.ok() || !options.allow_fallback ||
+            opened.status().code() == StatusCode::kNotFound) {
+          return opened;
+        }
+        if (auto pread = OpenPread(path); pread.ok()) {
+          return pread;
+        }
+        return OpenStream(path);
       }
-      return OpenStream(path);
-    case IoBackend::kMmap: {
-      auto opened = OpenMmap(path);
-      if (opened.ok() || !options.allow_fallback ||
-          opened.status().code() == StatusCode::kNotFound) {
-        return opened;
-      }
-      if (auto pread = OpenPread(path); pread.ok()) {
-        return pread;
-      }
-      return OpenStream(path);
     }
-  }
-  return InvalidArgumentError("unknown I/O backend");
+    return InvalidArgumentError("unknown I/O backend");
 #else
-  if (options.backend != IoBackend::kStream && !options.allow_fallback) {
-    return UnimplementedError(
-        std::string(IoBackendName(options.backend)) +
-        " backend is unavailable on this platform");
-  }
-  return OpenStream(path);
+    if (options.backend != IoBackend::kStream && !options.allow_fallback) {
+      return UnimplementedError(
+          std::string(IoBackendName(options.backend)) +
+          " backend is unavailable on this platform");
+    }
+    return OpenStream(path);
 #endif
+  };
+  ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file, open_backend());
+  // Stamp + apply the open-time hint before the handle is shared; Advise
+  // is a no-op on backends without a kernel hint.
+  file->readahead_ = options.readahead;
+  if (options.readahead != ReadaheadMode::kNormal) {
+    file->Advise(options.readahead);
+  }
+  return file;
 }
 
 }  // namespace ddr

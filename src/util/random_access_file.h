@@ -48,12 +48,29 @@ Result<IoBackend> ParseIoBackend(const std::string& name);
 // POSIX hosts (with per-open fallback) and kStream elsewhere.
 IoBackend DefaultIoBackend();
 
+// Access-pattern hint forwarded to the kernel: posix_fadvise(2) for the
+// pread backend, madvise(2) for mmap (the stream backend has no handle to
+// hint). Purely advisory — reads return identical bytes under every mode;
+// only prefetch behavior changes. kSequential widens readahead for cold
+// front-to-back scans (corpus verify, bench cold passes); kRandom turns
+// it off for point lookups; kNormal restores the kernel default.
+enum class ReadaheadMode : uint8_t {
+  kNormal = 0,
+  kSequential = 1,
+  kRandom = 2,
+};
+
+std::string_view ReadaheadModeName(ReadaheadMode mode);
+
 struct RandomAccessFileOptions {
   IoBackend backend = DefaultIoBackend();
   // When the preferred backend cannot be set up (mmap of an empty file, a
   // host without the syscall), degrade mmap -> pread -> stream instead of
   // failing the open. A missing file is always an error.
   bool allow_fallback = true;
+  // Readahead hint applied to the whole file at open (and restored by
+  // Advise(readahead()) after a temporary override).
+  ReadaheadMode readahead = ReadaheadMode::kNormal;
 };
 
 class RandomAccessFile {
@@ -91,10 +108,19 @@ class RandomAccessFile {
   uint64_t bytes_read() const {
     return bytes_read_.load(std::memory_order_relaxed);
   }
+  // The open-time readahead hint (what Advise restores after an override).
+  ReadaheadMode readahead() const { return readahead_; }
+
+  // Re-hints the whole file's expected access pattern. Advisory and
+  // infallible: backends without a kernel hint (stream, or hosts lacking
+  // the syscalls) ignore it. Safe to call concurrently with reads.
+  void Advise(ReadaheadMode mode) const { AdviseImpl(mode); }
 
  protected:
   RandomAccessFile(std::string path, uint64_t size, IoBackend backend)
       : path_(std::move(path)), size_(size), backend_(backend), id_(NextId()) {}
+
+  virtual void AdviseImpl(ReadaheadMode /*mode*/) const {}
 
   virtual Result<std::span<const uint8_t>> ReadImpl(
       uint64_t offset, size_t length, std::vector<uint8_t>* scratch) const = 0;
@@ -106,6 +132,8 @@ class RandomAccessFile {
   uint64_t size_ = 0;
   IoBackend backend_ = IoBackend::kStream;
   uint64_t id_ = 0;
+  // Set once by Open before the handle is shared; immutable afterwards.
+  ReadaheadMode readahead_ = ReadaheadMode::kNormal;
   mutable std::atomic<uint64_t> bytes_read_{0};
 };
 

@@ -1,0 +1,82 @@
+// Thin RAII sockets for the corpus server: unix-domain by default (one
+// machine, one replay fleet), loopback TCP as the optional second
+// transport. Only what the length-prefixed RPC protocol needs — exact
+// sends, exact receives with a distinguishable clean EOF, and a pollable
+// readability wait so accept/serve loops can watch a stop flag instead of
+// blocking forever.
+//
+// All functions are POSIX-gated: on hosts without BSD sockets every
+// operation fails with Unimplemented (mirroring the I/O layer's stream
+// fallback posture — the in-process library paths keep working, only the
+// daemon transport is absent).
+
+#ifndef SRC_UTIL_SOCKET_H_
+#define SRC_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+// Owns one socket descriptor. Movable, never copyable; closes on
+// destruction. A default-constructed Socket is invalid (fd -1).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Writes exactly [data, data + size), looping over partial sends.
+  // EPIPE/ECONNRESET surface as Unavailable, never as SIGPIPE.
+  Status SendAll(const uint8_t* data, size_t size) const;
+
+  // Reads exactly `size` bytes. Returns false when the peer closed
+  // cleanly before the first byte (EOF between messages); a close midway
+  // through is an Unavailable error (a torn frame, never silent).
+  Result<bool> RecvExact(uint8_t* data, size_t size) const;
+
+  // shutdown(2) both directions: wakes any thread blocked in RecvExact on
+  // this socket (it sees EOF). Used for server-side drain.
+  void ShutdownBoth() const;
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening endpoints. ListenUnix binds a unix-domain stream socket at
+// `path` (an existing *socket* file there is replaced — a stale socket
+// from a dead daemon must not wedge restarts; any other file kind is an
+// error). ListenTcp binds 127.0.0.1:`port` (0 = kernel-assigned; read it
+// back with LocalPort).
+Result<Socket> ListenUnix(const std::string& path, int backlog = 64);
+Result<Socket> ListenTcp(uint16_t port, int backlog = 64);
+
+// The bound port of a listening TCP socket (after ListenTcp(0)).
+Result<uint16_t> LocalPort(const Socket& listener);
+
+// Blocks in accept(2); pair with WaitReadable to keep the loop stoppable.
+Result<Socket> AcceptConnection(const Socket& listener);
+
+// Client-side connects. `host` must be a numeric IPv4 address (the tool
+// talks to daemons it started; no resolver dependency).
+Result<Socket> ConnectUnix(const std::string& path);
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+// True when `socket` is readable (data or a pending accept) within
+// `timeout_ms`; false on timeout. EINTR counts as a timeout so callers
+// re-check their stop flag.
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_SOCKET_H_

@@ -88,6 +88,51 @@ TEST(RandomAccessFileTest, AllBackendsServeIdenticalBytes) {
   }
 }
 
+TEST(RandomAccessFileTest, ReadaheadHintsAreAdvisoryAndPreserveBytes) {
+  // posix_fadvise/madvise are pure hints: every backend must serve the
+  // exact same bytes under every readahead mode, and Advise must be
+  // callable (a no-op where unsupported) at any point in the handle's
+  // life — VerifyAll flips kSequential on and back off around its scan.
+  const std::vector<uint8_t> bytes = PatternBytes(10000);
+  ScopedFile file("readahead", bytes);
+  for (IoBackend backend : kAllBackends) {
+    for (ReadaheadMode mode : {ReadaheadMode::kNormal,
+                               ReadaheadMode::kSequential,
+                               ReadaheadMode::kRandom}) {
+      RandomAccessFileOptions options;
+      options.backend = backend;
+      options.allow_fallback = false;
+      options.readahead = mode;
+      auto opened = RandomAccessFile::Open(file.get(), options);
+      ASSERT_TRUE(opened.ok())
+          << IoBackendName(backend) << "/" << ReadaheadModeName(mode) << ": "
+          << opened.status();
+      EXPECT_EQ((*opened)->readahead(), mode);
+
+      std::vector<uint8_t> scratch;
+      auto view = (*opened)->Read(0, bytes.size(), &scratch);
+      ASSERT_TRUE(view.ok()) << view.status();
+      EXPECT_TRUE(std::equal(view->begin(), view->end(), bytes.begin()))
+          << IoBackendName(backend) << "/" << ReadaheadModeName(mode);
+
+      // Re-advising mid-life (the sequential-scan bracket) is safe and
+      // leaves the opening mode reported unchanged.
+      (*opened)->Advise(ReadaheadMode::kSequential);
+      (*opened)->Advise((*opened)->readahead());
+      auto again = (*opened)->Read(1234, 4096, &scratch);
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_TRUE(std::equal(again->begin(), again->end(),
+                             bytes.begin() + 1234));
+    }
+  }
+}
+
+TEST(IoBackendTest, ReadaheadModeNamesAreDistinct) {
+  EXPECT_EQ(ReadaheadModeName(ReadaheadMode::kNormal), "normal");
+  EXPECT_EQ(ReadaheadModeName(ReadaheadMode::kSequential), "sequential");
+  EXPECT_EQ(ReadaheadModeName(ReadaheadMode::kRandom), "random");
+}
+
 TEST(RandomAccessFileTest, ReadsPastEofFailWithOutOfRange) {
   const std::vector<uint8_t> bytes = PatternBytes(100);
   ScopedFile file("eof", bytes);

@@ -32,22 +32,36 @@
 //   ddr-trace corpus compact <file> --drop a,b
 //                                             drop named entries, rewrite
 //                                             the survivors
+//   ddr-trace serve <file> --socket <path>|--port <n> [--threads N]
+//                           [--queue N] [--watch-ms N]
+//                                             long-lived corpus server:
+//                                             concurrent clients, live
+//                                             append pickup, SIGTERM drain
+//   ddr-trace query <cmd> [name] --socket <path>|--host H --port <n>
+//                           [--model NAME]    one request against a running
+//                                             server (info|list|verify|
+//                                             replay|stats|refresh|shutdown)
 //
 // Exit status: 0 on success/OK, 1 on usage error, 2 on a failed
 // verification or replay.
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/apps/scenarios.h"
 #include "src/core/batch_runner.h"
+#include "src/server/corpus_client.h"
+#include "src/server/corpus_server.h"
 #include "src/trace/corpus.h"
 #include "src/trace/trace_reader.h"
 #include "src/trace/trace_store.h"
@@ -95,6 +109,14 @@ constexpr CliFlag kCorpusMergeFlags[] = {{"--on-collision", true},
 constexpr CliFlag kCorpusCompactFlags[] = {{"--drop", true},
                                            {"--io", true},
                                            {"--cache-mb", true}};
+constexpr CliFlag kServeFlags[] = {
+    {"--socket", true}, {"--port", true},     {"--threads", true},
+    {"--queue", true},  {"--watch-ms", true}, {"--io", true},
+    {"--cache-mb", true}};
+constexpr CliFlag kQueryFlags[] = {{"--socket", true},
+                                   {"--host", true},
+                                   {"--port", true},
+                                   {"--model", true}};
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -121,6 +143,14 @@ void PrintUsage() {
                "  corpus compact <file> [--drop name1,name2]\n"
                "                drop entries and/or squash a journaled bundle "
                "to canonical form\n"
+               "  serve  <file> --socket <path>|--port <n> [--threads N] "
+               "[--queue N] [--watch-ms N]\n"
+               "                serve the bundle to concurrent clients until "
+               "SIGTERM/SIGINT\n"
+               "  query  <cmd> [name] --socket <path>|--host H --port <n> "
+               "[--model NAME]\n"
+               "                cmd: info list verify replay stats refresh "
+               "shutdown\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n"
@@ -647,6 +677,12 @@ int CorpusInfo(const std::string& path, int argc, char** argv) {
                         static_cast<double>(corpus->file_size()),
               corpus->dead_bytes() != 0 ? "; run 'corpus compact' to reclaim"
                                         : "");
+  // The flock probe: an in-place appender holds the writer lock right
+  // now. Purely informational — readers never block on the writer.
+  const bool writer_active = CorpusWriterActive(path).value_or(false);
+  std::printf("writer:            %s\n",
+              writer_active ? "active (in-place append holds the flock)"
+                            : "none");
   std::printf("entries:           %zu\n", corpus->entries().size());
   std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario", "model",
               "events", "bytes");
@@ -692,6 +728,266 @@ int CorpusReplay(const std::string& path, int argc, char** argv) {
   PrintServeStats("serve", report->io_backend, report->corpus_bytes_read,
                   report->cache_stats);
   return WriteReportIfRequested(*report, argc, argv);
+}
+
+// ------------------------------------------------------------ serve/query
+
+// SIGTERM/SIGINT flip this flag; the serve loop polls it. Everything
+// heavier (the actual drain) happens on the main thread afterwards, so
+// the handler stays async-signal-safe.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+int Serve(const std::string& path, int argc, char** argv) {
+  CorpusServerOptions options;
+  options.reader = CorpusOptionsFromFlags(argc, argv);
+  if (const char* socket = ParseStringFlag(argc, argv, "--socket", nullptr)) {
+    options.socket_path = socket;
+  }
+  if (FlagValue(argc, argv, "--port") != nullptr) {
+    const uint64_t port = ParseFlag(argc, argv, "--port", 0);
+    if (port > 65535) {
+      std::fprintf(stderr, "ddr-trace: --port %llu is not a TCP port\n",
+                   static_cast<unsigned long long>(port));
+      return 1;
+    }
+    options.tcp_port = static_cast<int>(port);
+  }
+  if (options.socket_path.empty() == (options.tcp_port < 0)) {
+    std::fprintf(stderr,
+                 "ddr-trace: serve needs exactly one endpoint: --socket "
+                 "<path> or --port <n>\n");
+    PrintUsage();
+    return 1;
+  }
+  options.workers = static_cast<int>(ParseFlag(argc, argv, "--threads", 4));
+  options.queue_capacity = ParseFlag(argc, argv, "--queue", 32);
+  options.watch_interval_ms =
+      static_cast<int>(ParseFlag(argc, argv, "--watch-ms", 0));
+
+  auto server = CorpusServer::Start(path, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", server.status().ToString().c_str());
+    return 2;
+  }
+  if (!options.socket_path.empty()) {
+    std::printf("serving %s at unix socket %s (%d workers, queue %zu%s)\n",
+                path.c_str(), (*server)->socket_path().c_str(),
+                options.workers, options.queue_capacity,
+                options.watch_interval_ms > 0 ? ", watching for appends" : "");
+  } else {
+    std::printf("serving %s at 127.0.0.1:%u (%d workers, queue %zu%s)\n",
+                path.c_str(), (*server)->tcp_port(), options.workers,
+                options.queue_capacity,
+                options.watch_interval_ms > 0 ? ", watching for appends" : "");
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  // running() goes false when a client sends `shutdown`; the flag when a
+  // signal lands. Either way the drain below finishes admitted work first.
+  while (g_serve_stop == 0 && (*server)->running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->RequestStop();
+  (*server)->Wait();
+
+  const ServeStats stats = (*server)->Snapshot();
+  std::printf(
+      "drained: %llu requests from %llu clients, %llu bytes served, "
+      "%llu overloads, %llu refreshes (%llu generations picked up)\n",
+      static_cast<unsigned long long>(stats.requests_total),
+      static_cast<unsigned long long>(stats.clients_total),
+      static_cast<unsigned long long>(stats.bytes_served),
+      static_cast<unsigned long long>(stats.overload_rejections),
+      static_cast<unsigned long long>(stats.refreshes),
+      static_cast<unsigned long long>(stats.generations_picked_up));
+  PrintServeStats("serve", "server", stats.corpus_bytes_read, stats.cache);
+  return 0;
+}
+
+void PrintServeCell(const BatchCell& cell) {
+  BatchReport report;
+  report.cells.push_back(cell);
+  PrintBatchCells(report);
+}
+
+int Query(int argc, char** argv) {
+  auto command = ParseRpcCommand(argv[2]);
+  if (!command.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n",
+                 command.status().ToString().c_str());
+    PrintUsage();
+    return 1;
+  }
+  // Optional positional operand after the command: the entry name for
+  // verify/replay.
+  std::string name;
+  if (argc > 3 && std::strncmp(argv[3], "--", 2) != 0) {
+    name = argv[3];
+  }
+  const char* socket = ParseStringFlag(argc, argv, "--socket", nullptr);
+  const char* port_text = FlagValue(argc, argv, "--port");
+  if ((socket != nullptr) == (port_text != nullptr)) {
+    std::fprintf(stderr,
+                 "ddr-trace: query needs exactly one endpoint: --socket "
+                 "<path> or --host H --port <n>\n");
+    PrintUsage();
+    return 1;
+  }
+  uint64_t port = 0;
+  if (port_text != nullptr) {
+    port = ParseFlag(argc, argv, "--port", 0);
+    if (port == 0 || port > 65535) {
+      std::fprintf(stderr, "ddr-trace: --port %llu is not a TCP port\n",
+                   static_cast<unsigned long long>(port));
+      return 1;
+    }
+  }
+  auto client = socket != nullptr
+                    ? CorpusClient::ConnectUnixSocket(socket)
+                    : CorpusClient::ConnectTcpSocket(
+                          ParseStringFlag(argc, argv, "--host", "127.0.0.1"),
+                          static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "ddr-trace: %s\n", client.status().ToString().c_str());
+    return 2;
+  }
+
+  switch (*command) {
+    case RpcCommand::kInfo: {
+      auto info = client->Info();
+      if (!info.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     info.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("corpus:            %s\n", info->path.c_str());
+      std::printf("file size:         %llu bytes\n",
+                  static_cast<unsigned long long>(info->file_size));
+      std::printf("io backend:        %s\n", info->io_backend.c_str());
+      std::printf("layout:            %s\n",
+                  info->journaled ? "journaled (v2)" : "single-shot (v1)");
+      std::printf("generations:       %u\n", info->generation);
+      std::printf("dead bytes:        %llu\n",
+                  static_cast<unsigned long long>(info->dead_bytes));
+      std::printf("writer:            %s\n",
+                  info->writer_active
+                      ? "active (in-place append holds the flock)"
+                      : "none");
+      std::printf("entries:           %llu\n",
+                  static_cast<unsigned long long>(info->entry_count));
+      return 0;
+    }
+    case RpcCommand::kList: {
+      auto entries = client->List();
+      if (!entries.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     entries.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario",
+                  "model", "events", "bytes");
+      for (const ServeEntry& entry : *entries) {
+        std::printf("%-28s %-14s %-12s %10llu %10llu\n", entry.name.c_str(),
+                    entry.scenario.c_str(), entry.model.c_str(),
+                    static_cast<unsigned long long>(entry.event_count),
+                    static_cast<unsigned long long>(entry.length));
+      }
+      return 0;
+    }
+    case RpcCommand::kVerify: {
+      auto verified = client->Verify(name);
+      if (!verified.ok()) {
+        std::fprintf(stderr, "ddr-trace: verify FAILED: %s\n",
+                     verified.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("%s: OK (%llu %s verified)\n",
+                  name.empty() ? "bundle" : name.c_str(),
+                  static_cast<unsigned long long>(*verified),
+                  *verified == 1 ? "entry" : "entries");
+      return 0;
+    }
+    case RpcCommand::kReplay: {
+      if (name.empty()) {
+        std::fprintf(stderr, "ddr-trace: query replay needs an entry name\n");
+        PrintUsage();
+        return 1;
+      }
+      auto cell =
+          client->Replay(name, ParseStringFlag(argc, argv, "--model", ""));
+      if (!cell.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     cell.status().ToString().c_str());
+        return 2;
+      }
+      PrintServeCell(*cell);
+      return 0;
+    }
+    case RpcCommand::kStats: {
+      auto stats = client->Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     stats.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("requests:          %llu",
+                  static_cast<unsigned long long>(stats->requests_total));
+      for (size_t c = 0; c < kRpcCommandCount; ++c) {
+        if (stats->requests_by_command[c] != 0) {
+          std::printf(" %s=%llu",
+                      std::string(RpcCommandName(static_cast<RpcCommand>(c)))
+                          .c_str(),
+                      static_cast<unsigned long long>(
+                          stats->requests_by_command[c]));
+        }
+      }
+      std::printf("\n");
+      std::printf("bytes served:      %llu\n",
+                  static_cast<unsigned long long>(stats->bytes_served));
+      std::printf("overloads:         %llu\n",
+                  static_cast<unsigned long long>(stats->overload_rejections));
+      std::printf("refreshes:         %llu (%llu generations picked up)\n",
+                  static_cast<unsigned long long>(stats->refreshes),
+                  static_cast<unsigned long long>(
+                      stats->generations_picked_up));
+      std::printf("clients:           %llu total, %llu active\n",
+                  static_cast<unsigned long long>(stats->clients_total),
+                  static_cast<unsigned long long>(stats->clients_active));
+      std::printf("generation:        %u (%llu entries)\n", stats->generation,
+                  static_cast<unsigned long long>(stats->entry_count));
+      PrintServeStats("serve", "server", stats->corpus_bytes_read,
+                      stats->cache);
+      return 0;
+    }
+    case RpcCommand::kRefresh: {
+      auto refresh = client->Refresh();
+      if (!refresh.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n",
+                     refresh.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("refresh: generation %u -> %u, entries %llu -> %llu (%s)\n",
+                  refresh->generation_before, refresh->generation_after,
+                  static_cast<unsigned long long>(refresh->entries_before),
+                  static_cast<unsigned long long>(refresh->entries_after),
+                  refresh->picked_up ? "picked up new data" : "no change");
+      return 0;
+    }
+    case RpcCommand::kShutdown: {
+      const Status status = client->Shutdown();
+      if (!status.ok()) {
+        std::fprintf(stderr, "ddr-trace: %s\n", status.ToString().c_str());
+        return 2;
+      }
+      std::printf("shutdown acknowledged; server draining\n");
+      return 0;
+    }
+  }
+  return 1;  // unreachable: the switch covers every command
 }
 
 int CorpusMain(int argc, char** argv) {
@@ -742,7 +1038,15 @@ int Main(int argc, char** argv) {
   if (command == "corpus") {
     return CorpusMain(argc, argv);
   }
+  if (command == "query") {
+    RequireKnownFlags(argc, argv, kQueryFlags);
+    return Query(argc, argv);
+  }
   const std::string path = argv[2];
+  if (command == "serve") {
+    RequireKnownFlags(argc, argv, kServeFlags);
+    return Serve(path, argc, argv);
+  }
   if (command == "info") {
     RequireKnownFlags(argc, argv, kReadFlags);
     return Info(path, argc, argv);
