@@ -170,6 +170,11 @@ void RunCacheBench(double cold_stream_seconds, BenchJsonWriter& json) {
     auto start = std::chrono::steady_clock::now();
     const uint64_t cold_sum = FullPass(*corpus);
     const double cold_seconds = Seconds(start);
+    // Snapshot the counters between the passes: the combined hit rate
+    // averages the cold pass's guaranteed misses into the warm pass's
+    // number (reading "50%" for a fully cache-resident warm pass), which
+    // is exactly the misleading figure the warm pass is meant to isolate.
+    const ChunkCacheStats cold_stats = corpus->cache_stats();
 
     start = std::chrono::steady_clock::now();
     const uint64_t warm_sum = FullPass(*corpus);
@@ -177,13 +182,20 @@ void RunCacheBench(double cold_stream_seconds, BenchJsonWriter& json) {
     CHECK_EQ(cold_sum, warm_sum);
 
     const ChunkCacheStats stats = corpus->cache_stats();
+    const uint64_t warm_hits = stats.hits - cold_stats.hits;
+    const uint64_t warm_misses = stats.misses - cold_stats.misses;
+    const double warm_hit_rate =
+        warm_hits + warm_misses == 0
+            ? 0.0
+            : static_cast<double>(warm_hits) /
+                  static_cast<double>(warm_hits + warm_misses);
     const double warm_meps = total_events / warm_seconds / 1e6;
     const double speedup_vs_cold_stream = cold_stream_seconds / warm_seconds;
     std::printf(
         "cache %4llu MB : cold %6.2f Mev/s  warm %7.2f Mev/s  "
-        "hit rate %5.1f%%  warm vs cold-stream %5.2fx\n",
+        "warm hit rate %5.1f%%  warm vs cold-stream %5.2fx\n",
         static_cast<unsigned long long>(cache_mb),
-        total_events / cold_seconds / 1e6, warm_meps, 100.0 * stats.hit_rate(),
+        total_events / cold_seconds / 1e6, warm_meps, 100.0 * warm_hit_rate,
         speedup_vs_cold_stream);
 
     JsonLine line = json.Line();
@@ -193,7 +205,9 @@ void RunCacheBench(double cold_stream_seconds, BenchJsonWriter& json) {
         .Int("events", total_events)
         .Num("cold_mevents_per_sec", total_events / cold_seconds / 1e6)
         .Num("warm_mevents_per_sec", warm_meps)
-        .Num("hit_rate", stats.hit_rate())
+        .Num("warm_hit_rate", warm_hit_rate)
+        .Int("warm_hits", warm_hits)
+        .Int("warm_misses", warm_misses)
         .Int("cache_hits", stats.hits)
         .Int("cache_misses", stats.misses)
         .Int("cache_evictions", stats.evictions)

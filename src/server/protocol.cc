@@ -190,6 +190,7 @@ std::vector<uint8_t> EncodeServeInfo(const ServeInfo& info) {
   encoder.PutString(info.path);
   encoder.PutVarint64(info.file_size);
   encoder.PutBool(info.journaled);
+  encoder.PutVarint64(info.format_version);
   encoder.PutVarint64(info.generation);
   encoder.PutVarint64(info.dead_bytes);
   encoder.PutVarint64(info.entry_count);
@@ -204,6 +205,8 @@ Result<ServeInfo> DecodeServeInfo(std::span<const uint8_t> payload) {
   ASSIGN_OR_RETURN(info.path, decoder.GetString());
   ASSIGN_OR_RETURN(info.file_size, decoder.GetVarint64());
   ASSIGN_OR_RETURN(info.journaled, decoder.GetBool());
+  ASSIGN_OR_RETURN(uint64_t format_version, decoder.GetVarint64());
+  info.format_version = static_cast<uint32_t>(format_version);
   ASSIGN_OR_RETURN(uint64_t generation, decoder.GetVarint64());
   info.generation = static_cast<uint32_t>(generation);
   ASSIGN_OR_RETURN(info.dead_bytes, decoder.GetVarint64());

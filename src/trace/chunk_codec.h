@@ -37,14 +37,34 @@ std::vector<uint8_t> EncodeEventChunkPayload(const Event* events,
                                              uint64_t first_event,
                                              TraceFilter filter);
 
+// Which columnar decode implementation handles kVarintDelta chunks. Both
+// produce bit-identical Event vectors from the same payload; kScalar is
+// the original per-field reference loop, kBatched the hot path (bounds
+// check hoisted to "a worst-case varint fits", single-byte fast case,
+// columns written straight into the preallocated vector).
+enum class ColumnarDecodePath { kBatched, kScalar };
+
+// Process-wide default path: DDR_DECODE_PATH=scalar selects the reference
+// implementation; unset or anything else selects the batched one. Read
+// once on first use.
+ColumnarDecodePath ActiveColumnarDecodePath();
+
 // Decodes a chunk payload written with `filter`, checking that its header
 // matches the expected (first_event, count) from the footer chunk table.
 // The payload span may alias an mmap'd file region: decoding reads it in
 // place, and the output vector is sized from the chunk's event count up
-// front.
+// front. Uses ActiveColumnarDecodePath() for kVarintDelta chunks.
 Result<std::vector<Event>> DecodeEventChunkPayload(
     std::span<const uint8_t> payload, TraceFilter filter,
     uint64_t expected_first, uint64_t expected_count);
+
+// Same, with an explicit columnar path. Tests use this to assert the
+// batched and scalar decoders agree event-for-event on good payloads and
+// both fail with a Status (never a crash) on corrupt ones.
+Result<std::vector<Event>> DecodeEventChunkPayloadWithPath(
+    std::span<const uint8_t> payload, TraceFilter filter,
+    uint64_t expected_first, uint64_t expected_count,
+    ColumnarDecodePath path);
 
 }  // namespace ddr
 

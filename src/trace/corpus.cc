@@ -68,45 +68,52 @@ Result<std::vector<CorpusEntry>> DecodeCorpusIndex(
 
 // ----------------------------------------------------- journal trailers
 
+// The three wire forms a generation's trailer can take.
+enum class TrailerForm : uint8_t {
+  kV1 = 0,         // 12 bytes, magic "CRDD": v1 body, always generation 1
+  kFullIndex = 1,  // 28 bytes, magic "CRDJ": journal, index lists all entries
+  kDeltaIndex = 2,  // 28 bytes, magic "CRDL": index lists this gen's adds only
+};
+
 // A parsed corpus trailer: the fixed-width record that publishes an index
-// generation. Two wire forms share this struct: the 12-byte v1 trailer
-// (index offset + magic; always generation 1) and the 28-byte journal
-// trailer (index offset, previous trailer's offset, generation, CRC,
-// magic).
+// generation. The 28-byte journal layout (index offset, previous
+// trailer's offset, generation, CRC, magic) is shared by the full-index
+// and delta-index forms; only the magic differs.
 struct CorpusTrailerInfo {
   uint64_t trailer_offset = 0;  // absolute offset where the trailer begins
   uint64_t index_offset = 0;
-  uint64_t prev_trailer_offset = 0;  // journal form only
+  uint64_t prev_trailer_offset = 0;  // journal layout only
   uint32_t generation = 1;
-  bool journal_form = false;
+  TrailerForm form = TrailerForm::kV1;
 
+  bool journal_layout() const { return form != TrailerForm::kV1; }
   uint64_t end() const {
     return trailer_offset +
-           (journal_form ? kCorpusJournalTrailerBytes : kCorpusTrailerBytes);
+           (journal_layout() ? kCorpusJournalTrailerBytes : kCorpusTrailerBytes);
   }
 };
 
 std::vector<uint8_t> EncodeJournalTrailer(uint64_t index_offset,
                                           uint64_t prev_trailer_offset,
-                                          uint32_t generation) {
+                                          uint32_t generation,
+                                          uint32_t magic) {
   Encoder encoder;
   encoder.PutFixed64(index_offset);
   encoder.PutFixed64(prev_trailer_offset);
   encoder.PutFixed32(generation);
   encoder.PutFixed32(Crc32(encoder.buffer().data(), encoder.size()));
-  encoder.PutFixed32(kCorpusJournalTrailerMagic);
+  encoder.PutFixed32(magic);
   return encoder.TakeBuffer();
 }
 
 // Field-level validation of a trailer candidate (magic, CRC for the
-// journal form, index-before-trailer ordering). The decisive check — the
-// CRC'd index section it points at — is LoadIndexForTrailer's job.
+// journal layout, index-before-trailer ordering). The decisive check —
+// the CRC'd index section it points at — is LoadIndexForTrailer's job.
 bool ParseTrailerBytes(std::span<const uint8_t> bytes, uint64_t trailer_offset,
                        bool journal_form, CorpusTrailerInfo* out) {
   Decoder decoder(bytes.data(), bytes.size());
   CorpusTrailerInfo info;
   info.trailer_offset = trailer_offset;
-  info.journal_form = journal_form;
   if (journal_form) {
     if (bytes.size() < kCorpusJournalTrailerBytes) {
       return false;
@@ -117,7 +124,14 @@ bool ParseTrailerBytes(std::span<const uint8_t> bytes, uint64_t trailer_offset,
     auto crc = decoder.GetFixed32();
     auto magic = decoder.GetFixed32();
     if (!index_offset.ok() || !prev.ok() || !generation.ok() || !crc.ok() ||
-        !magic.ok() || *magic != kCorpusJournalTrailerMagic) {
+        !magic.ok()) {
+      return false;
+    }
+    if (*magic == kCorpusJournalTrailerMagic) {
+      info.form = TrailerForm::kFullIndex;
+    } else if (*magic == kCorpusDeltaTrailerMagic) {
+      info.form = TrailerForm::kDeltaIndex;
+    } else {
       return false;
     }
     if (*crc != Crc32(bytes.data(), kCorpusJournalTrailerBytes - 8)) {
@@ -227,7 +241,8 @@ Result<CorpusTrailerInfo> FindLatestValidTrailer(
         file.Read(lo, static_cast<size_t>(hi - lo), &scan_buf));
     for (uint64_t p = hi - 4;; --p) {
       const uint32_t word = ReadWordLE(window.data() + (p - lo));
-      const bool journal_magic = word == kCorpusJournalTrailerMagic;
+      const bool journal_magic = word == kCorpusJournalTrailerMagic ||
+                                 word == kCorpusDeltaTrailerMagic;
       if (journal_magic || word == kCorpusTrailerMagic) {
         const uint64_t size =
             journal_magic ? kCorpusJournalTrailerBytes : kCorpusTrailerBytes;
@@ -258,33 +273,81 @@ Result<CorpusTrailerInfo> FindLatestValidTrailer(
       "no valid corpus trailer found (torn or corrupt journal)");
 }
 
-// Walks the prev-trailer chain from the latest generation down to the v1
-// base, counting dead bytes: every superseded generation's index section
-// + trailer, plus any torn tail past the live trailer. The chain was
+// Reads + link-validates the previous trailer in a journal chain:
+// generations are strictly ordered in the file and in number, so the
+// previous trailer must end before this generation's bytes begin and
+// carry exactly the predecessor generation number. The chain was
 // published by fsync-ordered appends, so a broken link is corruption —
 // surfaced as a Status, never skipped.
-Status WalkJournalChain(const RandomAccessFile& file, uint64_t file_size,
-                        const CorpusTrailerInfo& latest,
-                        uint64_t* dead_bytes) {
+Result<CorpusTrailerInfo> ReadPrevTrailer(const RandomAccessFile& file,
+                                          uint64_t file_size,
+                                          const CorpusTrailerInfo& current,
+                                          std::vector<uint8_t>* scratch) {
+  CorpusTrailerInfo prev;
+  if (!ReadTrailerFieldsAt(file, current.prev_trailer_offset, file_size, &prev,
+                           scratch)) {
+    return InvalidArgumentError(
+        StrPrintf("corpus journal chain broken below generation %u",
+                  current.generation));
+  }
+  if (prev.end() > current.index_offset ||
+      prev.generation + 1 != current.generation) {
+    return InvalidArgumentError(
+        StrPrintf("corpus journal chain inconsistent at generation %u",
+                  current.generation));
+  }
+  return prev;
+}
+
+// Walks the prev-trailer chain from the latest generation down to the v1
+// base, stitching delta indexes and counting dead bytes.
+//
+// On entry `entries` holds the latest generation's own index. Delta
+// generations are collected walking down until the first full index (a
+// v2 "CRDJ" generation or the v1 body) — the stitch base — then overlaid
+// on it oldest-first, a newer generation winning any name. Everything in
+// the stitch range is live; dead bytes are the torn tail plus the index
+// section + trailer of every generation strictly below the base (the
+// walk continues to generation 1 for validation either way).
+Status StitchJournalChain(const RandomAccessFile& file, uint64_t file_size,
+                          const CorpusTrailerInfo& latest,
+                          std::vector<CorpusEntry>* entries,
+                          uint64_t* dead_bytes) {
   std::vector<uint8_t> scratch;
   uint64_t dead = file_size - latest.end();
   CorpusTrailerInfo current = latest;
-  while (current.journal_form) {
-    CorpusTrailerInfo prev;
-    if (!ReadTrailerFieldsAt(file, current.prev_trailer_offset, file_size,
-                             &prev, &scratch)) {
-      return InvalidArgumentError(
-          StrPrintf("corpus journal chain broken below generation %u",
-                    current.generation));
+  std::vector<CorpusEntry> current_entries = std::move(*entries);
+  // Delta generations' entry lists, newest first.
+  std::vector<std::vector<CorpusEntry>> deltas;
+  while (current.form == TrailerForm::kDeltaIndex) {
+    deltas.push_back(std::move(current_entries));
+    ASSIGN_OR_RETURN(CorpusTrailerInfo prev,
+                     ReadPrevTrailer(file, file_size, current, &scratch));
+    ASSIGN_OR_RETURN(current_entries, LoadIndexForTrailer(file, prev));
+    current = prev;
+  }
+  // `current` publishes the stitch base's full index; overlay the deltas
+  // oldest-first so the final order matches the equivalent full-index
+  // bundle (add order), with a newer generation replacing a name in
+  // place.
+  std::vector<CorpusEntry> stitched = std::move(current_entries);
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    for (CorpusEntry& entry : *it) {
+      auto slot = std::find_if(
+          stitched.begin(), stitched.end(),
+          [&](const CorpusEntry& have) { return have.name == entry.name; });
+      if (slot != stitched.end()) {
+        *slot = std::move(entry);
+      } else {
+        stitched.push_back(std::move(entry));
+      }
     }
-    // Generations are strictly ordered in the file and in number; the
-    // previous trailer must end before this generation's images begin.
-    if (prev.end() > current.index_offset ||
-        prev.generation + 1 != current.generation) {
-      return InvalidArgumentError(
-          StrPrintf("corpus journal chain inconsistent at generation %u",
-                    current.generation));
-    }
+  }
+  // Generations below the stitch base are superseded: validate the rest
+  // of the chain and account their index + trailer bytes as dead.
+  while (current.journal_layout()) {
+    ASSIGN_OR_RETURN(CorpusTrailerInfo prev,
+                     ReadPrevTrailer(file, file_size, current, &scratch));
     dead += prev.end() - prev.index_offset;
     current = prev;
   }
@@ -292,6 +355,7 @@ Status WalkJournalChain(const RandomAccessFile& file, uint64_t file_size,
     return InvalidArgumentError(
         "corpus journal chain does not reach generation 1");
   }
+  *entries = std::move(stitched);
   *dead_bytes = dead;
   return OkStatus();
 }
@@ -312,13 +376,15 @@ Status WalkJournalChain(const RandomAccessFile& file, uint64_t file_size,
 // torn bytes, and the next append overwrites them.
 class CorpusJournalSink {
  public:
-  // `expected_size` / `trailer_offset` describe the bundle as the
-  // caller's reader observed it; they are re-validated under the writer
-  // lock so an append prepared against a since-mutated file fails
-  // instead of writing over published bytes.
+  // `expected_size` / `trailer_offset` / `observed_version` describe the
+  // bundle as the caller's reader observed it; they are re-validated
+  // under the writer lock so an append prepared against a since-mutated
+  // file fails instead of writing over published bytes. When the
+  // observed header version predates the delta-index layout the header
+  // is flipped to version 3 (fsync'd before any tail byte lands).
   static Result<std::unique_ptr<CorpusJournalSink>> Open(
       const std::string& path, uint64_t tail_offset, uint64_t expected_size,
-      uint64_t trailer_offset, bool flip_header);
+      uint64_t trailer_offset, uint32_t observed_version);
   ~CorpusJournalSink();
 
   CorpusJournalSink(const CorpusJournalSink&) = delete;
@@ -349,7 +415,7 @@ class CorpusJournalSink {
 
 Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
     const std::string& path, uint64_t tail_offset, uint64_t expected_size,
-    uint64_t trailer_offset, bool flip_header) {
+    uint64_t trailer_offset, uint32_t observed_version) {
   int fd = -1;
   do {
     fd = ::open(path.c_str(), O_RDWR);
@@ -408,9 +474,7 @@ Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
       return changed();
     }
     const uint32_t version = ReadWordLE(version_bytes);
-    const uint32_t expected_version =
-        flip_header ? kCorpusFormatVersion : kCorpusFormatVersionJournal;
-    if (version != expected_version) {
+    if (version != observed_version) {
       return changed();
     }
   }
@@ -439,9 +503,9 @@ Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
   // tail_offset; whatever torn bytes extend past the new trailer stay
   // accounted as dead bytes (no valid trailer can exist up there: the
   // crashed append never committed one) until a compact reclaims them.
-  if (flip_header) {
+  if (observed_version != kCorpusFormatVersionDelta) {
     Encoder encoder;
-    encoder.PutFixed32(kCorpusFormatVersionJournal);
+    encoder.PutFixed32(kCorpusFormatVersionDelta);
     RETURN_IF_ERROR(sink->WriteAt(4, encoder.buffer().data(), encoder.size()));
     sink->bytes_written_ += encoder.size();
   }
@@ -562,7 +626,7 @@ Status CorpusWriter::BeginAppend(const CorpusAppendOptions& options) {
   read_options.cache_bytes = 0;
   uint64_t tail = 0;
   uint64_t observed_size = 0;
-  bool flip = false;
+  uint32_t observed_version = kCorpusFormatVersion;
   {
     ASSIGN_OR_RETURN(CorpusReader existing,
                      CorpusReader::Open(path_, read_options));
@@ -579,10 +643,11 @@ Status CorpusWriter::BeginAppend(const CorpusAppendOptions& options) {
       generation_ = existing.generation() + 1;
       tail = existing.tail_offset();
       observed_size = existing.file_size();
-      flip = !existing.journaled();
+      observed_version = existing.format_version();
       begun_ = true;
       offset_ = tail;
       entries_ = existing.entries();
+      base_entry_count_ = entries_.size();
       for (const CorpusEntry& entry : entries_) {
         names_.insert(entry.name);
       }
@@ -629,9 +694,9 @@ Status CorpusWriter::BeginAppend(const CorpusAppendOptions& options) {
       return OkStatus();
     }
   }
-  ASSIGN_OR_RETURN(journal_,
-                   CorpusJournalSink::Open(path_, tail, observed_size,
-                                           prev_trailer_offset_, flip));
+  ASSIGN_OR_RETURN(journal_, CorpusJournalSink::Open(path_, tail, observed_size,
+                                                     prev_trailer_offset_,
+                                                     observed_version));
   return OkStatus();
 }
 
@@ -803,8 +868,17 @@ Status CorpusWriter::Finish() {
   }
   finished_ = true;
 
+  // An in-place append publishes a *delta* index — only the entries this
+  // generation added — so the bytes written stay O(new entries) no
+  // matter how large the bundle's live entry set is. Every other path
+  // writes the canonical full index.
+  const std::vector<uint8_t> index_payload =
+      journal_ != nullptr
+          ? EncodeCorpusIndex(std::vector<CorpusEntry>(
+                entries_.begin() + base_entry_count_, entries_.end()))
+          : EncodeCorpusIndex(entries_);
   const std::vector<uint8_t> index_section = EncodeTraceSection(
-      TraceSection::kCorpusIndex, EncodeCorpusIndex(entries_),
+      TraceSection::kCorpusIndex, index_payload,
       /*allow_compress=*/true);
   RETURN_IF_ERROR(WriteBytes(index_section));
   const uint64_t index_offset = offset_;
@@ -817,7 +891,8 @@ Status CorpusWriter::Finish() {
     // fsyncs recovers to the previous generation.
     RETURN_IF_ERROR(journal_->Sync());
     const std::vector<uint8_t> trailer =
-        EncodeJournalTrailer(index_offset, prev_trailer_offset_, generation_);
+        EncodeJournalTrailer(index_offset, prev_trailer_offset_, generation_,
+                             kCorpusDeltaTrailerMagic);
     RETURN_IF_ERROR(journal_->Append(trailer.data(), trailer.size()));
     offset_ += trailer.size();
     return journal_->Commit();
@@ -884,11 +959,13 @@ Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
     }
     ASSIGN_OR_RETURN(version, decoder.GetFixed32());
     if (version != kCorpusFormatVersion &&
-        version != kCorpusFormatVersionJournal) {
+        version != kCorpusFormatVersionJournal &&
+        version != kCorpusFormatVersionDelta) {
       return InvalidArgumentError(
           StrPrintf("unsupported corpus format version %u", version));
     }
   }
+  reader.format_version_ = version;
 
   if (version == kCorpusFormatVersion) {
     // Canonical single-shot layout: exactly one trailer, flush at
@@ -914,8 +991,10 @@ Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
     return reader;
   }
 
-  // Journaled layout: chain-load the latest valid trailer, scanning back
-  // past a torn tail if a crashed append left one.
+  // Journaled layout (v2 or v3): chain-load the latest valid trailer,
+  // scanning back past a torn tail if a crashed append left one, then
+  // stitch the index chain (a no-op overlay when the latest trailer
+  // already publishes a full index).
   ASSIGN_OR_RETURN(CorpusTrailerInfo trailer,
                    FindLatestValidTrailer(*reader.file_, reader.file_size_,
                                           &reader.entries_));
@@ -923,9 +1002,9 @@ Result<CorpusReader> CorpusReader::OpenImpl(const std::string& path,
   reader.trailer_offset_ = trailer.trailer_offset;
   reader.tail_offset_ = trailer.end();
   reader.journaled_ = true;
-  reader.generation_ = trailer.journal_form ? trailer.generation : 1;
-  RETURN_IF_ERROR(WalkJournalChain(*reader.file_, reader.file_size_, trailer,
-                                   &reader.dead_bytes_));
+  reader.generation_ = trailer.journal_layout() ? trailer.generation : 1;
+  RETURN_IF_ERROR(StitchJournalChain(*reader.file_, reader.file_size_, trailer,
+                                     &reader.entries_, &reader.dead_bytes_));
   return reader;
 }
 

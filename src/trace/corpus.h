@@ -46,7 +46,7 @@
 //   ...
 //   [image]* [index gN] [trailer gN 28B]      <- latest generation
 //
-// Each generation's index re-lists *every* live entry, so readers only
+// A v2 generation's index re-lists *every* live entry, so readers only
 // ever load the latest one; superseded index sections and trailers stay
 // in the file as dead bytes (reported by `dead_bytes()` / `corpus info`,
 // reclaimed by CompactCorpus). An append writes only the new images, one
@@ -54,6 +54,31 @@
 // never O(file) — and mutates nothing a pre-append reader can see: old
 // images, old index, and old trailer all keep their bytes, so concurrent
 // readers of the same inode are undisturbed.
+//
+// ---------------------------------------------------- delta indexes (v3)
+//
+// Re-listing every live entry still makes each append generation's index
+// O(total entries) — quadratic bytes across a long resume loop. Header
+// version 3 shrinks the journal record to a true delta: an in-place
+// append writes an index section listing only the entries *its own
+// generation added*, published by a 28-byte trailer with the distinct
+// magic "CRDL" (same layout as the v2 "CRDJ" trailer: index offset, prev
+// trailer offset, generation, CRC, magic). Appends are O(new entries) in
+// bytes written, independent of how many entries the bundle already
+// holds.
+//
+// Readers stitch: CorpusReader::Open walks the prev-trailer chain from
+// the newest valid trailer down to the newest *full* index (a v2 "CRDJ"
+// generation or the generation-1 v1 body), then overlays each delta on
+// top, oldest first, newest generation winning a name. Every index
+// section in that stitch range is live — dead bytes are only the torn
+// tail plus index+trailer bytes of generations strictly below the stitch
+// base. The first delta append flips the header to version 3 (fsync'd
+// first, exactly like the 1 -> 2 flip), so v1/v2 readers fail with a
+// clean "unsupported corpus format version 3" instead of serving a
+// partial entry set; v2 full-index bundles keep reading forever, and
+// CompactCorpus / rewrite-mode appends still squash any chain back to
+// canonical v1.
 //
 // Crash durability is by write ordering, not rename:
 //
@@ -113,11 +138,21 @@ inline constexpr uint32_t kCorpusTrailerMagic = 0x44445243u;  // "CRDD"
 // Journal trailers end with their own magic so a backward scan can tell
 // them from v1 trailers (and from image bytes) before validating.
 inline constexpr uint32_t kCorpusJournalTrailerMagic = 0x4A445243u;  // "CRDJ"
+// Delta-index trailers (v3): same 28-byte layout as the journal form,
+// but the index section it points at lists only the entries its own
+// generation added — readers stitch the chain down to the newest full
+// index. The distinct magic is what keeps a v2 full-index reader from
+// silently serving a partial entry set.
+inline constexpr uint32_t kCorpusDeltaTrailerMagic = 0x4C445243u;  // "CRDL"
 inline constexpr uint32_t kCorpusFormatVersion = 1;
 // Stamped in the header the moment a bundle gains a second index
 // generation, so single-trailer (v1-only) readers fail with a clean
 // unsupported-version error instead of misparsing the journal tail.
 inline constexpr uint32_t kCorpusFormatVersionJournal = 2;
+// Stamped when a generation is published through a delta index: v2
+// readers (which would load only the latest full index) must fail with a
+// clean unsupported-version error, not drop every delta-appended entry.
+inline constexpr uint32_t kCorpusFormatVersionDelta = 3;
 inline constexpr size_t kCorpusHeaderBytes = 12;   // magic + version + flags
 inline constexpr size_t kCorpusTrailerBytes = 12;  // index offset + magic
 // index offset + prev trailer offset + generation + CRC + magic.
@@ -267,10 +302,13 @@ class CorpusWriter {
   Status status_;  // first error, sticky
   uint64_t offset_ = 0;
 
-  // In-place append bookkeeping: the trailer being superseded and the
-  // generation number the new trailer will carry.
+  // In-place append bookkeeping: the trailer being superseded, the
+  // generation number the new trailer will carry, and how many of
+  // entries_ were inherited from the existing bundle — Finish()'s delta
+  // index covers only entries_[base_entry_count_..].
   uint64_t prev_trailer_offset_ = 0;
   uint32_t generation_ = 1;
+  size_t base_entry_count_ = 0;
 
   std::vector<CorpusEntry> entries_;
   std::set<std::string> names_;
@@ -314,15 +352,19 @@ class CorpusReader {
   uint64_t file_size() const { return file_size_; }
   // Absolute file offset of the (latest) index section.
   uint64_t index_offset() const { return index_offset_; }
-  // True when the header carries the journal version: the bundle has (or
-  // had) more than one index generation.
+  // True when the header carries a journal version (2 or 3): the bundle
+  // has (or had) more than one index generation.
   bool journaled() const { return journaled_; }
+  // The header's format version: 1 canonical single-shot, 2 full-index
+  // journal, 3 delta-index journal.
+  uint32_t format_version() const { return format_version_; }
   // Number of index generations in the journal chain (1 for a canonical
   // single-shot bundle).
   uint32_t generation() const { return generation_; }
-  // Bytes no live read can reach: superseded index sections + trailers,
-  // plus any torn tail past the latest valid trailer. CompactCorpus
-  // reclaims them.
+  // Bytes no live read can reach: index sections + trailers of
+  // generations below the stitch base (delta-chain indexes above it are
+  // live — Open needs them to stitch), plus any torn tail past the
+  // latest valid trailer. CompactCorpus reclaims them.
   uint64_t dead_bytes() const { return dead_bytes_; }
   // Absolute offset of the latest valid trailer, and of its end (the
   // logical tail — equal to file_size() unless a torn tail was scanned
@@ -384,6 +426,7 @@ class CorpusReader {
   uint64_t file_size_ = 0;
   uint64_t index_offset_ = 0;
   bool journaled_ = false;
+  uint32_t format_version_ = kCorpusFormatVersion;
   uint32_t generation_ = 1;
   uint64_t dead_bytes_ = 0;
   uint64_t trailer_offset_ = 0;

@@ -16,12 +16,28 @@
 
 namespace ddr {
 
+// Worst-case encoded size of one varint64 (ten 7-bit groups cover 64
+// bits). The bulk span decoders hoist their bounds check to "at least
+// this many bytes remain", so the inner loop never tests pos_ < size_.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
 class Encoder {
  public:
   Encoder() = default;
 
   void PutVarint64(uint64_t value);
   void PutZigzag64(int64_t value);
+
+  // Bulk column encoders: append `count` varints produced by gen(i) with
+  // one worst-case buffer reservation and raw-pointer writes instead of
+  // a push_back per byte. Byte-identical to calling PutVarint64 /
+  // PutZigzag64(value - prev) in a loop.
+  template <typename Gen>  // uint64_t gen(size_t i)
+  void PutVarint64Span(size_t count, Gen&& gen);
+  // Delta form for monotone columns: encodes gen(i) - gen(i-1) (zigzag,
+  // wrapping uint64 arithmetic), with gen(-1) taken as 0.
+  template <typename Gen>  // uint64_t gen(size_t i) -> absolute value
+  void PutZigzagDelta64Span(size_t count, Gen&& gen);
   void PutFixed8(uint8_t value);
   void PutFixed32(uint32_t value);
   void PutFixed64(uint64_t value);
@@ -57,14 +73,110 @@ class Decoder {
   // underlying buffer and advances past them.
   Result<const uint8_t*> GetBytes(size_t size);
 
+  // Bulk column decoders: read `count` varints and hand each to
+  // sink(i, value). While at least kMaxVarint64Bytes remain, the per-byte
+  // truncation check is hoisted out of the inner loop and single-byte
+  // values (< 0x80, the dominant case in delta columns) short-circuit;
+  // near the buffer tail the loop falls back to the checked scalar
+  // GetVarint64. Decoded values, consumed bytes, and error Statuses
+  // ("varint64 overflow" / "truncated varint64") are identical to calling
+  // GetVarint64 `count` times.
+  template <typename Sink>  // void sink(size_t i, uint64_t value)
+  Status GetVarint64Span(size_t count, Sink&& sink);
+  // Delta form: each varint is a zigzag delta against the previous
+  // reconstructed value (starting from 0, wrapping uint64 arithmetic);
+  // sink receives the running absolute value. Matches a GetZigzag64
+  // loop with `prev += delta`.
+  template <typename Sink>  // void sink(size_t i, uint64_t absolute)
+  Status GetZigzagDelta64Span(size_t count, Sink&& sink);
+
   size_t remaining() const { return size_ - pos_; }
   bool Done() const { return pos_ == size_; }
 
  private:
+  // Decodes one multi-byte varint starting at pos_, assuming the caller
+  // already checked that kMaxVarint64Bytes remain (any valid or invalid
+  // varint terminates within that bound). Returns false on 64-bit
+  // overflow. pos_ advances past the consumed bytes either way.
+  bool GetVarint64Unchecked(uint64_t* out) {
+    uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const uint8_t byte = data_[pos_++];
+      if (shift >= 63 && byte > 1) return false;
+      value |= static_cast<uint64_t>(byte & 0x7fu) << shift;
+      if ((byte & 0x80u) == 0) {
+        *out = value;
+        return true;
+      }
+      shift += 7;
+    }
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
 };
+
+template <typename Gen>
+void Encoder::PutVarint64Span(size_t count, Gen&& gen) {
+  const size_t base = buffer_.size();
+  buffer_.resize(base + count * kMaxVarint64Bytes);
+  uint8_t* p = buffer_.data() + base;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t value = gen(i);
+    while (value >= 0x80u) {
+      *p++ = static_cast<uint8_t>(value) | 0x80u;
+      value >>= 7;
+    }
+    *p++ = static_cast<uint8_t>(value);
+  }
+  buffer_.resize(static_cast<size_t>(p - buffer_.data()));
+}
+
+template <typename Gen>
+void Encoder::PutZigzagDelta64Span(size_t count, Gen&& gen) {
+  uint64_t prev = 0;
+  PutVarint64Span(count, [&](size_t i) {
+    const uint64_t value = gen(i);
+    const int64_t delta = static_cast<int64_t>(value - prev);
+    prev = value;
+    return (static_cast<uint64_t>(delta) << 1) ^
+           static_cast<uint64_t>(delta >> 63);
+  });
+}
+
+template <typename Sink>
+Status Decoder::GetVarint64Span(size_t count, Sink&& sink) {
+  size_t i = 0;
+  while (i < count && size_ - pos_ >= kMaxVarint64Bytes) {
+    const uint8_t first = data_[pos_];
+    if (first < 0x80u) {
+      ++pos_;
+      sink(i++, first);
+      continue;
+    }
+    uint64_t value;
+    if (!GetVarint64Unchecked(&value)) {
+      return InvalidArgumentError("varint64 overflow");
+    }
+    sink(i++, value);
+  }
+  for (; i < count; ++i) {
+    ASSIGN_OR_RETURN(const uint64_t value, GetVarint64());
+    sink(i, value);
+  }
+  return OkStatus();
+}
+
+template <typename Sink>
+Status Decoder::GetZigzagDelta64Span(size_t count, Sink&& sink) {
+  uint64_t prev = 0;
+  return GetVarint64Span(count, [&](size_t i, uint64_t encoded) {
+    prev += (encoded >> 1) ^ (~(encoded & 1u) + 1);
+    sink(i, prev);
+  });
+}
 
 }  // namespace ddr
 

@@ -6,32 +6,72 @@ namespace ddr {
 
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// 8 slicing tables: table[0] is the classic bytewise table; table[k][i]
+// extends it by k extra zero bytes, so 8 input bytes can be folded into
+// the state with 8 independent lookups per iteration instead of 8
+// dependent ones.
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables BuildTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xFFu];
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = BuildTables();
+  return tables;
+}
+
+// Explicit little-endian composition keeps the wide path byte-order
+// independent (the tables are defined over input byte order, not host
+// word order).
+inline uint32_t LoadLE32(const uint8_t* bytes) {
+  return static_cast<uint32_t>(bytes[0]) |
+         static_cast<uint32_t>(bytes[1]) << 8 |
+         static_cast<uint32_t>(bytes[2]) << 16 |
+         static_cast<uint32_t>(bytes[3]) << 24;
 }
 
 }  // namespace
 
-uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+uint32_t Crc32UpdateBytewise(uint32_t state, const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
-  const auto& table = Table();
+  const auto& table = Tables()[0];
   for (size_t i = 0; i < size; ++i) {
     state = (state >> 8) ^ table[(state ^ bytes[i]) & 0xFFu];
   }
   return state;
+}
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const auto& t = Tables();
+  // Slicing-by-8: fold the state into the first 4 input bytes, then one
+  // table lookup per byte with no serial dependency inside the iteration.
+  while (size >= 8) {
+    const uint32_t lo = LoadLE32(bytes) ^ state;
+    const uint32_t hi = LoadLE32(bytes + 4);
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+            t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+            t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+  return Crc32UpdateBytewise(state, bytes, size);
 }
 
 uint32_t Crc32(const void* data, size_t size) {

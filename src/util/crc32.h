@@ -14,9 +14,15 @@ namespace ddr {
 uint32_t Crc32(const void* data, size_t size);
 
 // Incremental form: feed `Crc32Update` the running value (start from
-// `kCrc32Init`) and finish with `Crc32Finish`.
+// `kCrc32Init`) and finish with `Crc32Finish`. The fast path is
+// slicing-by-8 (8 bytes per iteration over 8 precomputed tables, same
+// polynomial and values as the bytewise loop).
 inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
 uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+// One-table byte-at-a-time reference implementation: the tail loop of
+// Crc32Update and the ground truth the sliced path is asserted against
+// in tests (any length, any alignment, identical output).
+uint32_t Crc32UpdateBytewise(uint32_t state, const void* data, size_t size);
 inline constexpr uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
 
 }  // namespace ddr

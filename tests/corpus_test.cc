@@ -22,7 +22,10 @@
 #include "src/core/experiment.h"
 #include "src/trace/chunk_cache.h"
 #include "src/trace/corpus.h"
+#include "src/trace/trace_format.h"
 #include "src/trace/trace_writer.h"
+#include "src/util/codec.h"
+#include "src/util/crc32.h"
 #include "src/util/random_access_file.h"
 #include "src/util/rng.h"
 #include "src/util/string_util.h"
@@ -681,9 +684,11 @@ TEST(CorpusLifecycleTest, InterruptedAppendLeavesOriginalIntact) {
 // ------------------------------------------- In-place journal appends
 
 // The O(delta) acceptance property, asserted on sink byte accounting: an
-// in-place append to an N-entry bundle writes the new images + one index
-// + one trailer (+ the 4-byte header version flip) — never a copy of the
-// existing bytes — so the cost is flat in the size of the base bundle.
+// in-place append to an N-entry bundle writes the new images + a delta
+// index listing only the new entries + one trailer (+ the 4-byte header
+// version flip) — never a copy of the existing bytes and never a re-list
+// of the existing entries — so the cost is flat in both the size and the
+// entry count of the base bundle.
 TEST(CorpusJournalTest, InPlaceAppendWritesOnlyTheDelta) {
   TraceWriteOptions options;
   options.events_per_chunk = 128;
@@ -716,9 +721,6 @@ TEST(CorpusJournalTest, InPlaceAppendWritesOnlyTheDelta) {
   };
 
   const uint64_t small_before = FileSizeBytes(small_base.get());
-  auto small_pre = CorpusReader::Open(small_base.get());
-  ASSERT_TRUE(small_pre.ok()) << small_pre.status();
-  const uint64_t small_old_index = small_pre->index_offset();
   const uint64_t small_written = append_one(small_base.get());
   EXPECT_EQ(small_written,
             FileSizeBytes(small_base.get()) - small_before + 4);
@@ -727,11 +729,12 @@ TEST(CorpusJournalTest, InPlaceAppendWritesOnlyTheDelta) {
   const uint64_t big_written = append_one(big_base.get());
   // Bytes written are exactly the on-disk delta plus the header flip...
   EXPECT_EQ(big_written, FileSizeBytes(big_base.get()) - big_before + 4);
-  // ...and flat in the base size: the 6x-larger base pays only its
-  // longer index re-list, not a copy of its images.
+  // ...and flat in the base: the 6x-larger, 6x-more-entry base writes
+  // the same delta index (one entry) as the small one — the only drift
+  // allowed is varint width of the larger file offsets.
   EXPECT_GT(big_before, 4 * small_before);
   EXPECT_LT(big_written, big_before / 4);
-  EXPECT_LT(big_written, small_written + 2048);
+  EXPECT_LT(big_written, small_written + 64);
 
   for (IoBackend backend : kAllBackends) {
     auto corpus =
@@ -746,14 +749,18 @@ TEST(CorpusJournalTest, InPlaceAppendWritesOnlyTheDelta) {
     EXPECT_EQ(loaded->log.size(), 50u);
   }
 
-  // Dead bytes are exactly the superseded generation-1 index + trailer.
+  // Nothing is dead: the generation-1 index is the stitch base the
+  // delta chain resolves against, so every index byte in the file is
+  // still reachable by Open.
   auto small_after = CorpusReader::Open(small_base.get());
   ASSERT_TRUE(small_after.ok()) << small_after.status();
-  EXPECT_EQ(small_after->dead_bytes(), small_before - small_old_index);
+  EXPECT_EQ(small_after->format_version(), kCorpusFormatVersionDelta);
+  EXPECT_EQ(small_after->dead_bytes(), 0u);
 }
 
 // Repeated in-place appends chain generations; every generation's
-// entries stay readable, dead bytes grow only by superseded indexes, and
+// entries stay readable, the whole delta chain stays live (zero dead
+// bytes — every index section is needed for the stitch), and
 // duplicate-name detection spans the whole chain.
 TEST(CorpusJournalTest, SequentialAppendsChainGenerations) {
   ScopedPath path("journalchain");
@@ -766,7 +773,6 @@ TEST(CorpusJournalTest, SequentialAppendsChainGenerations) {
         writer.Add("gen1/a", MakeSyntheticRecording(300, 1), options).ok());
     ASSERT_TRUE(writer.Finish().ok());
   }
-  uint64_t last_dead = 0;
   for (uint32_t gen = 2; gen <= 4; ++gen) {
     auto writer = CorpusWriter::AppendTo(path.get());
     ASSERT_TRUE(writer.ok()) << writer.status();
@@ -780,8 +786,11 @@ TEST(CorpusJournalTest, SequentialAppendsChainGenerations) {
     ASSERT_TRUE(corpus.ok()) << corpus.status();
     EXPECT_EQ(corpus->generation(), gen);
     EXPECT_EQ(corpus->entries().size(), gen);
-    EXPECT_GT(corpus->dead_bytes(), last_dead);
-    last_dead = corpus->dead_bytes();
+    // Entry order matches the equivalent single-shot build: add order.
+    EXPECT_EQ(corpus->entries().front().name, "gen1/a");
+    EXPECT_EQ(corpus->entries().back().name,
+              "gen" + std::to_string(gen) + "/a");
+    EXPECT_EQ(corpus->dead_bytes(), 0u);
     EXPECT_EQ(corpus->tail_offset(), corpus->file_size());
     EXPECT_TRUE(corpus->VerifyAll().ok());
   }
@@ -883,8 +892,9 @@ TEST(CorpusJournalTest, TornTailRecoversPreviousGeneration) {
 }
 
 // A crash after the header version flip but before any appended byte
-// leaves a v2 header over a v1 body: the journal recovery path serves it
-// (generation 1, zero dead bytes) and the next append chains normally.
+// leaves a journal-version header (2 or 3) over a v1 body: the journal
+// recovery path serves it (generation 1, zero dead bytes) and the next
+// append chains normally.
 TEST(CorpusJournalTest, HeaderFlipAloneStaysReadable) {
   ScopedPath path("journalflip");
   {
@@ -894,16 +904,18 @@ TEST(CorpusJournalTest, HeaderFlipAloneStaysReadable) {
     ASSERT_TRUE(writer.Finish().ok());
   }
   std::vector<uint8_t> bytes = ReadFileBytes(path.get());
-  bytes[4] = 2;  // the little-endian version field
-  WriteFileBytes(path.get(), bytes);
-
-  for (IoBackend backend : kAllBackends) {
-    auto corpus = CorpusReader::Open(path.get(), WithBackend(backend, 0));
-    ASSERT_TRUE(corpus.ok()) << corpus.status();
-    EXPECT_TRUE(corpus->journaled());
-    EXPECT_EQ(corpus->generation(), 1u);
-    EXPECT_EQ(corpus->dead_bytes(), 0u);
-    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+  for (uint8_t version : {uint8_t{2}, uint8_t{3}}) {
+    bytes[4] = version;  // the little-endian version field
+    WriteFileBytes(path.get(), bytes);
+    for (IoBackend backend : kAllBackends) {
+      auto corpus = CorpusReader::Open(path.get(), WithBackend(backend, 0));
+      ASSERT_TRUE(corpus.ok()) << corpus.status();
+      EXPECT_TRUE(corpus->journaled());
+      EXPECT_EQ(corpus->format_version(), version);
+      EXPECT_EQ(corpus->generation(), 1u);
+      EXPECT_EQ(corpus->dead_bytes(), 0u);
+      EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+    }
   }
   {
     auto writer = CorpusWriter::AppendTo(path.get());
@@ -995,8 +1007,29 @@ TEST(CorpusJournalTest, V1SingleTrailerLogicRejectsJournaledBundles) {
   };
   const Status rejected = open_v1_strict();
   EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(rejected.message().find("version 2"), std::string::npos)
+  EXPECT_NE(rejected.message().find("version 3"), std::string::npos)
       << rejected.message();
+
+  // The PR-5 era sequence — full-index journal logic that accepts
+  // versions 1 and 2 — must reject a delta-chained bundle the same way:
+  // loading only the newest (delta) index would silently drop every
+  // entry older than the last append.
+  const auto open_v2_strict = [&]() -> Status {
+    Decoder header(bytes.data(), kCorpusHeaderBytes);
+    EXPECT_TRUE(header.GetFixed32().ok());
+    auto version = header.GetFixed32();
+    EXPECT_TRUE(version.ok());
+    if (*version != kCorpusFormatVersion &&
+        *version != kCorpusFormatVersionJournal) {
+      return InvalidArgumentError(
+          StrPrintf("unsupported corpus format version %u", *version));
+    }
+    return OkStatus();
+  };
+  const Status v2_rejected = open_v2_strict();
+  EXPECT_EQ(v2_rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(v2_rejected.message().find("version 3"), std::string::npos)
+      << v2_rejected.message();
 
   // A version-ignoring v1 reader would parse the last 12 bytes as
   // [index offset | magic]: the magic mismatch stops it before the bogus
@@ -1081,6 +1114,178 @@ TEST(CorpusJournalTest, CompactSquashesJournalToSingleShotBytes) {
     ASSERT_TRUE((*writer)->Finish().ok());
   }
   EXPECT_EQ(ReadFileBytes(single.get()), ReadFileBytes(rewritten.get()));
+}
+
+// A delta-chained bundle is observationally identical to the single-shot
+// build of the same entries on every backend: same entry list (order,
+// metadata), byte-identical embedded images, same replayed recordings,
+// full verification — only the journal scaffolding differs.
+TEST(CorpusJournalTest, DeltaChainMatchesFullIndexEquivalent) {
+  std::vector<RecordedExecution> recordings;
+  for (uint64_t i = 0; i < 5; ++i) {
+    recordings.push_back(MakeSyntheticRecording(200 + i * 60, i + 1));
+  }
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+  const auto name = [](size_t i) { return "entry/" + std::to_string(i); };
+
+  ScopedPath single("deltaeqsingle");
+  {
+    CorpusWriter writer(single.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    for (size_t i = 0; i < recordings.size(); ++i) {
+      ASSERT_TRUE(writer.Add(name(i), recordings[i], options).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  // Chained: generation 1 holds entries 0-1, then one append per batch
+  // {2}, {3,4} — two delta generations on top of the v1 base.
+  ScopedPath chained("deltaeqchain");
+  {
+    CorpusWriter writer(chained.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add(name(0), recordings[0], options).ok());
+    ASSERT_TRUE(writer.Add(name(1), recordings[1], options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  for (const std::vector<size_t>& batch :
+       std::vector<std::vector<size_t>>{{2}, {3, 4}}) {
+    auto writer = CorpusWriter::AppendTo(chained.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (size_t i : batch) {
+      ASSERT_TRUE((*writer)->Add(name(i), recordings[i], options).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  const std::vector<uint8_t> single_bytes = ReadFileBytes(single.get());
+  const std::vector<uint8_t> chained_bytes = ReadFileBytes(chained.get());
+  for (IoBackend backend : kAllBackends) {
+    auto want = CorpusReader::Open(single.get(), WithBackend(backend, 1 << 20));
+    auto got = CorpusReader::Open(chained.get(), WithBackend(backend, 1 << 20));
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->format_version(), kCorpusFormatVersionDelta);
+    EXPECT_EQ(got->generation(), 3u);
+    ASSERT_EQ(got->entries().size(), want->entries().size());
+    for (size_t i = 0; i < want->entries().size(); ++i) {
+      const CorpusEntry& w = want->entries()[i];
+      const CorpusEntry& g = got->entries()[i];
+      EXPECT_EQ(g.name, w.name);
+      EXPECT_EQ(g.model, w.model);
+      EXPECT_EQ(g.scenario, w.scenario);
+      EXPECT_EQ(g.event_count, w.event_count);
+      EXPECT_EQ(g.length, w.length);
+      // The embedded DDRT images are byte-identical; only their offsets
+      // (and the surrounding journal scaffolding) may differ.
+      ASSERT_LE(w.offset + w.length, single_bytes.size());
+      ASSERT_LE(g.offset + g.length, chained_bytes.size());
+      EXPECT_TRUE(std::equal(single_bytes.begin() + w.offset,
+                             single_bytes.begin() + w.offset + w.length,
+                             chained_bytes.begin() + g.offset))
+          << w.name << " on " << IoBackendName(backend);
+      auto want_rec = want->LoadRecording(w.name);
+      auto got_rec = got->LoadRecording(g.name);
+      ASSERT_TRUE(want_rec.ok()) << want_rec.status();
+      ASSERT_TRUE(got_rec.ok()) << got_rec.status();
+      EXPECT_EQ(got_rec->log.size(), want_rec->log.size());
+    }
+    EXPECT_TRUE(got->VerifyAll().ok()) << IoBackendName(backend);
+  }
+
+  // Squashing the chain reproduces the single-shot file bit for bit.
+  auto stats = CompactCorpus(chained.get(), {});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(ReadFileBytes(chained.get()), single_bytes);
+}
+
+// Backward compatibility: a v2 bundle — full-index journal generations
+// ("CRDJ" trailers) — keeps reading under the v3 code, with the v2 dead
+// bytes accounting (every superseded full index is dead). A v3 delta
+// append chains directly on top of it, using the v2 generation as its
+// stitch base.
+TEST(CorpusJournalTest, FullIndexV2BundleStillReadsAndUpgrades) {
+  ScopedPath path("journalv2compat");
+  TraceWriteOptions options;
+  options.events_per_chunk = 64;
+  {
+    CorpusWriter writer(path.get());
+    ASSERT_TRUE(writer.Begin().ok());
+    ASSERT_TRUE(writer.Add("a", MakeSyntheticRecording(300, 1), options).ok());
+    ASSERT_TRUE(writer.Add("b", MakeSyntheticRecording(400, 2), options).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  // Hand-roll the v2 append the PR-5 era writer produced: header flipped
+  // to version 2, then a generation-2 *full* index re-listing every
+  // entry, published by a CRC'd "CRDJ" trailer chained to the v1
+  // trailer. (The current writer only emits v3 delta generations, so the
+  // old layout is reconstructed here byte-for-byte from its spec.)
+  std::vector<CorpusEntry> base_entries;
+  {
+    auto corpus = CorpusReader::Open(path.get());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    base_entries = corpus->entries();
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path.get());
+  const uint64_t v1_trailer_offset = bytes.size() - kCorpusTrailerBytes;
+  bytes[4] = 2;
+  Encoder index;
+  index.PutVarint64(base_entries.size());
+  for (const CorpusEntry& entry : base_entries) {
+    index.PutString(entry.name);
+    index.PutVarint64(entry.offset);
+    index.PutVarint64(entry.length);
+    index.PutString(entry.model);
+    index.PutString(entry.scenario);
+    index.PutVarint64(entry.event_count);
+    index.PutDouble(entry.original_wall_seconds);
+  }
+  const uint64_t index_offset = bytes.size();
+  const std::vector<uint8_t> section = EncodeTraceSection(
+      TraceSection::kCorpusIndex, index.buffer(), /*allow_compress=*/true);
+  bytes.insert(bytes.end(), section.begin(), section.end());
+  Encoder trailer;
+  trailer.PutFixed64(index_offset);
+  trailer.PutFixed64(v1_trailer_offset);
+  trailer.PutFixed32(2);  // generation
+  trailer.PutFixed32(Crc32(trailer.buffer().data(), trailer.size()));
+  trailer.PutFixed32(kCorpusJournalTrailerMagic);
+  bytes.insert(bytes.end(), trailer.buffer().begin(), trailer.buffer().end());
+  WriteFileBytes(path.get(), bytes);
+
+  // The superseded generation-1 index + v1 trailer are dead under v2
+  // accounting (the full generation-2 index replaces them).
+  uint64_t v2_dead = 0;
+  for (IoBackend backend : kAllBackends) {
+    auto corpus = CorpusReader::Open(path.get(), WithBackend(backend, 0));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_EQ(corpus->format_version(), kCorpusFormatVersionJournal);
+    EXPECT_EQ(corpus->generation(), 2u);
+    ASSERT_EQ(corpus->entries().size(), 2u);
+    EXPECT_GT(corpus->dead_bytes(), 0u);
+    v2_dead = corpus->dead_bytes();
+    EXPECT_TRUE(corpus->VerifyAll().ok()) << IoBackendName(backend);
+  }
+
+  // A delta append upgrades the header to v3 and stitches against the
+  // v2 full index; the dead accounting is unchanged by the new (live)
+  // generation.
+  {
+    auto writer = CorpusWriter::AppendTo(path.get());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->Add("c", MakeSyntheticRecording(150, 3), options).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  auto corpus = CorpusReader::Open(path.get());
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus->format_version(), kCorpusFormatVersionDelta);
+  EXPECT_EQ(corpus->generation(), 3u);
+  ASSERT_EQ(corpus->entries().size(), 3u);
+  EXPECT_EQ(corpus->entries().back().name, "c");
+  EXPECT_EQ(corpus->dead_bytes(), v2_dead);
+  EXPECT_TRUE(corpus->VerifyAll().ok());
 }
 
 // Merging the split halves of a grid reproduces every embedded image of

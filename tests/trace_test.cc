@@ -554,6 +554,104 @@ TEST(ChunkFilterTest, CorruptDeltaChunksFailCleanly) {
   EXPECT_FALSE(TraceStore::Verify(path.get()).ok());
 }
 
+// All fields of two decoded events must agree, not just the semantic hash
+// (which excludes seq/time by design).
+void ExpectEventsIdentical(const std::vector<Event>& a,
+                           const std::vector<Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq) << "event " << i;
+    EXPECT_EQ(a[i].time, b[i].time) << "event " << i;
+    EXPECT_EQ(a[i].fiber, b[i].fiber) << "event " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "event " << i;
+    EXPECT_EQ(a[i].type, b[i].type) << "event " << i;
+    EXPECT_EQ(a[i].obj, b[i].obj) << "event " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "event " << i;
+    EXPECT_EQ(a[i].aux, b[i].aux) << "event " << i;
+    EXPECT_EQ(a[i].region, b[i].region) << "event " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "event " << i;
+  }
+}
+
+// The batched columnar decoder is only a speedup if it is observationally
+// equal to the scalar reference: identical events from good payloads.
+TEST(ChunkFilterTest, ScalarAndBatchedDecodeBitIdentical) {
+  const RecordedExecution recording = MakeSyntheticRecording(1500);
+  const std::vector<Event>& events = recording.log.events();
+  for (const TraceFilter filter :
+       {TraceFilter::kNone, TraceFilter::kVarintDelta}) {
+    const std::vector<uint8_t> payload = EncodeEventChunkPayload(
+        events.data(), events.size(), /*first_event=*/0, filter);
+    auto scalar = DecodeEventChunkPayloadWithPath(
+        payload, filter, 0, events.size(), ColumnarDecodePath::kScalar);
+    auto batched = DecodeEventChunkPayloadWithPath(
+        payload, filter, 0, events.size(), ColumnarDecodePath::kBatched);
+    ASSERT_TRUE(scalar.ok()) << scalar.status();
+    ASSERT_TRUE(batched.ok()) << batched.status();
+    ExpectEventsIdentical(*scalar, *batched);
+    ExpectEventsIdentical(*batched, events);
+  }
+}
+
+// The count clamp must fire before the up-front vector allocation for
+// absurd counts too — 2^60 would otherwise be a ~74 EiB resize — on both
+// decode paths.
+TEST(ChunkFilterTest, CraftedHugeColumnarCountFailsOnBothPaths) {
+  Encoder encoder;
+  encoder.PutVarint64(0);           // first_event
+  encoder.PutVarint64(1ull << 60);  // count
+  for (int i = 0; i < 64; ++i) {
+    encoder.PutFixed8(0);
+  }
+  for (const ColumnarDecodePath path :
+       {ColumnarDecodePath::kScalar, ColumnarDecodePath::kBatched}) {
+    auto decoded = DecodeEventChunkPayloadWithPath(
+        encoder.buffer(), TraceFilter::kVarintDelta,
+        /*expected_first=*/0, /*expected_count=*/1ull << 60, path);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// Deterministic corruption sweep over a columnar payload: truncate at
+// every stride boundary and flip a byte at every stride. Each mutant must
+// decode to a Status — never crash, never read out of bounds (ASan/UBSan
+// jobs run this) — and the two decode paths must agree: same ok-ness,
+// and identical events whenever a mutant still parses (a value-column
+// flip is caught by the chunk CRC one layer up, not here).
+TEST(ChunkFilterTest, CorruptionSweepAgreesAcrossDecodePaths) {
+  const RecordedExecution recording = MakeSyntheticRecording(600, /*seed=*/7);
+  const std::vector<Event>& events = recording.log.events();
+  const std::vector<uint8_t> payload = EncodeEventChunkPayload(
+      events.data(), events.size(), /*first_event=*/0,
+      TraceFilter::kVarintDelta);
+
+  const auto decode_both = [&](const std::vector<uint8_t>& bytes,
+                               const char* what, size_t at) {
+    auto scalar = DecodeEventChunkPayloadWithPath(
+        bytes, TraceFilter::kVarintDelta, 0, events.size(),
+        ColumnarDecodePath::kScalar);
+    auto batched = DecodeEventChunkPayloadWithPath(
+        bytes, TraceFilter::kVarintDelta, 0, events.size(),
+        ColumnarDecodePath::kBatched);
+    ASSERT_EQ(scalar.ok(), batched.ok()) << what << " at " << at;
+    if (scalar.ok()) {
+      ExpectEventsIdentical(*scalar, *batched);
+    }
+  };
+
+  for (size_t keep = 0; keep < payload.size();
+       keep += payload.size() / 97 + 1) {
+    std::vector<uint8_t> truncated(payload.begin(), payload.begin() + keep);
+    decode_both(truncated, "truncate", keep);
+  }
+  for (size_t pos = 0; pos < payload.size(); pos += payload.size() / 211 + 1) {
+    std::vector<uint8_t> flipped = payload;
+    flipped[pos] ^= 0x20;
+    decode_both(flipped, "flip", pos);
+  }
+}
+
 TEST(TraceWriterTest, WriteFileIsAtomic) {
   const RecordedExecution recording = MakeSyntheticRecording(200);
   ScopedTracePath path("atomicfile");

@@ -341,6 +341,118 @@ TEST(CodecTest, EmptyBufferFailsEveryGetter) {
   EXPECT_FALSE(Decoder(empty).GetBool().ok());
 }
 
+// ----------------------------------------------------------- Codec spans
+
+// The span primitives must be pure speedups: byte-identical encodings and
+// value-identical decodes versus the per-value scalar calls, across the
+// fast path (>= kMaxVarint64Bytes remaining) and the checked tail.
+TEST(CodecSpanTest, VarintSpanEncodesByteIdenticallyAndRoundtrips) {
+  std::vector<uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    // Mix of widths: mostly single-byte, some mid, some full 64-bit.
+    const int shape = static_cast<int>(rng.NextIndex(10));
+    if (shape < 6) {
+      values.push_back(rng.NextIndex(128));
+    } else if (shape < 9) {
+      values.push_back(rng.NextIndex(1ull << 32));
+    } else {
+      values.push_back(~0ull - rng.NextIndex(1u << 20));
+    }
+  }
+  values.push_back(0);
+  values.push_back(~0ull);
+
+  Encoder scalar;
+  for (const uint64_t v : values) {
+    scalar.PutVarint64(v);
+  }
+  Encoder span;
+  span.PutVarint64Span(values.size(), [&](size_t i) { return values[i]; });
+  EXPECT_EQ(span.buffer(), scalar.buffer());
+
+  std::vector<uint64_t> decoded(values.size(), 0);
+  Decoder decoder(span.buffer());
+  ASSERT_TRUE(decoder
+                  .GetVarint64Span(values.size(),
+                                   [&](size_t i, uint64_t v) { decoded[i] = v; })
+                  .ok());
+  EXPECT_TRUE(decoder.Done());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(CodecSpanTest, ZigzagDeltaSpanMatchesScalarColumns) {
+  // A non-monotone series exercises negative deltas and the wrap at 0.
+  const std::vector<uint64_t> values = {0,   100, 90,  4096, 5,
+                                        ~0ull, 1,   1,   1ull << 40};
+
+  Encoder scalar;
+  uint64_t prev = 0;
+  for (const uint64_t v : values) {
+    scalar.PutZigzag64(static_cast<int64_t>(v - prev));
+    prev = v;
+  }
+  Encoder span;
+  span.PutZigzagDelta64Span(values.size(), [&](size_t i) { return values[i]; });
+  EXPECT_EQ(span.buffer(), scalar.buffer());
+
+  std::vector<uint64_t> decoded(values.size(), 0);
+  Decoder decoder(span.buffer());
+  ASSERT_TRUE(decoder
+                  .GetZigzagDelta64Span(
+                      values.size(), [&](size_t i, uint64_t v) { decoded[i] = v; })
+                  .ok());
+  EXPECT_TRUE(decoder.Done());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(CodecSpanTest, SpanTailFallbackDecodesNearBufferEnd) {
+  // Every suffix of a multi-width encoding is eventually shorter than
+  // kMaxVarint64Bytes, forcing the checked-tail loop; values must still
+  // come back exactly.
+  const std::vector<uint64_t> values = {1, 127, 128, 300, ~0ull, 5, 0, 99};
+  Encoder encoder;
+  for (const uint64_t v : values) {
+    encoder.PutVarint64(v);
+  }
+  std::vector<uint64_t> decoded(values.size(), 0);
+  Decoder decoder(encoder.buffer());
+  ASSERT_TRUE(decoder
+                  .GetVarint64Span(values.size(),
+                                   [&](size_t i, uint64_t v) { decoded[i] = v; })
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(CodecSpanTest, SpanOverflowFailsOnBothPaths) {
+  // Eleven bytes of continuation overflow a varint64. The unchecked fast
+  // path must reject it exactly like scalar GetVarint64 — with a buffer
+  // that ends right after the bad varint and with trailing slack — and
+  // never read past the 10-byte worst case.
+  std::vector<uint8_t> overflow(10, 0xFF);
+  overflow.push_back(0x01);
+
+  std::vector<uint8_t> padded = overflow;
+  padded.resize(padded.size() + kMaxVarint64Bytes, 0);
+  for (const std::vector<uint8_t>& bytes : {overflow, padded}) {
+    Decoder decoder(bytes);
+    const Status status = decoder.GetVarint64Span(1, [](size_t, uint64_t) {});
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("overflow"), std::string::npos);
+  }
+}
+
+TEST(CodecSpanTest, SpanTruncationFailsOutOfRange) {
+  // A continuation byte with nothing behind it: the checked tail must
+  // report the same truncation error as scalar GetVarint64.
+  std::vector<uint8_t> bytes{0x85, 0x80};
+  Decoder decoder(bytes);
+  const Status status = decoder.GetVarint64Span(1, [](size_t, uint64_t) {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
 // ------------------------------------------------------------------- Crc32
 
 TEST(Crc32Test, MatchesKnownVector) {
@@ -363,6 +475,36 @@ TEST(Crc32Test, DetectsSingleBitFlip) {
   const uint32_t before = Crc32(data.data(), data.size());
   data[64] ^= 0x01;
   EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+// The slicing-by-8 fast path must equal the bytewise reference for every
+// length and starting alignment: short runs that never reach the 8-byte
+// loop, runs whose head/tail straddle word boundaries, and long runs.
+TEST(Crc32Test, SlicedMatchesBytewiseAcrossLengthsAndAlignments) {
+  std::vector<uint8_t> buffer(4096 + 16);
+  Rng rng(0xC3C32);
+  for (uint8_t& byte : buffer) {
+    byte = static_cast<uint8_t>(rng.NextIndex(256));
+  }
+  const std::vector<size_t> lengths = {0,  1,  2,  7,   8,   9,    15,  16,
+                                       17, 31, 63, 127, 255, 1024, 4096};
+  for (const size_t length : lengths) {
+    for (size_t align = 0; align < 8; ++align) {
+      const uint8_t* start = buffer.data() + align;
+      EXPECT_EQ(Crc32Update(kCrc32Init, start, length),
+                Crc32UpdateBytewise(kCrc32Init, start, length))
+          << "length " << length << " align " << align;
+    }
+  }
+  // Split points must not matter either: incremental sliced updates with
+  // awkward boundaries equal one bytewise pass.
+  uint32_t state = kCrc32Init;
+  size_t pos = 0;
+  for (const size_t piece : {1u, 7u, 8u, 13u, 64u, 1000u}) {
+    state = Crc32Update(state, buffer.data() + pos, piece);
+    pos += piece;
+  }
+  EXPECT_EQ(state, Crc32UpdateBytewise(kCrc32Init, buffer.data(), pos));
 }
 
 // ------------------------------------------------------------ VectorClock

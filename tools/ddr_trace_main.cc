@@ -667,7 +667,10 @@ int CorpusInfo(const std::string& path, int argc, char** argv) {
   std::printf("io backend:        %s\n",
               std::string(IoBackendName(corpus->io_backend())).c_str());
   std::printf("layout:            %s\n",
-              corpus->journaled() ? "journaled (v2)" : "single-shot (v1)");
+              !corpus->journaled() ? "single-shot (v1)"
+              : corpus->format_version() == kCorpusFormatVersionDelta
+                  ? "journaled (v3, delta indexes)"
+                  : "journaled (v2, full indexes)");
   std::printf("generations:       %u\n", corpus->generation());
   std::printf("dead bytes:        %llu (%.1f%% of file%s)\n",
               static_cast<unsigned long long>(corpus->dead_bytes()),
@@ -869,7 +872,10 @@ int Query(int argc, char** argv) {
                   static_cast<unsigned long long>(info->file_size));
       std::printf("io backend:        %s\n", info->io_backend.c_str());
       std::printf("layout:            %s\n",
-                  info->journaled ? "journaled (v2)" : "single-shot (v1)");
+                  !info->journaled ? "single-shot (v1)"
+                  : info->format_version == kCorpusFormatVersionDelta
+                      ? "journaled (v3, delta indexes)"
+                      : "journaled (v2, full indexes)");
       std::printf("generations:       %u\n", info->generation);
       std::printf("dead bytes:        %llu\n",
                   static_cast<unsigned long long>(info->dead_bytes));
