@@ -19,6 +19,7 @@
 #include "src/server/corpus_client.h"
 #include "src/server/corpus_server.h"
 #include "src/trace/corpus.h"
+#include "src/util/fault_injection.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
@@ -535,6 +536,102 @@ void RunServerBench(BenchJsonWriter& json) {
   }
 }
 
+// The price of resilience: one client's verify throughput under four
+// configurations — clean wire with and without the retry machinery
+// armed (the delta must be noise: an unarmed fault layer is one relaxed
+// atomic load, and an idle retry loop is one branch), then 1% injected
+// send failures with retries off (loud errors leak to the caller) vs on
+// (absorbed; zero failures surface).
+void RunResilienceBench(BenchJsonWriter& json) {
+  constexpr char kSocketPath[] = "micro_corpus_serve_res.tmp.sock";
+  constexpr uint64_t kRequests = 200;
+
+  std::vector<std::string> names;
+  {
+    auto probe = CorpusReader::Open(
+        kCorpusPath, Options(IoBackend::kMmap, uint64_t{256} << 20));
+    CHECK(probe.ok()) << probe.status();
+    for (const CorpusEntry& entry : probe->entries()) {
+      names.push_back(entry.name);
+    }
+  }
+
+  CorpusServerOptions options;
+  options.socket_path = kSocketPath;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.reader = Options(IoBackend::kMmap, uint64_t{256} << 20);
+  auto server = CorpusServer::Start(kCorpusPath, options);
+  CHECK(server.ok()) << server.status();
+
+  struct Config {
+    const char* label;
+    const char* plan;  // "" = no faults
+    int retries;
+  };
+  constexpr Config kConfigs[] = {
+      {"clean", "", 0},
+      {"clean_retries_armed", "", 3},
+      {"faulty_no_retries", "client.send:unavail/100", 0},
+      {"faulty_retries", "client.send:unavail/100", 3},
+  };
+
+  double baseline_rps = 0.0;
+  for (const Config& config : kConfigs) {
+    if (config.plan[0] != '\0') {
+      CHECK(SetFaultPlan(config.plan).ok());
+    } else {
+      ClearFaultPlan();
+    }
+    CorpusClientOptions client_options;
+    client_options.timeout_ms = 5000;
+    client_options.max_retries = config.retries;
+    client_options.backoff_initial_ms = 1;
+    auto client = CorpusClient::ConnectUnixSocket(kSocketPath, client_options);
+    CHECK(client.ok()) << client.status();
+
+    uint64_t ok_count = 0;
+    uint64_t failed = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      auto verified = client->Verify(names[i % names.size()]);
+      verified.ok() ? ++ok_count : ++failed;
+    }
+    const double seconds = Seconds(start);
+    ClearFaultPlan();
+
+    if (config.retries > 0) {
+      CHECK_EQ(failed, uint64_t{0}) << config.label;
+    }
+    const double rps = kRequests / seconds;
+    if (baseline_rps == 0.0) {
+      baseline_rps = rps;
+    }
+    std::printf(
+        "resilience %-19s: %8.1f req/s (%5.2fx of clean), %llu ok / %llu "
+        "failed\n",
+        config.label, rps, rps / baseline_rps,
+        static_cast<unsigned long long>(ok_count),
+        static_cast<unsigned long long>(failed));
+
+    JsonLine line = json.Line();
+    line.Str("section", "resilience")
+        .Str("config", config.label)
+        .Str("fault_plan", config.plan)
+        .Int("max_retries", static_cast<uint64_t>(config.retries))
+        .Int("requests", kRequests)
+        .Int("ok", ok_count)
+        .Int("failed", failed)
+        .Num("seconds", seconds)
+        .Num("requests_per_sec", rps)
+        .Num("rps_vs_clean", rps / baseline_rps);
+    json.Write(line);
+  }
+
+  (*server)->RequestStop();
+  (*server)->Wait();
+}
+
 void RunAll() {
   PrintBanner("micro: corpus serving — backends, chunk cache, concurrency");
   BenchJsonWriter json("micro_corpus_serve");
@@ -545,6 +642,7 @@ void RunAll() {
   RunAppendBench(json);
   RunAppendScalingBench(json);
   RunServerBench(json);
+  RunResilienceBench(json);
   std::remove(kCorpusPath);
 }
 

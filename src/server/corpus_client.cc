@@ -1,29 +1,162 @@
 #include "src/server/corpus_client.h"
 
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "src/util/codec.h"
+#include "src/util/fault_injection.h"
 
 namespace ddr {
 
-Result<CorpusClient> CorpusClient::ConnectUnixSocket(const std::string& path) {
-  ASSIGN_OR_RETURN(Socket socket, ConnectUnix(path));
-  return CorpusClient(std::move(socket));
+namespace {
+
+constexpr uint64_t kDefaultJitterSeed = 0x9e3779b97f4a7c15ull;
+
+uint64_t JitterSeed(const CorpusClientOptions& options) {
+  return options.jitter_seed != 0 ? options.jitter_seed : kDefaultJitterSeed;
 }
 
-Result<CorpusClient> CorpusClient::ConnectTcpSocket(const std::string& host,
-                                                    uint16_t port) {
-  ASSIGN_OR_RETURN(Socket socket, ConnectTcp(host, port));
-  return CorpusClient(std::move(socket));
+// xorshift64: cheap, stateful, and fully determined by the seed.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = (x != 0) ? x : kDefaultJitterSeed;
+  return *state;
 }
 
-Result<std::vector<uint8_t>> CorpusClient::Call(const RpcRequest& request) {
+// Delay before retry `attempt` (1-based): exponential from the initial
+// delay, capped, lower half fixed and upper half jittered.
+int BackoffDelayMs(const CorpusClientOptions& options, int attempt,
+                   uint64_t* rng) {
+  int64_t base = options.backoff_initial_ms > 0 ? options.backoff_initial_ms : 1;
+  const int64_t cap = options.backoff_max_ms > 0 ? options.backoff_max_ms : 1;
+  for (int i = 1; i < attempt && base < cap; ++i) {
+    base *= 2;
+  }
+  if (base > cap) {
+    base = cap;
+  }
+  const int64_t jitter_span = base / 2;
+  const int64_t jitter =
+      jitter_span > 0
+          ? static_cast<int64_t>(NextRand(rng) % static_cast<uint64_t>(jitter_span + 1))
+          : 0;
+  return static_cast<int>(base - jitter_span + jitter);
+}
+
+void SleepMs(int ms) {
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+// What a retry can cure. Transport drops and overload rejections are
+// Unavailable, a stalled server is DeadlineExceeded; connect additionally
+// retries NotFound, which is how a refused/not-yet-listening endpoint
+// surfaces (a daemon mid-restart). Everything else — server-side errors,
+// framing corruption — is answered loudly on the first miss.
+bool RetriableCallCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+bool RetriableConnectCode(StatusCode code) {
+  return RetriableCallCode(code) || code == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+CorpusClient::CorpusClient(Socket socket, EndpointKind kind,
+                           std::string target, uint16_t port,
+                           const CorpusClientOptions& options)
+    : socket_(std::move(socket)),
+      kind_(kind),
+      target_(std::move(target)),
+      port_(port),
+      options_(options),
+      rng_state_(JitterSeed(options)) {}
+
+Result<CorpusClient> CorpusClient::ConnectWithRetry(
+    EndpointKind kind, const std::string& target, uint16_t port,
+    const CorpusClientOptions& options) {
+  uint64_t rng = JitterSeed(options);
+  for (int attempt = 0;; ++attempt) {
+    Result<Socket> socket = kind == EndpointKind::kUnix
+                                ? ConnectUnix(target)
+                                : ConnectTcp(target, port);
+    if (socket.ok()) {
+      return CorpusClient(std::move(socket).value(), kind, target, port,
+                          options);
+    }
+    if (attempt >= options.max_retries ||
+        !RetriableConnectCode(socket.status().code())) {
+      return socket.status();
+    }
+    SleepMs(BackoffDelayMs(options, attempt + 1, &rng));
+  }
+}
+
+Result<CorpusClient> CorpusClient::ConnectUnixSocket(
+    const std::string& path, const CorpusClientOptions& options) {
+  return ConnectWithRetry(EndpointKind::kUnix, path, 0, options);
+}
+
+Result<CorpusClient> CorpusClient::ConnectTcpSocket(
+    const std::string& host, uint16_t port,
+    const CorpusClientOptions& options) {
+  return ConnectWithRetry(EndpointKind::kTcp, host, port, options);
+}
+
+Result<std::vector<uint8_t>> CorpusClient::CallOnce(const RpcRequest& request) {
+  RETURN_IF_ERROR(FaultPoint("client.send"));
   RETURN_IF_ERROR(WriteFrame(socket_, EncodeRequest(request)));
-  ASSIGN_OR_RETURN(auto frame, ReadFrame(socket_));
+  ASSIGN_OR_RETURN(auto frame,
+                   ReadFrameWithDeadline(socket_, options_.timeout_ms));
   if (!frame.has_value()) {
     return UnavailableError("server closed the connection");
   }
   ASSIGN_OR_RETURN(RpcResponse response, DecodeResponse(*frame));
   RETURN_IF_ERROR(response.ToStatus());
   return std::move(response.payload);
+}
+
+Result<std::vector<uint8_t>> CorpusClient::Call(const RpcRequest& request) {
+  for (int attempt = 0;; ++attempt) {
+    Status failure = OkStatus();
+    bool from_connect = false;
+    if (!socket_.valid()) {
+      // A prior attempt dropped the connection; reconnect transparently.
+      Result<Socket> socket = kind_ == EndpointKind::kUnix
+                                  ? ConnectUnix(target_)
+                                  : ConnectTcp(target_, port_);
+      if (socket.ok()) {
+        socket_ = std::move(socket).value();
+      } else {
+        failure = socket.status();
+        from_connect = true;
+      }
+    }
+    if (failure.ok()) {
+      Result<std::vector<uint8_t>> result = CallOnce(request);
+      if (result.ok()) {
+        return result;
+      }
+      failure = result.status();
+    }
+    const bool retriable = from_connect
+                               ? RetriableConnectCode(failure.code())
+                               : RetriableCallCode(failure.code());
+    if (attempt >= options_.max_retries || !retriable) {
+      return failure;
+    }
+    // The stream may hold half a frame (a timed-out response still in
+    // flight); a retried request needs a clean connection.
+    socket_.Close();
+    SleepMs(BackoffDelayMs(options_, attempt + 1, &rng_state_));
+  }
 }
 
 Result<ServeInfo> CorpusClient::Info() {

@@ -8,6 +8,15 @@
 // admission-queue rejection looks like from here. Concurrency is
 // per-connection: to issue requests in parallel, open more clients
 // (exactly what the lifecycle tests and the bench do).
+//
+// Resilience is opt-in via CorpusClientOptions. With a timeout set, a
+// stalled server yields DeadlineExceeded (never an indefinite hang); with
+// retries set, transient failures — connect refusals, Unavailable
+// transport or overload errors, deadline misses — are retried on a fresh
+// connection with exponential backoff and deterministic jitter. Every
+// command the client issues is idempotent (reads, counters, an ack'd
+// drain), so a retried request returns the same answer: replay rows are
+// bit-identical (RowSignature) across however many attempts it took.
 
 #ifndef SRC_SERVER_CORPUS_CLIENT_H_
 #define SRC_SERVER_CORPUS_CLIENT_H_
@@ -21,12 +30,32 @@
 
 namespace ddr {
 
+struct CorpusClientOptions {
+  // Budget for one response frame, measured from the request send.
+  // <= 0 blocks forever (the historical behavior).
+  int timeout_ms = 0;
+  // Extra attempts after the first, on retriable failures only. 0 keeps
+  // every failure loud on the first miss.
+  int max_retries = 0;
+  // Exponential backoff between attempts: the delay starts at
+  // backoff_initial_ms, doubles per retry, and is capped at
+  // backoff_max_ms; the upper half of each delay is jittered so a fleet
+  // of retrying clients decorrelates instead of stampeding.
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 1000;
+  // Jitter PRNG seed; 0 picks a fixed default. Deterministic by design —
+  // tests can reproduce an exact retry schedule.
+  uint64_t jitter_seed = 0;
+};
+
 class CorpusClient {
  public:
-  static Result<CorpusClient> ConnectUnixSocket(const std::string& path);
+  static Result<CorpusClient> ConnectUnixSocket(
+      const std::string& path, const CorpusClientOptions& options = {});
   // `host` numeric IPv4; pair with CorpusServer::tcp_port().
-  static Result<CorpusClient> ConnectTcpSocket(const std::string& host,
-                                               uint16_t port);
+  static Result<CorpusClient> ConnectTcpSocket(
+      const std::string& host, uint16_t port,
+      const CorpusClientOptions& options = {});
 
   CorpusClient(CorpusClient&&) = default;
   CorpusClient& operator=(CorpusClient&&) = default;
@@ -45,12 +74,30 @@ class CorpusClient {
   Status Shutdown();
 
  private:
-  explicit CorpusClient(Socket socket) : socket_(std::move(socket)) {}
+  enum class EndpointKind { kUnix, kTcp };
 
-  // One round trip; returns the OK payload or the server's Status.
+  CorpusClient(Socket socket, EndpointKind kind, std::string target,
+               uint16_t port, const CorpusClientOptions& options);
+
+  static Result<CorpusClient> ConnectWithRetry(
+      EndpointKind kind, const std::string& target, uint16_t port,
+      const CorpusClientOptions& options);
+
+  // The retry loop: reconnects when the connection was dropped by a
+  // prior failed attempt, runs CallOnce, and backs off between
+  // retriable failures until the attempt budget runs out.
   Result<std::vector<uint8_t>> Call(const RpcRequest& request);
 
+  // One round trip on the current connection; returns the OK payload or
+  // the server's Status.
+  Result<std::vector<uint8_t>> CallOnce(const RpcRequest& request);
+
   Socket socket_;
+  EndpointKind kind_ = EndpointKind::kUnix;
+  std::string target_;
+  uint16_t port_ = 0;
+  CorpusClientOptions options_;
+  uint64_t rng_state_ = 0;
 };
 
 }  // namespace ddr

@@ -15,6 +15,7 @@
 
 #include "src/apps/scenarios.h"
 #include "src/util/codec.h"
+#include "src/util/fault_injection.h"
 #include "src/util/file_lock.h"
 #include "src/util/socket.h"
 #include "src/util/string_util.h"
@@ -145,6 +146,12 @@ struct CorpusServer::Impl {
   // --- responses -----------------------------------------------------
 
   void WriteResponse(Connection& conn, const RpcResponse& response) {
+    // Injection site: a `stall` plan delays the response (the client-side
+    // deadline test), a failing plan drops it outright (a wedged server —
+    // the client's timeout is its only way out).
+    if (!FaultPoint("server.respond").ok()) {
+      return;
+    }
     const std::vector<uint8_t> payload = EncodeResponse(response);
     std::lock_guard<std::mutex> lock(conn.write_mu);
     // A failed write means the client went away; its reader thread sees
@@ -335,10 +342,30 @@ struct CorpusServer::Impl {
 
   void ServeConnection(std::shared_ptr<Connection> conn) {
     while (true) {
-      auto frame = ReadFrame(conn->socket);
+      // Idle wait: unbounded but stoppable — a connected-but-quiet client
+      // is legitimate and costs only a 200ms poll. The request deadline
+      // starts once the first bytes of a frame arrive.
+      bool readable = false;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto wait = WaitReadable(conn->socket, 200);
+        if (!wait.ok()) {
+          break;  // poll error: treat the connection as gone
+        }
+        if (*wait) {
+          readable = true;
+          break;
+        }
+      }
+      if (!readable) {
+        break;  // draining, or the socket errored out
+      }
+      auto frame =
+          ReadFrameWithDeadline(conn->socket, options.request_timeout_ms);
       if (!frame.ok()) {
-        // Torn frame / bad magic / CRC mismatch: the stream is not
-        // trustworthy past this point. Best-effort answer, then hang up.
+        // Torn frame / bad magic / CRC mismatch — or a mid-frame stall
+        // past the request deadline: the stream is not trustworthy (or
+        // not worth a thread) past this point. Best-effort answer, then
+        // hang up.
         WriteResponse(*conn, ErrorResponse(frame.status()));
         break;
       }

@@ -73,6 +73,13 @@ struct CorpusServerOptions {
   // requests only.
   int watch_interval_ms = 0;
 
+  // Budget for reading one request frame once its first bytes arrive. A
+  // client that connects and goes quiet costs nothing (idle waits are
+  // unbounded, stoppable polls); a client that stalls mid-frame is cut
+  // loose after this long instead of pinning its reader thread forever.
+  // <= 0 disables the deadline.
+  int request_timeout_ms = 10000;
+
   // Test hook: stall every worker this long before executing a request,
   // making queue overflow deterministic. Never set it in production.
   int debug_handler_delay_ms = 0;

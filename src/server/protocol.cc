@@ -1,5 +1,7 @@
 #include "src/server/protocol.h"
 
+#include <chrono>
+
 #include "src/core/determinism_model.h"
 #include "src/util/codec.h"
 #include "src/util/crc32.h"
@@ -107,9 +109,56 @@ Status WriteFrame(const Socket& socket, std::span<const uint8_t> payload) {
   return OkStatus();
 }
 
-Result<std::optional<std::vector<uint8_t>>> ReadFrame(const Socket& socket) {
+namespace {
+
+using RpcClock = std::chrono::steady_clock;
+
+// RecvExact against a deadline: polls readability with the remaining
+// budget before each recv chunk, so a peer that stalls mid-frame (or
+// never sends at all) surfaces as DeadlineExceeded instead of parking
+// the thread in a blocking recv. Mirrors RecvExact's EOF contract:
+// false only on a clean close before the first byte.
+Result<bool> RecvExactBy(const Socket& socket, uint8_t* data, size_t size,
+                         RpcClock::time_point deadline) {
+  size_t done = 0;
+  while (done < size) {
+    const auto now = RpcClock::now();
+    if (now >= deadline) {
+      return DeadlineExceededError(
+          StrPrintf("deadline exceeded waiting for rpc frame bytes "
+                    "(%zu of %zu received)",
+                    done, size));
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    ASSIGN_OR_RETURN(
+        bool readable,
+        WaitReadable(socket, static_cast<int>(left > 0 ? left : 1)));
+    if (!readable) {
+      continue;  // poll timeout or EINTR; the deadline check above decides
+    }
+    ASSIGN_OR_RETURN(size_t n, socket.RecvSome(data + done, size - done));
+    if (n == 0) {
+      if (done == 0) {
+        return false;  // clean EOF on a message boundary
+      }
+      return UnavailableError(
+          StrPrintf("connection closed mid-message (%zu of %zu bytes)", done,
+                    size));
+    }
+    done += n;
+  }
+  return true;
+}
+
+// One frame read, parameterized over the byte-exact receive step so the
+// blocking and deadline-bounded paths share the header/CRC validation.
+template <typename RecvExactFn>
+Result<std::optional<std::vector<uint8_t>>> ReadFrameImpl(
+    RecvExactFn&& recv_exact) {
   uint8_t header[kRpcFrameHeaderBytes];
-  ASSIGN_OR_RETURN(bool got, socket.RecvExact(header, sizeof(header)));
+  ASSIGN_OR_RETURN(bool got, recv_exact(header, sizeof(header)));
   if (!got) {
     return std::optional<std::vector<uint8_t>>();  // clean EOF
   }
@@ -127,7 +176,7 @@ Result<std::optional<std::vector<uint8_t>>> ReadFrame(const Socket& socket) {
   }
   std::vector<uint8_t> payload(length);
   if (length > 0) {
-    ASSIGN_OR_RETURN(bool body, socket.RecvExact(payload.data(), length));
+    ASSIGN_OR_RETURN(bool body, recv_exact(payload.data(), length));
     if (!body) {
       return UnavailableError("connection closed mid-frame");
     }
@@ -136,6 +185,26 @@ Result<std::optional<std::vector<uint8_t>>> ReadFrame(const Socket& socket) {
     return InvalidArgumentError("rpc frame payload CRC mismatch");
   }
   return std::optional<std::vector<uint8_t>>(std::move(payload));
+}
+
+}  // namespace
+
+Result<std::optional<std::vector<uint8_t>>> ReadFrame(const Socket& socket) {
+  return ReadFrameImpl([&socket](uint8_t* data, size_t size) {
+    return socket.RecvExact(data, size);
+  });
+}
+
+Result<std::optional<std::vector<uint8_t>>> ReadFrameWithDeadline(
+    const Socket& socket, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    return ReadFrame(socket);
+  }
+  const RpcClock::time_point deadline =
+      RpcClock::now() + std::chrono::milliseconds(timeout_ms);
+  return ReadFrameImpl([&socket, deadline](uint8_t* data, size_t size) {
+    return RecvExactBy(socket, data, size, deadline);
+  });
 }
 
 // ------------------------------------------------------------ messages

@@ -96,6 +96,15 @@ Status WriteFrame(const Socket& socket, std::span<const uint8_t> payload);
 // and the connection should be dropped.
 Result<std::optional<std::vector<uint8_t>>> ReadFrame(const Socket& socket);
 
+// ReadFrame with a total time budget. `timeout_ms <= 0` blocks forever
+// (identical to ReadFrame). Otherwise the read polls WaitReadable between
+// recv chunks and a stalled peer yields DeadlineExceeded — a distinct
+// code from the Unavailable/InvalidArgument socket and framing errors, so
+// callers can treat "slow" differently from "broken". The budget covers
+// the whole frame (header + payload), measured from the call.
+Result<std::optional<std::vector<uint8_t>>> ReadFrameWithDeadline(
+    const Socket& socket, int timeout_ms);
+
 // ------------------------------------------------------------ messages
 
 std::vector<uint8_t> EncodeRequest(const RpcRequest& request);

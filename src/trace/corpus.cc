@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <span>
 
 #include "src/trace/trace_writer.h"
 #include "src/util/crc32.h"
+#include "src/util/fault_injection.h"
 #include "src/util/file_lock.h"
 #include "src/util/string_util.h"
 
@@ -404,7 +406,10 @@ class CorpusJournalSink {
   CorpusJournalSink(std::string path, int fd, uint64_t tail_offset)
       : path_(std::move(path)), fd_(fd), write_offset_(tail_offset) {}
 
-  Status WriteAt(uint64_t offset, const uint8_t* data, size_t size);
+  // `site` names the fault-injection point this write belongs to
+  // (header flip vs. tail append) so a crash plan can target either.
+  Status WriteAt(const char* site, uint64_t offset, const uint8_t* data,
+                 size_t size);
 
   std::string path_;
   int fd_ = -1;
@@ -496,6 +501,7 @@ Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
   }
   std::unique_ptr<CorpusJournalSink> sink(
       new CorpusJournalSink(path, fd, tail_offset));
+  RETURN_IF_ERROR(FaultPoint("corpus.journal.open"));
   // Note: a torn tail from a crashed append is NOT truncated here — the
   // file must never shrink while concurrent readers may be scanning it
   // (an mmap-backed Open touching pages past a new EOF would SIGBUS).
@@ -506,7 +512,8 @@ Result<std::unique_ptr<CorpusJournalSink>> CorpusJournalSink::Open(
   if (observed_version != kCorpusFormatVersionDelta) {
     Encoder encoder;
     encoder.PutFixed32(kCorpusFormatVersionDelta);
-    RETURN_IF_ERROR(sink->WriteAt(4, encoder.buffer().data(), encoder.size()));
+    RETURN_IF_ERROR(sink->WriteAt("corpus.journal.header", 4,
+                                  encoder.buffer().data(), encoder.size()));
     sink->bytes_written_ += encoder.size();
   }
   // The version flip must be durable before any byte lands past the old
@@ -527,19 +534,47 @@ CorpusJournalSink::~CorpusJournalSink() {
   fd_ = -1;
 }
 
-Status CorpusJournalSink::WriteAt(uint64_t offset, const uint8_t* data,
-                                  size_t size) {
+Status CorpusJournalSink::WriteAt(const char* site, uint64_t offset,
+                                  const uint8_t* data, size_t size) {
+  size_t allow = size;
+  Status injected = OkStatus();
+  if (FaultsArmed()) {
+    WriteFaultOutcome fault = FaultWritePoint(site, size);
+    allow = fault.allowed;
+    injected = std::move(fault.failure);
+  }
   size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::pwrite(fd_, data + written, size - written,
+  while (written < allow) {
+    if (FaultEintr(site)) {
+      continue;  // simulated interrupted pwrite; the loop retries for real
+    }
+    const ssize_t n = ::pwrite(fd_, data + written, allow - written,
                                static_cast<off_t>(offset + written));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return UnavailableError("short write to corpus journal: " + path_);
+      return UnavailableError(StrPrintf(
+          "write to corpus journal %s failed at offset %llu: %s",
+          path_.c_str(),
+          static_cast<unsigned long long>(offset + written),
+          std::strerror(errno)));
+    }
+    if (n == 0) {
+      // pwrite(2) returning 0 for a non-empty buffer means no progress is
+      // possible (e.g. past a hard resource limit); looping would spin.
+      return UnavailableError(StrPrintf(
+          "short write to corpus journal %s: pwrite returned 0 at offset "
+          "%llu (%zu of %zu bytes written): %s",
+          path_.c_str(),
+          static_cast<unsigned long long>(offset + written), written, size,
+          std::strerror(errno != 0 ? errno : ENOSPC)));
     }
     written += static_cast<size_t>(n);
+  }
+  if (!injected.ok()) {
+    return Status(injected.code(),
+                  "corpus journal " + path_ + ": " + injected.message());
   }
   return OkStatus();
 }
@@ -548,24 +583,32 @@ Status CorpusJournalSink::Append(const uint8_t* data, size_t size) {
   if (committed_) {
     return FailedPreconditionError("append to a committed corpus journal");
   }
-  RETURN_IF_ERROR(WriteAt(write_offset_, data, size));
+  RETURN_IF_ERROR(WriteAt("corpus.journal.append", write_offset_, data, size));
   write_offset_ += size;
   bytes_written_ += size;
   return OkStatus();
 }
 
 Status CorpusJournalSink::Sync() {
+  RETURN_IF_ERROR(FaultPoint("corpus.journal.sync"));
   int rc = 0;
   do {
+    if (FaultEintr("corpus.journal.sync")) {
+      errno = EINTR;
+      rc = -1;
+      continue;  // simulated interrupted fsync; the loop retries for real
+    }
     rc = ::fsync(fd_);
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    return UnavailableError("fsync of corpus journal failed: " + path_);
+    return UnavailableError(StrPrintf("fsync of corpus journal %s failed: %s",
+                                      path_.c_str(), std::strerror(errno)));
   }
   return OkStatus();
 }
 
 Status CorpusJournalSink::Commit() {
+  RETURN_IF_ERROR(FaultPoint("corpus.journal.commit"));
   RETURN_IF_ERROR(Sync());
   committed_ = true;
   return OkStatus();
@@ -880,6 +923,8 @@ Status CorpusWriter::Finish() {
   const std::vector<uint8_t> index_section = EncodeTraceSection(
       TraceSection::kCorpusIndex, index_payload,
       /*allow_compress=*/true);
+  RETURN_IF_ERROR(FaultPoint(journal_ != nullptr ? "corpus.journal.index"
+                                                 : "corpus.index"));
   RETURN_IF_ERROR(WriteBytes(index_section));
   const uint64_t index_offset = offset_;
   offset_ += index_section.size();
@@ -890,6 +935,7 @@ Status CorpusWriter::Finish() {
     // trailer itself is made durable by Commit. A crash between the two
     // fsyncs recovers to the previous generation.
     RETURN_IF_ERROR(journal_->Sync());
+    RETURN_IF_ERROR(FaultPoint("corpus.journal.trailer"));
     const std::vector<uint8_t> trailer =
         EncodeJournalTrailer(index_offset, prev_trailer_offset_, generation_,
                              kCorpusDeltaTrailerMagic);
@@ -898,6 +944,7 @@ Status CorpusWriter::Finish() {
     return journal_->Commit();
   }
 
+  RETURN_IF_ERROR(FaultPoint("corpus.trailer"));
   Encoder encoder;
   encoder.PutFixed64(index_offset);
   encoder.PutFixed32(kCorpusTrailerMagic);

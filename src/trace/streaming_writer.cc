@@ -7,8 +7,10 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "src/trace/chunk_codec.h"
+#include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
@@ -37,13 +39,21 @@ std::string MakeTempPath(const std::string& path) {
 // torn file at the target path: rename only orders the directory entry,
 // not the data blocks behind it.
 Status SyncFile(std::FILE* file, const std::string& tmp_path) {
+  RETURN_IF_ERROR(FaultPoint("trace.sink.sync"));
 #if DDR_HAVE_FSYNC
   int rc = 0;
   do {
+    if (FaultEintr("trace.sink.sync")) {
+      errno = EINTR;
+      rc = -1;
+      continue;  // simulated interrupted fsync; the loop retries for real
+    }
     rc = ::fsync(::fileno(file));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    return UnavailableError("fsync of trace temp file failed: " + tmp_path);
+    return UnavailableError(StrPrintf("fsync of trace temp file %s failed: %s",
+                                      tmp_path.c_str(),
+                                      std::strerror(errno)));
   }
 #else
   (void)file;
@@ -56,6 +66,11 @@ Status SyncFile(std::FILE* file, const std::string& tmp_path) {
 // directory entry survives a crash. Best-effort — some filesystems refuse
 // directory fsync, and by this point the data is already safe on disk.
 void SyncParentDir(const std::string& path) {
+  // Best-effort (see below), so an injected fault just skips the sync —
+  // but the site still participates in crash enumeration.
+  if (!FaultPoint("trace.sink.dirsync").ok()) {
+    return;
+  }
 #if DDR_HAVE_FSYNC
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? std::string(".")
@@ -102,8 +117,22 @@ Status AtomicFileSink::Append(const uint8_t* data, size_t size) {
     return UnavailableError("cannot open trace temp file for writing: " +
                             tmp_path_);
   }
-  if (std::fwrite(data, 1, size, file_) != size) {
-    return UnavailableError("short write to trace temp file: " + tmp_path_);
+  size_t allow = size;
+  Status injected = OkStatus();
+  if (FaultsArmed()) {
+    WriteFaultOutcome fault = FaultWritePoint("trace.sink.append", size);
+    allow = fault.allowed;
+    injected = std::move(fault.failure);
+  }
+  errno = 0;
+  if (std::fwrite(data, 1, allow, file_) != allow) {
+    return UnavailableError(StrPrintf(
+        "short write to trace temp file %s: %s", tmp_path_.c_str(),
+        std::strerror(errno != 0 ? errno : EIO)));
+  }
+  if (!injected.ok()) {
+    return Status(injected.code(),
+                  "trace temp file " + tmp_path_ + ": " + injected.message());
   }
   return OkStatus();
 }
@@ -116,24 +145,33 @@ Status AtomicFileSink::Close() {
     return UnavailableError("cannot open trace temp file for writing: " +
                             tmp_path_);
   }
-  const bool flushed = std::fflush(file_) == 0;
+  errno = 0;
+  const bool flushed =
+      std::fflush(file_) == 0 && FaultPoint("trace.sink.flush").ok();
   const bool file_ok = std::ferror(file_) == 0;
+  const int flush_errno = errno;
   const Status synced = flushed && file_ok ? SyncFile(file_, tmp_path_)
                                            : OkStatus();
   std::fclose(file_);
   file_ = nullptr;
   if (!flushed || !file_ok) {
     std::remove(tmp_path_.c_str());
-    return UnavailableError("short write to trace temp file: " + tmp_path_);
+    return UnavailableError(StrPrintf(
+        "short write to trace temp file %s: %s", tmp_path_.c_str(),
+        std::strerror(flush_errno != 0 ? flush_errno : EIO)));
   }
   if (!synced.ok()) {
     std::remove(tmp_path_.c_str());
     return synced;
   }
-  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+  errno = 0;
+  const bool renamed = FaultPoint("trace.sink.rename").ok() &&
+                       std::rename(tmp_path_.c_str(), path_.c_str()) == 0;
+  if (!renamed) {
     std::remove(tmp_path_.c_str());
-    return UnavailableError("cannot rename trace temp file into place: " +
-                            path_);
+    return UnavailableError(StrPrintf(
+        "cannot rename trace temp file into place at %s: %s", path_.c_str(),
+        std::strerror(errno != 0 ? errno : EIO)));
   }
   SyncParentDir(path_);
   closed_ = true;
@@ -141,6 +179,30 @@ Status AtomicFileSink::Close() {
 }
 
 // ------------------------------------------------------ StreamingTraceWriter
+
+namespace {
+
+// Per-section fault sites: a crash plan can target exactly one stage of
+// the stream (e.g. "the metadata made it, the footer did not").
+const char* SectionFaultSite(TraceSection kind) {
+  switch (kind) {
+    case TraceSection::kMetadata:
+      return "trace.section.metadata";
+    case TraceSection::kSnapshot:
+      return "trace.section.snapshot";
+    case TraceSection::kEventChunk:
+      return "trace.section.chunk";
+    case TraceSection::kCheckpointIndex:
+      return "trace.section.checkpoint";
+    case TraceSection::kFooter:
+      return "trace.section.footer";
+    case TraceSection::kCorpusIndex:
+      return "trace.section.index";
+  }
+  return "trace.section";
+}
+
+}  // namespace
 
 StreamingTraceWriter::StreamingTraceWriter(TraceByteSink* sink,
                                            TraceWriteOptions options)
@@ -158,6 +220,10 @@ Status StreamingTraceWriter::Begin() {
     return FailedPreconditionError("StreamingTraceWriter::Begin called twice");
   }
   begun_ = true;
+  if (Status injected = FaultPoint("trace.header"); !injected.ok()) {
+    status_ = injected;
+    return status_;
+  }
   Encoder encoder;
   encoder.PutFixed32(kTraceFileMagic);
   encoder.PutFixed32(options_.chunk_filter == TraceFilter::kNone
@@ -174,6 +240,7 @@ Status StreamingTraceWriter::Begin() {
 Result<uint64_t> StreamingTraceWriter::WriteSection(
     TraceSection kind, const std::vector<uint8_t>& payload, bool allow_compress,
     TraceFilter filter) {
+  RETURN_IF_ERROR(FaultPoint(SectionFaultSite(kind)));
   const std::vector<uint8_t> section =
       EncodeTraceSection(kind, payload, allow_compress, filter);
   RETURN_IF_ERROR(sink_->Append(section));
@@ -285,6 +352,7 @@ Status StreamingTraceWriter::Finish(const TraceFinishInfo& info) {
     ASSIGN_OR_RETURN(const uint64_t footer_offset,
                      WriteSection(TraceSection::kFooter, footer_.Encode(),
                                   /*allow_compress=*/false));
+    RETURN_IF_ERROR(FaultPoint("trace.trailer"));
     Encoder encoder;
     encoder.PutFixed64(footer_offset);
     encoder.PutFixed32(kTraceTrailerMagic);

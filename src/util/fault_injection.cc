@@ -1,0 +1,362 @@
+#include "src/util/fault_injection.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/util/string_util.h"
+
+namespace ddr {
+
+namespace fault_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+enum class FaultKind : uint8_t {
+  kEio,
+  kEnospc,
+  kShort,
+  kEintr,
+  kFsyncFail,
+  kCrash,
+  kUnavail,
+  kStall,
+  kTrace,
+};
+
+struct FaultSpec {
+  std::string site;  // without the trailing '*' when wildcard
+  bool wildcard = false;
+  FaultKind kind = FaultKind::kTrace;
+  uint64_t at = 0;     // fire only on the at-th matching hit (0 = every)
+  uint64_t every = 0;  // fire on every every-th matching hit (0 = every)
+  uint64_t arg = 0;    // stall ms / eintr storm length / short bytes
+  // Runtime state, guarded by g_mu.
+  uint64_t hits = 0;
+  uint64_t eintr_left = 0;
+};
+
+struct FaultPlanState {
+  std::vector<FaultSpec> specs;
+  uint64_t total_hits = 0;
+  std::set<std::string> sites_seen;
+  bool crashed = false;
+};
+
+std::mutex& PlanMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+// Owned plan; non-null exactly while g_armed is true. Heap + never freed
+// on arm->disarm races is avoided by only mutating under the mutex; a
+// consult that passed the armed check races benignly (it re-checks null).
+FaultPlanState*& PlanSlot() {
+  static FaultPlanState* plan = nullptr;
+  return plan;
+}
+
+bool Matches(const FaultSpec& spec, const char* site) {
+  if (spec.wildcard) {
+    return std::strncmp(site, spec.site.c_str(), spec.site.size()) == 0;
+  }
+  return spec.site == site;
+}
+
+// Whether this matching hit (1-based `hit`) fires the spec.
+bool Fires(const FaultSpec& spec, uint64_t hit) {
+  if (spec.at != 0) {
+    return hit == spec.at;
+  }
+  if (spec.every != 0) {
+    return hit % spec.every == 0;
+  }
+  return true;
+}
+
+Status CrashedStatus(const char* site) {
+  return UnavailableError(StrPrintf(
+      "simulated crash: I/O frozen (fault site '%s')", site));
+}
+
+Status FailureFor(FaultKind kind, const char* site) {
+  switch (kind) {
+    case FaultKind::kEio:
+      return UnavailableError(StrPrintf("injected I/O error at '%s': %s",
+                                        site, std::strerror(EIO)));
+    case FaultKind::kEnospc:
+    case FaultKind::kShort:
+      return UnavailableError(StrPrintf("injected disk-full at '%s': %s",
+                                        site, std::strerror(ENOSPC)));
+    case FaultKind::kFsyncFail:
+      return UnavailableError(StrPrintf("injected fsync failure at '%s': %s",
+                                        site, std::strerror(EIO)));
+    case FaultKind::kUnavail:
+      return UnavailableError(
+          StrPrintf("injected unavailability at '%s'", site));
+    case FaultKind::kCrash:
+      return UnavailableError(StrPrintf(
+          "simulated crash (power loss) at fault site '%s'", site));
+    case FaultKind::kEintr:
+    case FaultKind::kStall:
+    case FaultKind::kTrace:
+      break;
+  }
+  return OkStatus();
+}
+
+// The one slow-path consult. Counts the hit, finds the first firing
+// spec, and returns the outcome; a stall sleeps outside the lock.
+WriteFaultOutcome Consult(const char* site, size_t size, bool is_write) {
+  uint64_t stall_ms = 0;
+  WriteFaultOutcome outcome{size, OkStatus()};
+  {
+    std::lock_guard<std::mutex> lock(PlanMutex());
+    FaultPlanState* plan = PlanSlot();
+    if (plan == nullptr) {
+      return outcome;
+    }
+    ++plan->total_hits;
+    plan->sites_seen.insert(site);
+    if (plan->crashed) {
+      return WriteFaultOutcome{0, CrashedStatus(site)};
+    }
+    for (FaultSpec& spec : plan->specs) {
+      if (!Matches(spec, site)) {
+        continue;
+      }
+      ++spec.hits;
+      if (spec.kind == FaultKind::kEintr || spec.kind == FaultKind::kTrace ||
+          !Fires(spec, spec.hits)) {
+        continue;
+      }
+      switch (spec.kind) {
+        case FaultKind::kStall:
+          stall_ms = spec.arg == 0 ? 1000 : spec.arg;
+          break;
+        case FaultKind::kShort:
+          if (is_write && size > 0) {
+            const size_t allowed =
+                spec.arg != 0 ? std::min<size_t>(spec.arg, size - 1) : size / 2;
+            outcome.allowed = allowed;
+            outcome.failure = UnavailableError(StrPrintf(
+                "injected short write at '%s' after %zu of %zu bytes: %s",
+                site, allowed, size, std::strerror(ENOSPC)));
+          } else {
+            outcome = WriteFaultOutcome{0, FailureFor(spec.kind, site)};
+          }
+          break;
+        case FaultKind::kCrash:
+          plan->crashed = true;
+          outcome = WriteFaultOutcome{0, FailureFor(spec.kind, site)};
+          break;
+        default:
+          outcome = WriteFaultOutcome{0, FailureFor(spec.kind, site)};
+          break;
+      }
+      break;  // first firing spec wins
+    }
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  return outcome;
+}
+
+Result<FaultKind> ParseKind(const std::string& name) {
+  if (name == "eio") return FaultKind::kEio;
+  if (name == "enospc") return FaultKind::kEnospc;
+  if (name == "short") return FaultKind::kShort;
+  if (name == "eintr") return FaultKind::kEintr;
+  if (name == "fsyncfail") return FaultKind::kFsyncFail;
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "unavail") return FaultKind::kUnavail;
+  if (name == "stall") return FaultKind::kStall;
+  if (name == "trace") return FaultKind::kTrace;
+  return InvalidArgumentError(
+      "unknown fault kind '" + name +
+      "' (expected eio|enospc|short|eintr|fsyncfail|crash|unavail|stall|"
+      "trace)");
+}
+
+Result<uint64_t> ParseCount(const std::string& spec, size_t& pos) {
+  if (pos >= spec.size() || !std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+    return InvalidArgumentError("fault spec modifier needs a number: '" +
+                                spec + "'");
+  }
+  uint64_t value = 0;
+  while (pos < spec.size() &&
+         std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+    value = value * 10 + static_cast<uint64_t>(spec[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+Result<FaultSpec> ParseSpec(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return InvalidArgumentError("fault spec needs 'site:kind': '" + text +
+                                "'");
+  }
+  FaultSpec spec;
+  spec.site = text.substr(0, colon);
+  if (!spec.site.empty() && spec.site.back() == '*') {
+    spec.wildcard = true;
+    spec.site.pop_back();
+  }
+  size_t pos = colon + 1;
+  const size_t kind_end = text.find_first_of("@/=", pos);
+  ASSIGN_OR_RETURN(spec.kind,
+                   ParseKind(text.substr(pos, kind_end == std::string::npos
+                                                  ? std::string::npos
+                                                  : kind_end - pos)));
+  pos = kind_end;
+  while (pos != std::string::npos && pos < text.size()) {
+    const char mod = text[pos++];
+    uint64_t value = 0;
+    ASSIGN_OR_RETURN(value, ParseCount(text, pos));
+    switch (mod) {
+      case '@':
+      case '/':
+        // Hit counts are 1-based; a zero would silently mean "every hit",
+        // which is what omitting the modifier already says.
+        if (value == 0) {
+          return InvalidArgumentError(StrPrintf(
+              "fault spec modifier %c needs a count >= 1: '%s'", mod,
+              text.c_str()));
+        }
+        (mod == '@' ? spec.at : spec.every) = value;
+        break;
+      case '=':
+        spec.arg = value;
+        break;
+      default:
+        return InvalidArgumentError("unknown fault spec modifier '" +
+                                    std::string(1, mod) + "' in '" + text +
+                                    "'");
+    }
+  }
+  if (spec.kind == FaultKind::kEintr) {
+    spec.eintr_left = spec.arg == 0 ? 3 : spec.arg;
+  }
+  return spec;
+}
+
+// Installs DDR_FAULT_PLAN at process start, before any consult. A parse
+// failure is reported once on stderr and the process runs un-armed —
+// silently ignoring a typo'd plan would fake fault coverage.
+const bool g_env_plan_installed = [] {
+  if (const char* env = std::getenv("DDR_FAULT_PLAN")) {
+    if (env[0] != '\0') {
+      if (Status installed = SetFaultPlan(env); !installed.ok()) {
+        std::fprintf(stderr, "DDR_FAULT_PLAN ignored: %s\n",
+                     installed.ToString().c_str());
+      }
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace fault_internal {
+
+Status PointSlow(const char* site) {
+  return Consult(site, 0, /*is_write=*/false).failure;
+}
+
+bool EintrSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  FaultPlanState* plan = PlanSlot();
+  if (plan == nullptr || plan->crashed) {
+    return false;
+  }
+  for (FaultSpec& spec : plan->specs) {
+    if (spec.kind == FaultKind::kEintr && spec.eintr_left > 0 &&
+        Matches(spec, site)) {
+      --spec.eintr_left;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fault_internal
+
+WriteFaultOutcome FaultWritePointSlow(const char* site, size_t size) {
+  return Consult(site, size, /*is_write=*/true);
+}
+
+Status SetFaultPlan(const std::string& plan) {
+  auto parsed = std::make_unique<FaultPlanState>();
+  size_t start = 0;
+  while (start <= plan.size()) {
+    size_t end = plan.find(';', start);
+    if (end == std::string::npos) {
+      end = plan.size();
+    }
+    // Trim surrounding whitespace; empty segments are skipped.
+    size_t lo = start;
+    size_t hi = end;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(plan[lo]))) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(plan[hi - 1])))
+      --hi;
+    if (hi > lo) {
+      ASSIGN_OR_RETURN(FaultSpec spec, ParseSpec(plan.substr(lo, hi - lo)));
+      parsed->specs.push_back(std::move(spec));
+    }
+    start = end + 1;
+  }
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  delete PlanSlot();
+  if (parsed->specs.empty()) {
+    PlanSlot() = nullptr;
+    fault_internal::g_armed.store(false, std::memory_order_relaxed);
+  } else {
+    PlanSlot() = parsed.release();
+    fault_internal::g_armed.store(true, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+void ClearFaultPlan() {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  delete PlanSlot();
+  PlanSlot() = nullptr;
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultCrashTriggered() {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  const FaultPlanState* plan = PlanSlot();
+  return plan != nullptr && plan->crashed;
+}
+
+uint64_t FaultSiteHits() {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  const FaultPlanState* plan = PlanSlot();
+  return plan == nullptr ? 0 : plan->total_hits;
+}
+
+std::vector<std::string> FaultSitesSeen() {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  const FaultPlanState* plan = PlanSlot();
+  if (plan == nullptr) {
+    return {};
+  }
+  return std::vector<std::string>(plan->sites_seen.begin(),
+                                  plan->sites_seen.end());
+}
+
+}  // namespace ddr

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the I/O stack.
+//
+// A process-wide FaultPlan maps named injection sites — every write,
+// fsync, rename, read, connect, send, and recv in the storage and
+// transport layers consults one — to faults: I/O errors, disk-full,
+// short writes, EINTR storms, fsync failures, stalls, and the key one,
+// `crash`, which freezes all further faultable I/O to simulate power
+// loss at an exact point mid-operation. The crash-torture harness uses
+// this to enumerate every site along a write path, "crash" at each, and
+// assert the recovery invariants; CI and the CLI smoke drive the same
+// plans through the DDR_FAULT_PLAN environment variable.
+//
+// Plan syntax (env var or SetFaultPlan):
+//
+//   DDR_FAULT_PLAN = spec[;spec...]
+//   spec           = site ":" kind [ "@" N ] [ "/" K ] [ "=" ARG ]
+//
+//   site   exact site name, or a prefix wildcard: "corpus.journal.*"
+//          matches every journal site, "*" matches everything.
+//   kind   eio | enospc | short | eintr | fsyncfail | crash | unavail
+//          | stall | trace
+//   @N     fire only on the Nth matching hit (1-based). Default: every.
+//   /K     fire on every Kth matching hit. Default: every hit.
+//   =ARG   kind argument: stall milliseconds (default 1000), EINTR storm
+//          length (default 3), short-write bytes allowed (default half).
+//
+// Examples:
+//
+//   corpus.journal.trailer:crash       power loss right before the
+//                                      trailer that publishes a generation
+//   *:crash@17                         power loss at the 17th faultable
+//                                      operation of the process
+//   trace.sink.sync:fsyncfail          the temp file's fsync reports EIO
+//   client.send:unavail/100            1% of client requests bounce
+//   server.respond:stall@1=400         first response stalls 400 ms
+//   *:trace                            fire nothing; count and name the
+//                                      sites hit (harness enumeration)
+//
+// Zero-cost when disarmed: every site consult is guarded by one relaxed
+// atomic load of a process-wide flag, false unless a plan is installed.
+// The slow path (matching, counters) only runs with a plan armed.
+//
+// Semantics of `crash`: once it fires, every subsequent site consult in
+// the process fails with a "simulated crash" error until the plan is
+// cleared — the operation in flight aborts exactly as if power was cut
+// after the bytes written so far, and nothing else reaches the disk.
+// Recovery is then exercised by clearing the plan and reopening.
+
+#ifndef SRC_UTIL_FAULT_INJECTION_H_
+#define SRC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ddr {
+
+namespace fault_internal {
+// True while a fault plan is installed (or a crash fault has fired).
+// Declared here so the armed check inlines to one relaxed load.
+extern std::atomic<bool> g_armed;
+
+Status PointSlow(const char* site);
+bool EintrSlow(const char* site);
+}  // namespace fault_internal
+
+// The single fast-path guard: false (one relaxed atomic load, no
+// barrier) unless a plan is installed via DDR_FAULT_PLAN or SetFaultPlan.
+inline bool FaultsArmed() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// Generic consult for operations with no partial-success mode (fsync,
+// rename, open, connect, recv, read): OK unless an armed fault fires.
+inline Status FaultPoint(const char* site) {
+  if (!FaultsArmed()) {
+    return OkStatus();
+  }
+  return fault_internal::PointSlow(site);
+}
+
+// Consult inside a syscall retry loop: true while an armed EINTR storm
+// at `site` still has interrupts to deliver — the caller treats the
+// syscall as interrupted (errno EINTR) and retries, exercising its own
+// retry loop for real.
+inline bool FaultEintr(const char* site) {
+  return FaultsArmed() && fault_internal::EintrSlow(site);
+}
+
+// Write-shaped consult. `allowed` is how many of the requested bytes the
+// caller should actually write; `failure`, when non-OK, is the error the
+// caller must return after writing that prefix (wrapped with its own
+// path context). No fault: {size, OK}. Short write: {prefix, ENOSPC-ish
+// failure}. Outright failure or crash: {0, failure}.
+struct WriteFaultOutcome {
+  size_t allowed = 0;
+  Status failure;
+};
+WriteFaultOutcome FaultWritePointSlow(const char* site, size_t size);
+inline WriteFaultOutcome FaultWritePoint(const char* site, size_t size) {
+  if (!FaultsArmed()) {
+    return WriteFaultOutcome{size, OkStatus()};
+  }
+  return FaultWritePointSlow(site, size);
+}
+
+// ------------------------------------------------------------ test API
+
+// Parses and installs a plan (see the syntax grammar above), replacing
+// any previous one and resetting all counters and crash state. An empty
+// plan disarms. Errors leave the previous plan installed.
+Status SetFaultPlan(const std::string& plan);
+
+// Disarms: removes the plan, resets counters and the crash latch.
+void ClearFaultPlan();
+
+// True once a `crash` fault has fired (and writes are frozen).
+bool FaultCrashTriggered();
+
+// Observation for the torture harness, valid while a plan is armed:
+// total site consults since install, and the distinct site names seen.
+// A `*:trace` plan fires nothing, so these enumerate a healthy run.
+uint64_t FaultSiteHits();
+std::vector<std::string> FaultSitesSeen();
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_FAULT_INJECTION_H_

@@ -16,11 +16,26 @@
 #define DDR_HAVE_POSIX_IO 0
 #endif
 
+#include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
 
 namespace {
+
+// One read site per backend, consulted from the shared Read() wrapper so
+// all three paths carry fault coverage without per-backend plumbing.
+const char* ReadFaultSite(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kStream:
+      return "file.read.stream";
+    case IoBackend::kPread:
+      return "file.read.pread";
+    case IoBackend::kMmap:
+      return "file.read.mmap";
+  }
+  return "file.read";
+}
 
 Status CheckWindow(uint64_t offset, size_t length, uint64_t file_size,
                    const std::string& path) {
@@ -307,6 +322,9 @@ uint64_t RandomAccessFile::NextId() {
 
 Result<std::span<const uint8_t>> RandomAccessFile::Read(
     uint64_t offset, size_t length, std::vector<uint8_t>* scratch) const {
+  if (FaultsArmed()) {
+    RETURN_IF_ERROR(FaultPoint(ReadFaultSite(backend_)));
+  }
   RETURN_IF_ERROR(CheckWindow(offset, length, size_, path_));
   ASSIGN_OR_RETURN(std::span<const uint8_t> view,
                    ReadImpl(offset, length, scratch));
@@ -316,6 +334,7 @@ Result<std::span<const uint8_t>> RandomAccessFile::Read(
 
 Result<std::shared_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path, const RandomAccessFileOptions& options) {
+  RETURN_IF_ERROR(FaultPoint("file.open"));
   auto open_backend = [&]() -> Result<std::shared_ptr<RandomAccessFile>> {
 #if DDR_HAVE_POSIX_IO
     switch (options.backend) {

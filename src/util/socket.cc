@@ -17,6 +17,7 @@
 #define DDR_HAVE_POSIX_SOCKETS 0
 #endif
 
+#include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
 
 namespace ddr {
@@ -77,12 +78,22 @@ Status Socket::SendAll(const uint8_t* data, size_t size) const {
   if (fd_ < 0) {
     return FailedPreconditionError("send on a closed socket");
   }
+  size_t allow = size;
+  Status injected = OkStatus();
+  if (FaultsArmed()) {
+    WriteFaultOutcome fault = FaultWritePoint("socket.send", size);
+    allow = fault.allowed;
+    injected = std::move(fault.failure);
+  }
   size_t done = 0;
-  while (done < size) {
+  while (done < allow) {
+    if (FaultEintr("socket.send")) {
+      continue;  // simulated interrupted send; the loop retries for real
+    }
 #if defined(MSG_NOSIGNAL)
-    const ssize_t n = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_, data + done, allow - done, MSG_NOSIGNAL);
 #else
-    const ssize_t n = ::send(fd_, data + done, size - done, 0);
+    const ssize_t n = ::send(fd_, data + done, allow - done, 0);
 #endif
     if (n < 0) {
       if (errno == EINTR) {
@@ -92,15 +103,19 @@ Status Socket::SendAll(const uint8_t* data, size_t size) const {
     }
     done += static_cast<size_t>(n);
   }
-  return OkStatus();
+  return injected;
 }
 
 Result<bool> Socket::RecvExact(uint8_t* data, size_t size) const {
   if (fd_ < 0) {
     return FailedPreconditionError("recv on a closed socket");
   }
+  RETURN_IF_ERROR(FaultPoint("socket.recv"));
   size_t done = 0;
   while (done < size) {
+    if (FaultEintr("socket.recv")) {
+      continue;  // simulated interrupted recv; the loop retries for real
+    }
     const ssize_t n = ::recv(fd_, data + done, size - done, 0);
     if (n < 0) {
       if (errno == EINTR) {
@@ -119,6 +134,26 @@ Result<bool> Socket::RecvExact(uint8_t* data, size_t size) const {
     done += static_cast<size_t>(n);
   }
   return true;
+}
+
+Result<size_t> Socket::RecvSome(uint8_t* data, size_t size) const {
+  if (fd_ < 0) {
+    return FailedPreconditionError("recv on a closed socket");
+  }
+  RETURN_IF_ERROR(FaultPoint("socket.recv"));
+  while (true) {
+    if (FaultEintr("socket.recv")) {
+      continue;  // simulated interrupted recv; the loop retries for real
+    }
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return SocketError("recv", errno);
+    }
+    return static_cast<size_t>(n);
+  }
 }
 
 void Socket::ShutdownBoth() const {
@@ -194,6 +229,7 @@ Result<Socket> AcceptConnection(const Socket& listener) {
 }
 
 Result<Socket> ConnectUnix(const std::string& path) {
+  RETURN_IF_ERROR(FaultPoint("socket.connect"));
   ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
   ASSIGN_OR_RETURN(int fd, NewSocket(AF_UNIX));
   Socket socket(fd);
@@ -211,6 +247,7 @@ Result<Socket> ConnectUnix(const std::string& path) {
 }
 
 Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  RETURN_IF_ERROR(FaultPoint("socket.connect"));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -261,6 +298,7 @@ Status NoSockets() {
 void Socket::Close() { fd_ = -1; }
 Status Socket::SendAll(const uint8_t*, size_t) const { return NoSockets(); }
 Result<bool> Socket::RecvExact(uint8_t*, size_t) const { return NoSockets(); }
+Result<size_t> Socket::RecvSome(uint8_t*, size_t) const { return NoSockets(); }
 void Socket::ShutdownBoth() const {}
 
 Result<Socket> ListenUnix(const std::string&, int) { return NoSockets(); }

@@ -45,6 +45,11 @@ class Socket {
   // through is an Unavailable error (a torn frame, never silent).
   Result<bool> RecvExact(uint8_t* data, size_t size) const;
 
+  // One recv(2): up to `size` bytes, 0 = clean EOF. The building block
+  // for deadline-aware reads, which poll WaitReadable between chunks
+  // instead of parking in a full-buffer recv.
+  Result<size_t> RecvSome(uint8_t* data, size_t size) const;
+
   // shutdown(2) both directions: wakes any thread blocked in RecvExact on
   // this socket (it sees EOF). Used for server-side drain.
   void ShutdownBoth() const;

@@ -29,6 +29,7 @@
 #include "src/trace/corpus.h"
 #include "src/util/codec.h"
 #include "src/util/crc32.h"
+#include "src/util/fault_injection.h"
 #include "src/util/file_lock.h"
 #include "src/util/socket.h"
 
@@ -761,6 +762,212 @@ TEST(CorpusServerTest, InfoReportsActiveWriterDuringInPlaceAppend) {
   auto info = client->Info();
   ASSERT_TRUE(info.ok()) << info.status();
   EXPECT_FALSE(info->writer_active);
+}
+
+// ----------------------------------------------------------- resilience
+
+// Clears the process-wide fault plan even when an ASSERT bails out of
+// the test early — an armed plan must never leak into the next test.
+struct ScopedFaultPlan {
+  explicit ScopedFaultPlan(const std::string& plan) {
+    EXPECT_TRUE(SetFaultPlan(plan).ok());
+  }
+  ~ScopedFaultPlan() { ClearFaultPlan(); }
+};
+
+TEST(ResilienceTest, FrameDeadlineIsDistinctFromSocketErrors) {
+  // Nothing ever arrives: the poll-based read must answer
+  // DeadlineExceeded, not hang and not claim the socket broke.
+  {
+    auto [a, b] = LocalPair();
+    auto timed_out = ReadFrameWithDeadline(b, 100);
+    ASSERT_FALSE(timed_out.ok());
+    EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  // A peer that stalls mid-header is also a deadline, not a torn frame.
+  {
+    auto [a, b] = LocalPair();
+    const uint8_t half_header[6] = {'D', 'R', 'P', 'C', 0, 0};
+    ASSERT_TRUE(a.SendAll(half_header, sizeof(half_header)).ok());
+    auto timed_out = ReadFrameWithDeadline(b, 100);
+    ASSERT_FALSE(timed_out.ok());
+    EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  // A close mid-frame stays Unavailable — the deadline path must not
+  // absorb real transport failures.
+  {
+    auto [a, b] = LocalPair();
+    const uint8_t half_header[6] = {'D', 'R', 'P', 'C', 0, 0};
+    ASSERT_TRUE(a.SendAll(half_header, sizeof(half_header)).ok());
+    a.Close();
+    auto torn = ReadFrameWithDeadline(b, 1000);
+    ASSERT_FALSE(torn.ok());
+    EXPECT_EQ(torn.status().code(), StatusCode::kUnavailable);
+  }
+  // And a whole frame arriving in time reads normally.
+  {
+    auto [a, b] = LocalPair();
+    const std::vector<uint8_t> payload = {1, 2, 3};
+    ASSERT_TRUE(WriteFrame(a, payload).ok());
+    auto frame = ReadFrameWithDeadline(b, 1000);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ(**frame, payload);
+  }
+}
+
+TEST(ResilienceTest, ClientRetriesTransientConnectFailure) {
+  ScopedPath bundle("server_test_reconnect.ddrc");
+  ScopedPath socket_path("server_test_reconnect.sock");
+  BuildBundle(bundle.get(), {DeterminismModel::kPerfect});
+  const std::map<std::string, std::string> baseline =
+      BaselineSignatures(bundle.get());
+
+  auto server = CorpusServer::Start(bundle.get(), UnixOptions(socket_path.get()));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  CorpusClientOptions retrying;
+  retrying.max_retries = 2;
+  retrying.backoff_initial_ms = 5;
+
+  // Without retries the injected connect failure is loud...
+  {
+    ScopedFaultPlan plan("socket.connect:unavail@1");
+    auto refused = CorpusClient::ConnectUnixSocket(socket_path.get());
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  }
+  // ...with retries the same failure is absorbed, and the rows served
+  // over the healed connection are bit-identical to in-process replay.
+  {
+    ScopedFaultPlan plan("socket.connect:unavail@1");
+    auto client = CorpusClient::ConnectUnixSocket(socket_path.get(), retrying);
+    ASSERT_TRUE(client.ok()) << client.status();
+    const std::string name = baseline.begin()->first;
+    auto cell = client->Replay(name);
+    ASSERT_TRUE(cell.ok()) << cell.status();
+    EXPECT_EQ(RowSignature(*cell), baseline.at(name));
+  }
+}
+
+TEST(ResilienceTest, ClientSurvivesStalledResponseWithinRetryBudget) {
+  ScopedPath bundle("server_test_stall.ddrc");
+  ScopedPath socket_path("server_test_stall.sock");
+  BuildBundle(bundle.get(), {DeterminismModel::kPerfect});
+  const std::map<std::string, std::string> baseline =
+      BaselineSignatures(bundle.get());
+
+  auto server = CorpusServer::Start(bundle.get(), UnixOptions(socket_path.get()));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  CorpusClientOptions options;
+  options.timeout_ms = 200;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 5;
+  auto client = CorpusClient::ConnectUnixSocket(socket_path.get(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // The first response stalls past the client deadline; the retry (on a
+  // fresh connection) is answered promptly and must return the exact
+  // same row the stalled attempt would have.
+  ScopedFaultPlan plan("server.respond:stall@1=600");
+  const std::string name = baseline.begin()->first;
+  auto cell = client->Replay(name);
+  ASSERT_TRUE(cell.ok()) << cell.status();
+  EXPECT_EQ(RowSignature(*cell), baseline.at(name));
+}
+
+TEST(ResilienceTest, ClientAnswersDeadlineExceededOnceBudgetIsSpent) {
+  ScopedPath bundle("server_test_budget.ddrc");
+  ScopedPath socket_path("server_test_budget.sock");
+  BuildBundle(bundle.get(), {DeterminismModel::kPerfect});
+
+  auto server = CorpusServer::Start(bundle.get(), UnixOptions(socket_path.get()));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  CorpusClientOptions options;
+  options.timeout_ms = 150;
+  options.max_retries = 1;
+  options.backoff_initial_ms = 5;
+  auto client = CorpusClient::ConnectUnixSocket(socket_path.get(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Every response stalls past the deadline: both attempts miss, and the
+  // final answer is DeadlineExceeded — not a hang, not Unavailable.
+  {
+    ScopedFaultPlan plan("server.respond:stall=600");
+    auto info = client->Info();
+    ASSERT_FALSE(info.ok());
+    EXPECT_EQ(info.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  // With the faults gone the same client recovers on its next call.
+  auto info = client->Info();
+  ASSERT_TRUE(info.ok()) << info.status();
+}
+
+TEST(ResilienceTest, RowsStayBitIdenticalUnderInjectedSendFaults) {
+  ScopedPath bundle("server_test_bitident.ddrc");
+  ScopedPath socket_path("server_test_bitident.sock");
+  BuildBundle(bundle.get(),
+              {DeterminismModel::kPerfect, DeterminismModel::kValue});
+  const std::map<std::string, std::string> baseline =
+      BaselineSignatures(bundle.get());
+  ASSERT_FALSE(baseline.empty());
+
+  auto server = CorpusServer::Start(bundle.get(), UnixOptions(socket_path.get()));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  CorpusClientOptions options;
+  options.timeout_ms = 2000;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 5;
+  auto client = CorpusClient::ConnectUnixSocket(socket_path.get(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Every second request send bounces with Unavailable; the retry loop
+  // must make that invisible — every row of the whole bundle replays
+  // bit-identically to the in-process baseline.
+  ScopedFaultPlan plan("client.send:unavail/2");
+  for (const auto& [name, signature] : baseline) {
+    auto cell = client->Replay(name);
+    ASSERT_TRUE(cell.ok()) << name << ": " << cell.status();
+    EXPECT_EQ(RowSignature(*cell), signature) << name;
+  }
+}
+
+TEST(ResilienceTest, ServerReadDeadlineCutsAStalledClientLoose) {
+  ScopedPath bundle("server_test_stalledclient.ddrc");
+  ScopedPath socket_path("server_test_stalledclient.sock");
+  BuildBundle(bundle.get(), {DeterminismModel::kPerfect});
+
+  CorpusServerOptions options = UnixOptions(socket_path.get());
+  options.request_timeout_ms = 200;
+  auto server = CorpusServer::Start(bundle.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  // A client that sends half a frame header and stalls must be answered
+  // (DeadlineExceeded) and hung up on — never allowed to pin its reader
+  // thread forever.
+  auto stalled = ConnectUnix(socket_path.get());
+  ASSERT_TRUE(stalled.ok()) << stalled.status();
+  const uint8_t half_header[6] = {'D', 'R', 'P', 'C', 0, 0};
+  ASSERT_TRUE(stalled->SendAll(half_header, sizeof(half_header)).ok());
+  auto answer = ReadFrameWithDeadline(*stalled, 2000);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_TRUE(answer->has_value());
+  auto response = DecodeResponse(**answer);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  // The connection is then closed from the server side.
+  auto eof = ReadFrameWithDeadline(*stalled, 2000);
+  ASSERT_TRUE(eof.ok()) << eof.status();
+  EXPECT_FALSE(eof->has_value());
+
+  // Meanwhile a healthy client on another connection is unaffected.
+  auto healthy = CorpusClient::ConnectUnixSocket(socket_path.get());
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  auto verified = healthy->Verify();
+  EXPECT_TRUE(verified.ok()) << verified.status();
 }
 
 #endif  // DDR_SERVER_TEST_HAVE_SOCKETS

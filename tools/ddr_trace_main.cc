@@ -113,10 +113,10 @@ constexpr CliFlag kServeFlags[] = {
     {"--socket", true}, {"--port", true},     {"--threads", true},
     {"--queue", true},  {"--watch-ms", true}, {"--io", true},
     {"--cache-mb", true}};
-constexpr CliFlag kQueryFlags[] = {{"--socket", true},
-                                   {"--host", true},
-                                   {"--port", true},
-                                   {"--model", true}};
+constexpr CliFlag kQueryFlags[] = {
+    {"--socket", true},     {"--host", true},    {"--port", true},
+    {"--model", true},      {"--timeout-ms", true}, {"--retries", true},
+    {"--backoff-ms", true}};
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -149,8 +149,12 @@ void PrintUsage() {
                "SIGTERM/SIGINT\n"
                "  query  <cmd> [name] --socket <path>|--host H --port <n> "
                "[--model NAME]\n"
+               "                [--timeout-ms N] [--retries N] "
+               "[--backoff-ms N]\n"
                "                cmd: info list verify replay stats refresh "
                "shutdown\n"
+               "                exit 3 = deadline exceeded (server did not "
+               "answer in --timeout-ms)\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n"
@@ -817,6 +821,14 @@ void PrintServeCell(const BatchCell& cell) {
   PrintBatchCells(report);
 }
 
+// Query exit codes: 0 ok, 1 usage, 2 failure, 3 deadline exceeded — a
+// script can tell "the server answered with an error" apart from "the
+// server did not answer in time".
+int QueryFailure(const Status& status) {
+  std::fprintf(stderr, "ddr-trace: %s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kDeadlineExceeded ? 3 : 2;
+}
+
 int Query(int argc, char** argv) {
   auto command = ParseRpcCommand(argv[2]);
   if (!command.ok()) {
@@ -849,23 +861,28 @@ int Query(int argc, char** argv) {
       return 1;
     }
   }
+  CorpusClientOptions client_options;
+  client_options.timeout_ms =
+      static_cast<int>(ParseFlag(argc, argv, "--timeout-ms", 0));
+  client_options.max_retries =
+      static_cast<int>(ParseFlag(argc, argv, "--retries", 0));
+  client_options.backoff_initial_ms = static_cast<int>(
+      ParseFlag(argc, argv, "--backoff-ms",
+                static_cast<uint64_t>(client_options.backoff_initial_ms)));
   auto client = socket != nullptr
-                    ? CorpusClient::ConnectUnixSocket(socket)
+                    ? CorpusClient::ConnectUnixSocket(socket, client_options)
                     : CorpusClient::ConnectTcpSocket(
                           ParseStringFlag(argc, argv, "--host", "127.0.0.1"),
-                          static_cast<uint16_t>(port));
+                          static_cast<uint16_t>(port), client_options);
   if (!client.ok()) {
-    std::fprintf(stderr, "ddr-trace: %s\n", client.status().ToString().c_str());
-    return 2;
+    return QueryFailure(client.status());
   }
 
   switch (*command) {
     case RpcCommand::kInfo: {
       auto info = client->Info();
       if (!info.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n",
-                     info.status().ToString().c_str());
-        return 2;
+        return QueryFailure(info.status());
       }
       std::printf("corpus:            %s\n", info->path.c_str());
       std::printf("file size:         %llu bytes\n",
@@ -890,9 +907,7 @@ int Query(int argc, char** argv) {
     case RpcCommand::kList: {
       auto entries = client->List();
       if (!entries.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n",
-                     entries.status().ToString().c_str());
-        return 2;
+        return QueryFailure(entries.status());
       }
       std::printf("%-28s %-14s %-12s %10s %10s\n", "name", "scenario",
                   "model", "events", "bytes");
@@ -909,7 +924,8 @@ int Query(int argc, char** argv) {
       if (!verified.ok()) {
         std::fprintf(stderr, "ddr-trace: verify FAILED: %s\n",
                      verified.status().ToString().c_str());
-        return 2;
+        return verified.status().code() == StatusCode::kDeadlineExceeded ? 3
+                                                                         : 2;
       }
       std::printf("%s: OK (%llu %s verified)\n",
                   name.empty() ? "bundle" : name.c_str(),
@@ -926,9 +942,7 @@ int Query(int argc, char** argv) {
       auto cell =
           client->Replay(name, ParseStringFlag(argc, argv, "--model", ""));
       if (!cell.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n",
-                     cell.status().ToString().c_str());
-        return 2;
+        return QueryFailure(cell.status());
       }
       PrintServeCell(*cell);
       return 0;
@@ -936,9 +950,7 @@ int Query(int argc, char** argv) {
     case RpcCommand::kStats: {
       auto stats = client->Stats();
       if (!stats.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n",
-                     stats.status().ToString().c_str());
-        return 2;
+        return QueryFailure(stats.status());
       }
       std::printf("requests:          %llu",
                   static_cast<unsigned long long>(stats->requests_total));
@@ -972,9 +984,7 @@ int Query(int argc, char** argv) {
     case RpcCommand::kRefresh: {
       auto refresh = client->Refresh();
       if (!refresh.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n",
-                     refresh.status().ToString().c_str());
-        return 2;
+        return QueryFailure(refresh.status());
       }
       std::printf("refresh: generation %u -> %u, entries %llu -> %llu (%s)\n",
                   refresh->generation_before, refresh->generation_after,
@@ -986,8 +996,7 @@ int Query(int argc, char** argv) {
     case RpcCommand::kShutdown: {
       const Status status = client->Shutdown();
       if (!status.ok()) {
-        std::fprintf(stderr, "ddr-trace: %s\n", status.ToString().c_str());
-        return 2;
+        return QueryFailure(status);
       }
       std::printf("shutdown acknowledged; server draining\n");
       return 0;
