@@ -303,7 +303,7 @@ Result<std::shared_ptr<const ScenarioPrep>> CorpusEntryScorer::PrepFor(
   std::promise<PrepResult> promise;
   bool compute = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = preps_.find(scenario_index);
     if (it == preps_.end()) {
       compute = true;

@@ -24,12 +24,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/experiment.h"
 #include "src/trace/corpus.h"
+#include "src/util/thread_annotations.h"
 
 namespace ddr {
 
@@ -144,8 +144,9 @@ class CorpusEntryScorer {
 
   std::vector<BugScenario> scenarios_;
   std::map<std::string, size_t> index_;  // scenario name -> scenarios_ index
-  mutable std::mutex mu_;
-  mutable std::map<size_t, std::shared_future<PrepResult>> preps_;
+  mutable Mutex mu_;
+  mutable std::map<size_t, std::shared_future<PrepResult>> preps_
+      GUARDED_BY(mu_);
 };
 
 struct ReplayCorpusOptions {

@@ -5,11 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +16,7 @@
 #include "src/util/file_lock.h"
 #include "src/util/socket.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -36,8 +34,12 @@ namespace {
 // overload for the same client must never interleave bytes.
 struct Connection {
   uint64_t id = 0;
+  // Read exclusively by the connection's reader thread; written (response
+  // frames) by whichever thread holds write_mu. Not GUARDED_BY: reads and
+  // writes of a connected socket are independently safe, the mutex only
+  // keeps response frames from interleaving.
   Socket socket;
-  std::mutex write_mu;
+  Mutex write_mu;
 };
 
 struct Task {
@@ -78,30 +80,32 @@ struct CorpusServer::Impl {
   // side; Refresh swaps generations under the exclusive side (windows
   // handed out before a Reopen stay valid, so in-flight requests only
   // need to have *entered* under the old index, not to outlive the swap).
-  mutable std::shared_mutex reader_mu;
-  std::optional<CorpusReader> reader;
+  mutable SharedMutex reader_mu;
+  std::optional<CorpusReader> reader GUARDED_BY(reader_mu);
 
+  // Immutable after Start and internally synchronized (prep futures
+  // behind its own mutex), so not guarded by reader_mu.
   std::optional<CorpusEntryScorer> scorer;
 
   // Bounded admission queue.
-  std::mutex queue_mu;
-  std::condition_variable queue_cv;
-  std::deque<Task> queue;
-  bool queue_closed = false;
+  Mutex queue_mu;
+  CondVar queue_cv;
+  std::deque<Task> queue GUARDED_BY(queue_mu);
+  bool queue_closed GUARDED_BY(queue_mu) = false;
 
   // Connection registry (for drain wakeups) + reader threads.
-  std::mutex conn_mu;
-  std::vector<std::shared_ptr<Connection>> connections;
-  std::vector<std::thread> conn_threads;
-  uint64_t next_conn_id = 1;
+  Mutex conn_mu;
+  std::vector<std::shared_ptr<Connection>> connections GUARDED_BY(conn_mu);
+  std::vector<std::thread> conn_threads GUARDED_BY(conn_mu);
+  uint64_t next_conn_id GUARDED_BY(conn_mu) = 1;
 
   std::thread accept_thread;
   std::vector<std::thread> workers;
   std::thread watcher;
 
   std::atomic<bool> stop{false};
-  std::mutex stop_mu;
-  std::condition_variable stop_cv;
+  Mutex stop_mu;
+  CondVar stop_cv;
   std::once_flag drain_once;
 
   // Counters (see ServeStats).
@@ -118,7 +122,7 @@ struct CorpusServer::Impl {
 
   PushResult TryPush(Task task) {
     {
-      std::lock_guard<std::mutex> lock(queue_mu);
+      MutexLock lock(queue_mu);
       if (queue_closed) {
         return PushResult::kClosed;
       }
@@ -127,14 +131,16 @@ struct CorpusServer::Impl {
       }
       queue.push_back(std::move(task));
     }
-    queue_cv.notify_one();
+    queue_cv.NotifyOne();
     return PushResult::kAccepted;
   }
 
   // Blocks for work; nullopt once the queue is closed and drained.
   std::optional<Task> Pop() {
-    std::unique_lock<std::mutex> lock(queue_mu);
-    queue_cv.wait(lock, [&] { return !queue.empty() || queue_closed; });
+    MutexLock lock(queue_mu);
+    while (queue.empty() && !queue_closed) {
+      queue_cv.Wait(queue_mu);
+    }
     if (queue.empty()) {
       return std::nullopt;
     }
@@ -153,7 +159,7 @@ struct CorpusServer::Impl {
       return;
     }
     const std::vector<uint8_t> payload = EncodeResponse(response);
-    std::lock_guard<std::mutex> lock(conn.write_mu);
+    MutexLock lock(conn.write_mu);
     // A failed write means the client went away; its reader thread sees
     // the close independently, so the error is dropped, not propagated.
     if (WriteFrame(conn.socket, payload).ok()) {
@@ -192,7 +198,7 @@ struct CorpusServer::Impl {
   }
 
   RpcResponse HandleInfo() {
-    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ReaderMutexLock lock(reader_mu);
     ServeInfo info;
     info.path = reader->path();
     info.file_size = reader->file_size();
@@ -209,7 +215,7 @@ struct CorpusServer::Impl {
   }
 
   RpcResponse HandleList() {
-    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ReaderMutexLock lock(reader_mu);
     std::vector<ServeEntry> entries;
     entries.reserve(reader->entries().size());
     for (const CorpusEntry& entry : reader->entries()) {
@@ -225,7 +231,7 @@ struct CorpusServer::Impl {
   }
 
   RpcResponse HandleVerify(const std::string& name) {
-    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ReaderMutexLock lock(reader_mu);
     if (name.empty()) {
       if (Status verified = reader->VerifyAll(); !verified.ok()) {
         return ErrorResponse(verified);
@@ -258,7 +264,7 @@ struct CorpusServer::Impl {
       return ErrorResponse(
           InvalidArgumentError("replay needs an entry name"));
     }
-    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ReaderMutexLock lock(reader_mu);
     const CorpusEntry* entry = reader->Find(name);
     if (entry == nullptr) {
       return ErrorResponse(
@@ -272,7 +278,7 @@ struct CorpusServer::Impl {
   }
 
   Result<ServeRefresh> Refresh() {
-    std::unique_lock<std::shared_mutex> lock(reader_mu);
+    WriterMutexLock lock(reader_mu);
     ServeRefresh out;
     out.generation_before = reader->generation();
     out.entries_before = reader->entries().size();
@@ -305,7 +311,7 @@ struct CorpusServer::Impl {
         generations_picked_up.load(std::memory_order_relaxed);
     stats.clients_total = clients_total.load(std::memory_order_relaxed);
     stats.clients_active = clients_active.load(std::memory_order_relaxed);
-    std::shared_lock<std::shared_mutex> lock(reader_mu);
+    ReaderMutexLock lock(reader_mu);
     stats.generation = reader->generation();
     stats.entry_count = reader->entries().size();
     stats.corpus_bytes_read = reader->bytes_read();
@@ -332,7 +338,7 @@ struct CorpusServer::Impl {
       clients_total.fetch_add(1, std::memory_order_relaxed);
       clients_active.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lock(conn_mu);
+        MutexLock lock(conn_mu);
         conn->id = next_conn_id++;
         connections.push_back(conn);
         conn_threads.emplace_back([this, conn] { ServeConnection(conn); });
@@ -407,7 +413,7 @@ struct CorpusServer::Impl {
       }
     }
     clients_active.fetch_sub(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu);
+    MutexLock lock(conn_mu);
     for (size_t i = 0; i < connections.size(); ++i) {
       if (connections[i]->id == conn->id) {
         connections.erase(connections.begin() + i);
@@ -443,7 +449,7 @@ struct CorpusServer::Impl {
       }
       uint64_t seen = 0;
       {
-        std::shared_lock<std::shared_mutex> lock(reader_mu);
+        ReaderMutexLock lock(reader_mu);
         seen = reader->file_size();
       }
       if (static_cast<uint64_t>(st.st_size) != seen) {
@@ -458,7 +464,14 @@ struct CorpusServer::Impl {
 
   void RequestStop() {
     stop.store(true, std::memory_order_release);
-    stop_cv.notify_all();
+    // Pair the notify with the waiter's predicate check: without taking
+    // stop_mu here, the store + notify could both land in the window
+    // between Wait()'s check (under the mutex) and its sleep, and the
+    // wakeup would be lost — Wait() would hang until process exit. An
+    // empty critical section is enough; RequestStop is never called from
+    // a signal handler (handlers set their own sig_atomic_t flag).
+    { MutexLock lock(stop_mu); }
+    stop_cv.NotifyAll();
   }
 
   void Drain() {
@@ -480,32 +493,35 @@ struct CorpusServer::Impl {
       // 2. Close the queue: reader threads answer "draining" from here
       // on; workers finish everything already admitted, then exit.
       {
-        std::lock_guard<std::mutex> lock(queue_mu);
+        MutexLock lock(queue_mu);
         queue_closed = true;
       }
-      queue_cv.notify_all();
+      queue_cv.NotifyAll();
       for (std::thread& worker : workers) {
         if (worker.joinable()) {
           worker.join();
         }
       }
       // 3. Every admitted response has been written. Wake reader threads
-      // blocked on idle connections and join them.
+      // blocked on idle connections, then join them. The threads are
+      // swapped out under the lock and joined outside it — exiting reader
+      // threads take conn_mu to deregister themselves, so joining while
+      // holding it would deadlock.
+      std::vector<std::thread> to_join;
       {
-        std::lock_guard<std::mutex> lock(conn_mu);
+        MutexLock lock(conn_mu);
         for (const auto& conn : connections) {
           conn->socket.ShutdownBoth();
         }
+        to_join.swap(conn_threads);
       }
-      // conn_threads only grows under conn_mu and growth stopped with the
-      // accept loop, so the vector is stable to iterate unlocked here.
-      for (std::thread& thread : conn_threads) {
+      for (std::thread& thread : to_join) {
         if (thread.joinable()) {
           thread.join();
         }
       }
       {
-        std::lock_guard<std::mutex> lock(conn_mu);
+        MutexLock lock(conn_mu);
         connections.clear();
       }
     });
@@ -536,7 +552,12 @@ Result<std::unique_ptr<CorpusServer>> CorpusServer::Start(
   // before it binds the endpoint.
   ASSIGN_OR_RETURN(CorpusReader reader,
                    CorpusReader::Open(bundle_path, options.reader));
-  impl->reader.emplace(std::move(reader));
+  {
+    // No other thread exists yet; the lock exists for the analysis (and
+    // costs nothing uncontended).
+    WriterMutexLock lock(impl->reader_mu);
+    impl->reader.emplace(std::move(reader));
+  }
   impl->scorer.emplace(options.scenarios.empty() ? AllBugScenarios()
                                                  : options.scenarios);
 
@@ -578,10 +599,10 @@ void CorpusServer::RequestStop() { impl_->RequestStop(); }
 
 void CorpusServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(impl_->stop_mu);
-    impl_->stop_cv.wait(lock, [&] {
-      return impl_->stop.load(std::memory_order_acquire);
-    });
+    MutexLock lock(impl_->stop_mu);
+    while (!impl_->stop.load(std::memory_order_acquire)) {
+      impl_->stop_cv.Wait(impl_->stop_mu);
+    }
   }
   impl_->Drain();
 }

@@ -74,7 +74,7 @@ ChunkCache::EventsPtr ChunkCache::Lookup(const ChunkKey& key) {
     return nullptr;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -95,7 +95,7 @@ void ChunkCache::Insert(const ChunkKey& key, EventsPtr events) {
     return;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     // Racing decoders of the same cold chunk: keep the incumbent, just
     // refresh its recency.
@@ -123,7 +123,7 @@ ChunkCacheStats ChunkCache::stats() const {
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.capacity_bytes = capacity_bytes_;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.bytes_in_use += shard->bytes;
     stats.entries += shard->lru.size();
   }

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/sim/event.h"
+#include "src/util/thread_annotations.h"
 
 namespace ddr {
 
@@ -111,10 +111,11 @@ class ChunkCache {
 
   // Exact LRU: list front = most recent; the map points into the list.
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> index;
-    uint64_t bytes = 0;
+    Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> index
+        GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const ChunkKey& key);

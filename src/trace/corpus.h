@@ -230,12 +230,12 @@ class CorpusWriter {
   //
   // Readers holding an open handle keep serving the old index either way
   // (in-place appends never mutate bytes a published index points at).
-  static Result<std::unique_ptr<CorpusWriter>> AppendTo(
+  [[nodiscard]] static Result<std::unique_ptr<CorpusWriter>> AppendTo(
       const std::string& path, const CorpusAppendOptions& options = {});
 
   // Writes the corpus header. Must be called exactly once, first (the
   // AppendTo factory takes its place when extending an existing bundle).
-  Status Begin();
+  [[nodiscard]] Status Begin();
 
   // Serializes `recording` into the bundle under `name` (unique; reuse is
   // an error). `options.scenario` / `options.original_wall_seconds` land
@@ -267,7 +267,7 @@ class CorpusWriter {
 
   // Writes the index + trailer and publishes the bundle (rename for
   // build/rewrite, ordered fsyncs for in-place append).
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   const std::vector<CorpusEntry>& entries() const { return entries_; }
 
@@ -334,7 +334,7 @@ struct CorpusReaderOptions {
 // and never decode the same chunk twice while it stays cached.
 class CorpusReader {
  public:
-  static Result<CorpusReader> Open(const std::string& path,
+  [[nodiscard]] static Result<CorpusReader> Open(const std::string& path,
                                    const CorpusReaderOptions& options = {});
 
   // Re-opens the same path with the same options, picking up a bundle
@@ -346,7 +346,7 @@ class CorpusReader {
   // stale bytes). On failure *this is left untouched and still serves the
   // old bundle. Not safe to call concurrently with OpenTrace on the same
   // object; windows handed out before Reopen stay valid either way.
-  Status Reopen();
+  [[nodiscard]] Status Reopen();
 
   const std::string& path() const { return path_; }
   uint64_t file_size() const { return file_size_; }
@@ -401,7 +401,7 @@ class CorpusReader {
   // metadata consistency. Hints kernel readahead sequential for the
   // duration of the scan (the one front-to-back read path) and restores
   // the handle's open-time hint after.
-  Status VerifyAll() const;
+  [[nodiscard]] Status VerifyAll() const;
 
   // Forwards an access-pattern hint to the underlying handle (advisory;
   // see RandomAccessFile::Advise). Cold full-bundle scans want

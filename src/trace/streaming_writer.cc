@@ -23,6 +23,9 @@ namespace {
 // processes) targeting the same destination get distinct temp files.
 std::string MakeTempPath(const std::string& path) {
   static std::atomic<uint64_t> counter{0};
+  // The pid names a scratch file that is renamed away or deleted; it
+  // never reaches recorded bytes.
+  // NOLINTNEXTLINE(ddr-nondeterminism): temp-file naming only (see above)
   return StrPrintf("%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
                    static_cast<unsigned long long>(
                        counter.fetch_add(1, std::memory_order_relaxed)));

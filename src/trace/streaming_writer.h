@@ -36,9 +36,9 @@ namespace ddr {
 class TraceByteSink {
  public:
   virtual ~TraceByteSink() = default;
-  virtual Status Append(const uint8_t* data, size_t size) = 0;
+  [[nodiscard]] virtual Status Append(const uint8_t* data, size_t size) = 0;
   // Durably completes the stream (flush / rename). Idempotent.
-  virtual Status Close() = 0;
+  [[nodiscard]] virtual Status Close() = 0;
 
   Status Append(const std::vector<uint8_t>& bytes) {
     return Append(bytes.data(), bytes.size());
@@ -111,7 +111,7 @@ class StreamingTraceWriter : public EventStreamSink {
   StreamingTraceWriter(TraceByteSink* sink, TraceWriteOptions options = {});
 
   // Writes the file header. Must be called exactly once, first.
-  Status Begin();
+  [[nodiscard]] Status Begin();
 
   // Buffers events, flushing every completed chunk through the sink.
   Status Append(const Event& event);
@@ -127,7 +127,7 @@ class StreamingTraceWriter : public EventStreamSink {
 
   // Flushes the final partial chunk, writes metadata / snapshot /
   // checkpoint / footer / trailer sections, and closes the sink.
-  Status Finish(const TraceFinishInfo& info);
+  [[nodiscard]] Status Finish(const TraceFinishInfo& info);
 
   uint64_t events_written() const { return total_events_; }
   // Bytes handed to the sink so far (the eventual file size after Finish).

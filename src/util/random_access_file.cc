@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DDR_HAVE_POSIX_IO 1
@@ -18,6 +17,7 @@
 
 #include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_annotations.h"
 
 namespace ddr {
 
@@ -64,7 +64,7 @@ class StreamFile final : public RandomAccessFile {
       uint64_t offset, size_t length,
       std::vector<uint8_t>* scratch) const override {
     scratch->resize(length);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stream_.clear();
     stream_.seekg(static_cast<std::streamoff>(offset));
     stream_.read(reinterpret_cast<char*>(scratch->data()),
@@ -76,8 +76,9 @@ class StreamFile final : public RandomAccessFile {
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::ifstream stream_;
+  // The one backend with shared mutable state: the ifstream's seek cursor.
+  mutable Mutex mu_;
+  mutable std::ifstream stream_ GUARDED_BY(mu_);
 };
 
 // Classifies an open failure from errno: only true non-existence is

@@ -75,7 +75,7 @@ struct RandomAccessFileOptions {
 
 class RandomAccessFile {
  public:
-  static Result<std::shared_ptr<RandomAccessFile>> Open(
+  [[nodiscard]] static Result<std::shared_ptr<RandomAccessFile>> Open(
       const std::string& path, const RandomAccessFileOptions& options = {});
 
   RandomAccessFile(const RandomAccessFile&) = delete;
@@ -89,7 +89,7 @@ class RandomAccessFile {
   // silent truncation. Safe to call concurrently from many threads; the
   // span stays valid for the life of the handle (mmap) or until scratch
   // is next written (copying backends).
-  Result<std::span<const uint8_t>> Read(uint64_t offset, size_t length,
+  [[nodiscard]] Result<std::span<const uint8_t>> Read(uint64_t offset, size_t length,
                                         std::vector<uint8_t>* scratch) const;
 
   const std::string& path() const { return path_; }

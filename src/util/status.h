@@ -36,7 +36,12 @@ enum class StatusCode : int {
 
 std::string_view StatusCodeToString(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class: any call that returns a Status by value and
+// drops it on the floor is a compiler warning (-Werror in CI). An ignored
+// Status is how a failed fsync or a short write silently breaks
+// bit-identical replay; where ignoring is genuinely intended, write
+// `(void)expr;` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -75,8 +80,10 @@ Status AbortedError(std::string_view message);
 Status ResourceExhaustedError(std::string_view message);
 
 // A value-or-error holder. Accessing value() on an error status is fatal.
+// [[nodiscard]] for the same reason as Status: a dropped Result is a
+// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : data_(std::move(status)) {  // NOLINT: implicit by design
