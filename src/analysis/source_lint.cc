@@ -438,6 +438,66 @@ void CheckRawIo(const StrippedSource& src, std::string_view path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: ddr-raw-sync (src/ only; src/util/ and src/analysis/sched/
+// exempt).
+//
+// The schedule explorer (src/analysis/sched/) can only interleave what it
+// can see, and it sees the annotated wrappers in
+// src/util/thread_annotations.h. A raw std::mutex or std::thread in
+// product code is a synchronization edge the explorer (and the clang
+// thread-safety analysis) is blind to. src/util/ hosts the wrappers
+// themselves; src/analysis/sched/ is the cooperative scheduler that sits
+// beneath them and must use the real primitives — both are exempt for the
+// same reason fault_injection is exempt from ddr-raw-io.
+// ---------------------------------------------------------------------------
+
+struct RawSyncToken {
+  const char* token;
+  const char* instead;
+};
+
+constexpr RawSyncToken kRawSync[] = {
+    {"std::mutex", "ddr::Mutex"},
+    {"std::recursive_mutex", "ddr::Mutex (and remove the reentrancy)"},
+    {"std::shared_mutex", "ddr::SharedMutex"},
+    {"std::shared_timed_mutex", "ddr::SharedMutex"},
+    {"std::condition_variable_any", "ddr::CondVar"},
+    {"std::condition_variable", "ddr::CondVar"},
+    {"std::thread", "ddr::OsThread"},
+};
+
+void CheckRawSync(const StrippedSource& src, std::string_view path,
+                  std::vector<LintIssue>* issues) {
+  if (!PathContains(path, "src/") || PathContains(path, "src/util/") ||
+      PathContains(path, "src/analysis/sched/")) {
+    return;
+  }
+  // Longest token first at each position: std::condition_variable must
+  // not also fire inside std::condition_variable_any.
+  std::set<size_t> claimed;
+  for (const RawSyncToken& banned : kRawSync) {
+    const size_t len = std::string_view(banned.token).size();
+    for (size_t pos : FindToken(src.code, banned.token,
+                                /*exclude_member=*/false)) {
+      // Right boundary: reject a match that is a prefix of a longer
+      // identifier (condition_variable inside condition_variable_any).
+      if (pos + len < src.code.size() && IsWordChar(src.code[pos + len])) {
+        continue;
+      }
+      if (!claimed.insert(pos).second) {
+        continue;
+      }
+      issues->push_back(LintIssue{
+          std::string(path), src.line_of[pos], "ddr-raw-sync",
+          StrPrintf("raw '%s' outside src/util/: invisible to the schedule "
+                    "explorer and the thread-safety analysis; use %s from "
+                    "src/util/thread_annotations.h",
+                    banned.token, banned.instead)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: ddr-suppression, and the suppression map itself.
 //
 // Grammar: `NOLINT(ddr-<rule>): <justification>` suppresses <rule> on its
@@ -510,6 +570,22 @@ std::string FormatLintIssue(const LintIssue& issue) {
                    issue.rule.c_str(), issue.message.c_str());
 }
 
+std::string FormatLintIssuesJson(const std::vector<LintIssue>& issues) {
+  std::string out = StrPrintf("{\"count\":%zu,\"issues\":[", issues.size());
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += StrPrintf("{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\","
+                     "\"message\":\"%s\"}",
+                     JsonEscape(issues[i].file).c_str(), issues[i].line,
+                     JsonEscape(issues[i].rule).c_str(),
+                     JsonEscape(issues[i].message).c_str());
+  }
+  out += "]}\n";
+  return out;
+}
+
 std::vector<LintIssue> LintSource(std::string_view display_path,
                                   std::string_view contents,
                                   const LintOptions& options) {
@@ -521,6 +597,7 @@ std::vector<LintIssue> LintSource(std::string_view display_path,
   CheckNondeterminism(src, display_path, options, &found);
   CheckUnorderedIteration(src, display_path, &found);
   CheckRawIo(src, display_path, &found);
+  CheckRawSync(src, display_path, &found);
   for (LintIssue& issue : found) {
     auto it = suppressed.find(issue.line);
     if (it != suppressed.end() && it->second.count(issue.rule) > 0) {

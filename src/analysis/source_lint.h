@@ -18,6 +18,15 @@
 //                            consult (FaultPoint & friends) in the
 //                            preceding window — durability I/O that
 //                            bypasses the crash-enumeration harness.
+//   ddr-raw-sync             raw std::mutex / std::shared_mutex /
+//                            std::condition_variable[_any] / std::thread
+//                            in src/ outside src/util/ (and outside the
+//                            scheduler itself, src/analysis/sched/):
+//                            synchronization the schedule explorer and
+//                            the thread-safety analysis cannot see. Use
+//                            the wrappers (ddr::Mutex, ddr::CondVar,
+//                            ddr::OsThread) from
+//                            src/util/thread_annotations.h.
 //   ddr-suppression          a ddr NOLINT marker with no justification
 //                            text after it. Suppressions are allowed,
 //                            silent ones are not. This rule cannot
@@ -50,6 +59,12 @@ struct LintIssue {
 
 // "file:line: [rule] message" — the one format everything prints.
 std::string FormatLintIssue(const LintIssue& issue);
+
+// The whole report as one JSON object:
+//   {"count":N,"issues":[{"file":...,"line":N,"rule":...,"message":...}]}
+// (trailing newline included). Machine-readable twin of the text report
+// for `ddr-lint --format=json` and the CI artifact.
+std::string FormatLintIssuesJson(const std::vector<LintIssue>& issues);
 
 struct LintOptions {
   // Path substrings exempt from ddr-nondeterminism (e.g. a benchmark

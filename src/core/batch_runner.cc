@@ -11,6 +11,7 @@
 
 #include "src/trace/corpus.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_annotations.h"
 
 namespace ddr {
 
@@ -29,7 +30,7 @@ void RunTasks(int threads, size_t count,
     return;
   }
   std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
+  std::vector<ddr::OsThread> pool;
   const size_t spawned = std::min(workers, count);
   pool.reserve(spawned);
   for (size_t w = 0; w < spawned; ++w) {
@@ -39,7 +40,7 @@ void RunTasks(int threads, size_t count,
       }
     });
   }
-  for (std::thread& worker : pool) {
+  for (ddr::OsThread& worker : pool) {
     worker.join();
   }
 }

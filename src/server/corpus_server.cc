@@ -96,12 +96,12 @@ struct CorpusServer::Impl {
   // Connection registry (for drain wakeups) + reader threads.
   Mutex conn_mu;
   std::vector<std::shared_ptr<Connection>> connections GUARDED_BY(conn_mu);
-  std::vector<std::thread> conn_threads GUARDED_BY(conn_mu);
+  std::vector<OsThread> conn_threads GUARDED_BY(conn_mu);
   uint64_t next_conn_id GUARDED_BY(conn_mu) = 1;
 
-  std::thread accept_thread;
-  std::vector<std::thread> workers;
-  std::thread watcher;
+  OsThread accept_thread;
+  std::vector<OsThread> workers;
+  OsThread watcher;
 
   std::atomic<bool> stop{false};
   Mutex stop_mu;
@@ -497,7 +497,7 @@ struct CorpusServer::Impl {
         queue_closed = true;
       }
       queue_cv.NotifyAll();
-      for (std::thread& worker : workers) {
+      for (OsThread& worker : workers) {
         if (worker.joinable()) {
           worker.join();
         }
@@ -507,7 +507,7 @@ struct CorpusServer::Impl {
       // swapped out under the lock and joined outside it — exiting reader
       // threads take conn_mu to deregister themselves, so joining while
       // holding it would deadlock.
-      std::vector<std::thread> to_join;
+      std::vector<OsThread> to_join;
       {
         MutexLock lock(conn_mu);
         for (const auto& conn : connections) {
@@ -515,7 +515,7 @@ struct CorpusServer::Impl {
         }
         to_join.swap(conn_threads);
       }
-      for (std::thread& thread : to_join) {
+      for (OsThread& thread : to_join) {
         if (thread.joinable()) {
           thread.join();
         }
@@ -577,10 +577,10 @@ Result<std::unique_ptr<CorpusServer>> CorpusServer::Start(
     });
   }
   impl->accept_thread =
-      std::thread([impl_ptr = impl.get()] { impl_ptr->AcceptLoop(); });
+      OsThread([impl_ptr = impl.get()] { impl_ptr->AcceptLoop(); });
   if (options.watch_interval_ms > 0) {
     impl->watcher =
-        std::thread([impl_ptr = impl.get()] { impl_ptr->WatcherLoop(); });
+        OsThread([impl_ptr = impl.get()] { impl_ptr->WatcherLoop(); });
   }
   return std::unique_ptr<CorpusServer>(new CorpusServer(std::move(impl)));
 }

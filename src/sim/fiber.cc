@@ -19,7 +19,7 @@ Fiber::~Fiber() {
 
 void Fiber::Launch(std::function<void()> trampoline) {
   CHECK(!thread_.joinable()) << "fiber launched twice";
-  thread_ = std::thread([this, fn = std::move(trampoline)] {
+  thread_ = OsThread([this, fn = std::move(trampoline)] {
     WaitForResume();
     fn();
   });

@@ -9,14 +9,12 @@
 #ifndef SRC_SIM_FIBER_H_
 #define SRC_SIM_FIBER_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/sim/types.h"
+#include "src/util/thread_annotations.h"
 
 namespace ddr {
 
@@ -30,23 +28,25 @@ struct FiberKilled {};
 class Baton {
  public:
   void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return posted_; });
+    MutexLock lock(mutex_);
+    while (!posted_) {
+      cv_.Wait(mutex_);
+    }
     posted_ = false;
   }
 
   void Post() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       posted_ = true;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool posted_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  bool posted_ GUARDED_BY(mutex_) = false;
 };
 
 // Why a blocked fiber resumed.
@@ -125,7 +125,7 @@ class Fiber {
   std::vector<FiberId> joiners_;
 
   Baton resume_baton_;
-  std::thread thread_;
+  OsThread thread_;
 };
 
 }  // namespace ddr

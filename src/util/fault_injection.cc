@@ -16,10 +16,6 @@
 
 namespace ddr {
 
-namespace fault_internal {
-std::atomic<bool> g_armed{false};
-}  // namespace fault_internal
-
 namespace {
 
 enum class FaultKind : uint8_t {
@@ -322,10 +318,10 @@ Status SetFaultPlan(const std::string& plan) {
   delete PlanSlot();
   if (parsed->specs.empty()) {
     PlanSlot() = nullptr;
-    fault_internal::g_armed.store(false, std::memory_order_relaxed);
+    SetInstrArmed(kInstrFaults, false);
   } else {
     PlanSlot() = parsed.release();
-    fault_internal::g_armed.store(true, std::memory_order_relaxed);
+    SetInstrArmed(kInstrFaults, true);
   }
   return OkStatus();
 }
@@ -334,7 +330,7 @@ void ClearFaultPlan() {
   std::lock_guard<std::mutex> lock(PlanMutex());
   delete PlanSlot();
   PlanSlot() = nullptr;
-  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+  SetInstrArmed(kInstrFaults, false);
 }
 
 bool FaultCrashTriggered() {

@@ -49,29 +49,24 @@
 #ifndef SRC_UTIL_FAULT_INJECTION_H_
 #define SRC_UTIL_FAULT_INJECTION_H_
 
-#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "src/util/instr_gate.h"
 #include "src/util/status.h"
 
 namespace ddr {
 
 namespace fault_internal {
-// True while a fault plan is installed (or a crash fault has fired).
-// Declared here so the armed check inlines to one relaxed load.
-extern std::atomic<bool> g_armed;
-
 Status PointSlow(const char* site);
 bool EintrSlow(const char* site);
 }  // namespace fault_internal
 
-// The single fast-path guard: false (one relaxed atomic load, no
-// barrier) unless a plan is installed via DDR_FAULT_PLAN or SetFaultPlan.
-inline bool FaultsArmed() {
-  return fault_internal::g_armed.load(std::memory_order_relaxed);
-}
+// The single fast-path guard: false (one relaxed atomic load of the
+// shared instr_gate bit-set, no barrier) unless a plan is installed via
+// DDR_FAULT_PLAN or SetFaultPlan.
+inline bool FaultsArmed() { return InstrArmed(kInstrFaults); }
 
 // Generic consult for operations with no partial-success mode (fsync,
 // rename, open, connect, recv, read): OK unless an armed fault fires.

@@ -1,0 +1,17 @@
+#include "src/util/instr_gate.h"
+
+namespace ddr {
+
+namespace instr_internal {
+std::atomic<uint32_t> g_instr_armed{0};
+}  // namespace instr_internal
+
+void SetInstrArmed(uint32_t bit, bool on) {
+  if (on) {
+    instr_internal::g_instr_armed.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    instr_internal::g_instr_armed.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ddr

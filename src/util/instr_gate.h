@@ -1,0 +1,49 @@
+// The one "is any instrumentation armed?" fast-path gate.
+//
+// Two layers instrument hot paths with a pay-nothing-when-off check:
+// fault injection (src/util/fault_injection.h) and the deterministic
+// schedule explorer's sched-points (src/analysis/sched/). Each needs a
+// branch that is false in production; giving each its own atomic would
+// make doubly-instrumented primitives pay two relaxed loads. Instead all
+// layers share one process-wide bit-set: an instrumented operation does
+// exactly one relaxed atomic load, tests its layer's bit, and only then
+// enters that layer's slow path.
+//
+// Relaxed is enough: arming happens on a quiescent process (test setup,
+// env-var install at static init) and every slow path re-synchronizes
+// under its own mutex, so the gate only needs to eventually become
+// visible — it never orders data.
+
+#ifndef SRC_UTIL_INSTR_GATE_H_
+#define SRC_UTIL_INSTR_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ddr {
+
+// One bit per instrumentation layer.
+inline constexpr uint32_t kInstrFaults = 1u << 0;  // DDR_FAULT_PLAN armed
+inline constexpr uint32_t kInstrSched = 1u << 1;   // schedule explorer active
+
+namespace instr_internal {
+// Declared here so the armed check inlines to one relaxed load.
+extern std::atomic<uint32_t> g_instr_armed;
+}  // namespace instr_internal
+
+// The single fast-path load all instrumented primitives share.
+inline uint32_t InstrArmedBits() {
+  return instr_internal::g_instr_armed.load(std::memory_order_relaxed);
+}
+
+// True when any of `bits` is armed. The usual call site shape:
+//   if (InstrArmed(kInstrSched) && sched_internal::LockHook(this)) return;
+inline bool InstrArmed(uint32_t bits) { return (InstrArmedBits() & bits) != 0; }
+
+// Arms/disarms one layer's bit. Cheap but not a hot-path call — layers
+// flip it on plan install / explorer start only.
+void SetInstrArmed(uint32_t bit, bool on);
+
+}  // namespace ddr
+
+#endif  // SRC_UTIL_INSTR_GATE_H_

@@ -23,6 +23,14 @@
 // the annotated Mutex so waiting code keeps its capability visible to the
 // analysis (use an explicit `while (!pred) cv.Wait(lock);` loop — a
 // predicate lambda would be analyzed as a separate, lockless function).
+//
+// The wrappers are also the sched-points of the deterministic schedule
+// explorer (src/analysis/sched/): every operation first tests the shared
+// instr_gate bit (one relaxed atomic load, the same pattern as
+// fault_injection.h) and, only when an explorer is active AND the calling
+// thread participates in it, diverts into the scheduler's model instead
+// of touching the real primitive. Unarmed, production code pays exactly
+// that one load.
 
 #ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
 #define SRC_UTIL_THREAD_ANNOTATIONS_H_
@@ -30,6 +38,9 @@
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
+
+#include "src/util/instr_gate.h"
 
 #if defined(__clang__) && (!defined(SWIG))
 #define DDR_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
@@ -71,6 +82,28 @@
 
 namespace ddr {
 
+// Raw std::thread is banned outside src/util/ by ddr-lint (ddr-raw-sync);
+// this alias is the sanctioned spawn point. A thread object carries no
+// lock state for the analysis, but routing spawns through one name keeps
+// them auditable (and lintable) alongside the annotated primitives.
+using OsThread = std::thread;
+
+namespace sched_internal {
+// Sched-point hooks, defined by the schedule explorer
+// (src/analysis/sched/sched.cc). Each returns true when the operation was
+// handled by the scheduler's model — the wrapper then skips the real
+// primitive — and false when the calling thread is not a participant of
+// an active exploration (the wrapper falls through to the real op).
+// Callers must only consult these after an InstrArmed(kInstrSched) check.
+bool LockHook(void* mu);
+bool UnlockHook(void* mu);
+bool TryLockHook(void* mu, bool* acquired);
+bool SharedLockHook(void* mu, bool exclusive);
+bool SharedUnlockHook(void* mu, bool exclusive);
+bool CondWaitHook(void* cv, void* mu, bool timed);
+bool CondNotifyHook(void* cv, bool all);
+}  // namespace sched_internal
+
 // std::mutex with the capability attributes the analysis needs. Satisfies
 // BasicLockable, so std::condition_variable_any (CondVar below) and
 // std::lock_guard both work on it.
@@ -80,9 +113,26 @@ class CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+    if (InstrArmed(kInstrSched) && sched_internal::LockHook(this)) {
+      return;
+    }
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    if (InstrArmed(kInstrSched) && sched_internal::UnlockHook(this)) {
+      return;
+    }
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    bool acquired = false;
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::TryLockHook(this, &acquired)) {
+      return acquired;
+    }
+    return mu_.try_lock();
+  }
 
  private:
   std::mutex mu_;
@@ -109,10 +159,34 @@ class CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock() ACQUIRE() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::SharedLockHook(this, /*exclusive=*/true)) {
+      return;
+    }
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::SharedUnlockHook(this, /*exclusive=*/true)) {
+      return;
+    }
+    mu_.unlock();
+  }
+  void lock_shared() ACQUIRE_SHARED() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::SharedLockHook(this, /*exclusive=*/false)) {
+      return;
+    }
+    mu_.lock_shared();
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::SharedUnlockHook(this, /*exclusive=*/false)) {
+      return;
+    }
+    mu_.unlock_shared();
+  }
 
  private:
   std::shared_mutex mu_;
@@ -162,17 +236,37 @@ class CondVar {
     // The capability is handed to cv_ for the duration of the sleep and
     // re-held on return — net zero, which the analysis cannot see; hence
     // the local suppression.
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::CondWaitHook(this, &mu, /*timed=*/false)) {
+      return;
+    }
     cv_.wait(mu);
   }
 
   template <typename Rep, typename Period>
   void WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
       REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::CondWaitHook(this, &mu, /*timed=*/true)) {
+      return;
+    }
     cv_.wait_for(mu, timeout);
   }
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::CondNotifyHook(this, /*all=*/false)) {
+      return;
+    }
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+    if (InstrArmed(kInstrSched) &&
+        sched_internal::CondNotifyHook(this, /*all=*/true)) {
+      return;
+    }
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable_any cv_;

@@ -10,10 +10,12 @@
 
 #include "src/analysis/source_lint.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -255,6 +257,211 @@ TEST(LintSource, ForeignNolintsAreIgnored) {
   EXPECT_TRUE(LintSource("src/core/f.cc", src).empty());
 }
 
+TEST(LintSource, RawSyncFlaggedOutsideUtil) {
+  const char* src = R"cc(
+    #include <mutex>
+    #include <thread>
+    std::mutex g_mu;
+    std::thread g_worker;
+  )cc";
+  const std::vector<LintIssue> issues = LintSource("src/core/sync.cc", src);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].rule, "ddr-raw-sync");
+  EXPECT_NE(issues[0].message.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(issues[1].rule, "ddr-raw-sync");
+  EXPECT_NE(issues[1].message.find("std::thread"), std::string::npos);
+}
+
+TEST(LintSource, RawSyncExemptsWrapperAndSchedulerFloors) {
+  const char* src = "std::mutex g_mu;\nstd::thread g_t;\n";
+  // The wrappers themselves and the cooperative scheduler beneath them
+  // must use the real primitives.
+  EXPECT_TRUE(LintSource("src/util/thread_annotations.h", src).empty());
+  EXPECT_TRUE(LintSource("src/analysis/sched/sched.cc", src).empty());
+  // tests/ and tools/ are out of scope entirely.
+  EXPECT_TRUE(LintSource("tests/some_test.cc", src).empty());
+  // Any other src/ directory is in scope.
+  EXPECT_EQ(LintSource("src/server/s.cc", src).size(), 2u);
+}
+
+TEST(LintSource, RawSyncCondVarAnyIsOneFindingNotTwo) {
+  // std::condition_variable must not also fire inside the _any spelling.
+  const std::vector<LintIssue> any_form = LintSource(
+      "src/core/cv.cc", "std::condition_variable_any cv_;\n");
+  ASSERT_EQ(any_form.size(), 1u);
+  EXPECT_NE(any_form[0].message.find("condition_variable_any"),
+            std::string::npos);
+  const std::vector<LintIssue> plain = LintSource(
+      "src/core/cv.cc", "std::condition_variable cv_;\n");
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0].message.find("condition_variable_any"),
+            std::string::npos);
+}
+
+TEST(LintSource, RawSyncWrappersAndJustifiedSuppressionPass) {
+  // The sanctioned spellings produce nothing...
+  const char* good = R"cc(
+    #include "src/util/thread_annotations.h"
+    ddr::Mutex mu_;
+    ddr::CondVar cv_;
+    ddr::OsThread worker_;
+  )cc";
+  EXPECT_TRUE(LintSource("src/core/good.cc", good).empty());
+  // ...and a justified NOLINT silences a deliberate raw use.
+  const char* suppressed =
+      "std::mutex g_mu;  "
+      "// NOLINT(ddr-raw-sync): pre-main init, wrappers not constructed\n";
+  EXPECT_TRUE(LintSource("src/core/sup.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON output: FormatLintIssuesJson must round-trip through an actual
+// JSON parser (a minimal one lives below), not just look JSON-shaped.
+// ---------------------------------------------------------------------------
+
+// Minimal recursive-descent JSON reader covering the subset the report
+// uses: objects, arrays, strings with escapes, and integers.
+class MiniJson {
+ public:
+  explicit MiniJson(std::string_view text) : text_(text) {}
+
+  bool ParseObjectKeys(std::vector<std::string>* keys) {
+    SkipWs();
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      keys->push_back(key);
+      SkipWs();
+      if (!Consume(':')) return false;
+      if (!SkipValue()) return false;
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      std::vector<std::string> keys;
+      MiniJson sub(text_.substr(pos_));
+      if (!sub.ParseObjectKeys(&keys)) return false;
+      pos_ += sub.pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        if (!SkipValue()) return false;
+        SkipWs();
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      return ParseString(&s);
+    }
+    // Number / true / false / null: chew the token.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'u': pos_ += 4; out->push_back('?'); break;
+          default: return false;
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(LintJson, EmptyReportParses) {
+  const std::string json = FormatLintIssuesJson({});
+  MiniJson parser(json);
+  std::vector<std::string> keys;
+  ASSERT_TRUE(parser.ParseObjectKeys(&keys));
+  EXPECT_TRUE(parser.AtEnd());
+  EXPECT_EQ(keys, (std::vector<std::string>{"count", "issues"}));
+}
+
+TEST(LintJson, RealFindingsRoundTrip) {
+  // Messages contain quotes-in-quotes hazards: apostrophes, the banned
+  // token with its '(' — and we add a file path with a backslash and a
+  // quote to force escaping through JsonEscape.
+  std::vector<LintIssue> issues =
+      LintSource("src/core/j.cc", "long F() { return time(nullptr); }\n"
+                                  "std::mutex g_mu;\n");
+  ASSERT_EQ(issues.size(), 2u);
+  issues.push_back(LintIssue{"src\\odd\"name.cc", 7, "ddr-raw-sync",
+                             "message with \"quotes\"\nand a newline"});
+  const std::string json = FormatLintIssuesJson(issues);
+  MiniJson parser(json);
+  std::vector<std::string> keys;
+  ASSERT_TRUE(parser.ParseObjectKeys(&keys)) << json;
+  EXPECT_TRUE(parser.AtEnd()) << json;
+  // The escaped path/message survive verbatim in the encoded text.
+  EXPECT_NE(json.find("src\\\\odd\\\"name.cc"), std::string::npos);
+  EXPECT_NE(json.find("\\nand a newline"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // LintTree + the CLI contract.
 // ---------------------------------------------------------------------------
@@ -315,6 +522,12 @@ TEST_F(LintTreeTest, CliExitCodes) {
 
   WriteFile("src/trace/dirty.cc", "long F() { return time(nullptr); }\n");
   rc = std::system(("./ddr-lint " + dir + " > /dev/null 2>&1").c_str());
+  ASSERT_NE(rc, -1);
+  EXPECT_EQ(WEXITSTATUS(rc), 1);
+
+  // --format=json keeps the same exit-code contract.
+  rc = std::system(
+      ("./ddr-lint --format=json " + dir + " > /dev/null 2>&1").c_str());
   ASSERT_NE(rc, -1);
   EXPECT_EQ(WEXITSTATUS(rc), 1);
 }

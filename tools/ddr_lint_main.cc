@@ -1,6 +1,6 @@
 // ddr-lint: the determinism/concurrency source checker, as a CLI.
 //
-//   ddr-lint [--allow=SUBSTR[,SUBSTR...]] [path...]
+//   ddr-lint [--allow=SUBSTR[,SUBSTR...]] [--format=text|json] [path...]
 //
 // Paths (files or directories; default: src tools tests) are walked for
 // *.cc/*.h/*.cpp/*.hpp and checked against the ddr-* rules in
@@ -23,20 +23,24 @@ namespace {
 
 constexpr ddr::CliFlag kFlags[] = {
     {"--allow", true},
+    {"--format", true},
     {"--help", false},
 };
 
 void PrintUsage(std::FILE* out) {
   std::fputs(
-      "usage: ddr-lint [--allow=SUBSTR[,SUBSTR...]] [path...]\n"
+      "usage: ddr-lint [--allow=SUBSTR[,SUBSTR...]] [--format=text|json]\n"
+      "                [path...]\n"
       "\n"
       "Checks ddr source invariants: banned nondeterminism sources,\n"
       "hash-order iteration in encode/index code, raw durability I/O\n"
-      "bypassing fault-injection sites, and unjustified NOLINT(ddr-*)\n"
-      "suppressions.\n"
+      "bypassing fault-injection sites, raw std synchronization outside\n"
+      "src/util/, and unjustified NOLINT(ddr-*) suppressions.\n"
       "\n"
       "  --allow=SUBSTR  exempt paths containing SUBSTR from the\n"
       "                  ddr-nondeterminism rule (comma-separated)\n"
+      "  --format=json   one JSON object instead of file:line lines\n"
+      "                  (exit codes unchanged)\n"
       "\n"
       "Default paths: src tools tests. Exit 0 = clean, 1 = violations,\n"
       "2 = bad invocation or unreadable input.\n",
@@ -80,6 +84,16 @@ int main(int argc, char** argv) {
   if (const char* allow = ddr::CliFlagValue(argc, argv, 1, "--allow")) {
     options.allow = SplitCommas(allow);
   }
+  bool json = false;
+  if (const char* format = ddr::CliFlagValue(argc, argv, 1, "--format")) {
+    if (std::string(format) == "json") {
+      json = true;
+    } else if (std::string(format) != "text") {
+      std::fprintf(stderr, "ddr-lint: unknown --format '%s' (text|json)\n",
+                   format);
+      return 2;
+    }
+  }
   std::vector<std::string> roots = ddr::PositionalArgs(argc, argv, 1, kFlags);
   if (roots.empty()) {
     roots = {"src", "tools", "tests"};
@@ -91,8 +105,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ddr-lint: %s\n", issues.status().ToString().c_str());
     return 2;
   }
-  for (const ddr::LintIssue& issue : *issues) {
-    std::fprintf(stdout, "%s\n", ddr::FormatLintIssue(issue).c_str());
+  if (json) {
+    std::fputs(ddr::FormatLintIssuesJson(*issues).c_str(), stdout);
+  } else {
+    for (const ddr::LintIssue& issue : *issues) {
+      std::fprintf(stdout, "%s\n", ddr::FormatLintIssue(issue).c_str());
+    }
   }
   if (!issues->empty()) {
     std::fprintf(stderr, "ddr-lint: %zu violation%s\n", issues->size(),

@@ -45,6 +45,7 @@
 // Exit status: 0 on success/OK, 1 on usage error, 2 on a failed
 // verification or replay.
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -58,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/sched/models.h"
 #include "src/apps/scenarios.h"
 #include "src/core/batch_runner.h"
 #include "src/server/corpus_client.h"
@@ -117,6 +119,13 @@ constexpr CliFlag kQueryFlags[] = {
     {"--socket", true},     {"--host", true},    {"--port", true},
     {"--model", true},      {"--timeout-ms", true}, {"--retries", true},
     {"--backoff-ms", true}};
+constexpr CliFlag kSchedListFlags[] = {{"--format", true}};
+constexpr CliFlag kSchedExploreFlags[] = {{"--budget", true},
+                                          {"--preempt", true},
+                                          {"--seed", true},
+                                          {"--format", true}};
+constexpr CliFlag kSchedReplayFlags[] = {{"--sched", true},
+                                         {"--format", true}};
 
 void PrintUsage() {
   std::fprintf(stderr,
@@ -155,6 +164,16 @@ void PrintUsage() {
                "shutdown\n"
                "                exit 3 = deadline exceeded (server did not "
                "answer in --timeout-ms)\n"
+               "  sched  list [--format json]\n"
+               "  sched  explore [model...] [--budget N] [--preempt K] "
+               "[--seed S] [--format json]\n"
+               "                explore interleavings of the named models "
+               "(default: the clean\n"
+               "                subsystem models); a finding prints "
+               "DDR_SCHED=<string> and exits 2\n"
+               "  sched  replay <model> --sched <string> [--format json]\n"
+               "                re-run one recorded interleaving "
+               "bit-identically\n"
                "         scenarios: sum msgdrop overflow hypertable;\n"
                "         models: perfect value output output-heavy failure "
                "debug-rcse\n"
@@ -1005,6 +1024,207 @@ int Query(int argc, char** argv) {
   return 1;  // unreachable: the switch covers every command
 }
 
+// ------------------------------------------------------------------ sched
+
+// --format for the sched subcommands: "text" (default) or "json".
+bool SchedWantsJson(int argc, char** argv, bool* json) {
+  const char* format = ParseStringFlag(argc, argv, "--format", "text");
+  if (std::strcmp(format, "json") == 0) {
+    *json = true;
+    return true;
+  }
+  if (std::strcmp(format, "text") == 0) {
+    *json = false;
+    return true;
+  }
+  std::fprintf(stderr, "ddr-trace: unknown --format '%s' (text|json)\n",
+               format);
+  return false;
+}
+
+std::string SchedFindingsJson(const std::vector<sched::SchedFinding>& all) {
+  std::string out = "[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrPrintf(
+        "{\"kind\":\"%s\",\"message\":\"%s\",\"schedule\":\"%s\"}",
+        sched::FindingKindName(all[i].kind),
+        JsonEscape(all[i].message).c_str(),
+        JsonEscape(all[i].schedule).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+int SchedList(int argc, char** argv) {
+  bool json = false;
+  if (!SchedWantsJson(argc, argv, &json)) return 1;
+  for (const sched::SchedModel& model : sched::AllSchedModels()) {
+    if (json) {
+      std::printf(
+          "{\"model\":\"%s\",\"expect\":\"%s\",\"description\":\"%s\"}\n",
+          model.name, sched::ExpectName(model.expect),
+          JsonEscape(model.description).c_str());
+    } else {
+      std::printf("%-20s %-16s %s\n", model.name,
+                  sched::ExpectName(model.expect), model.description);
+    }
+  }
+  return 0;
+}
+
+int SchedExplore(int argc, char** argv) {
+  bool json = false;
+  if (!SchedWantsJson(argc, argv, &json)) return 1;
+  const std::vector<std::string> positionals =
+      PositionalArgs(argc, argv, /*start=*/2, kSchedExploreFlags);
+  // positionals[0] is "explore"; the rest are model names.
+  std::vector<const sched::SchedModel*> models;
+  for (size_t i = 1; i < positionals.size(); ++i) {
+    const sched::SchedModel* model = sched::FindSchedModel(positionals[i]);
+    if (model == nullptr) {
+      std::fprintf(stderr,
+                   "ddr-trace: unknown sched model '%s' (see: ddr-trace "
+                   "sched list)\n",
+                   positionals[i].c_str());
+      return 1;
+    }
+    models.push_back(model);
+  }
+  if (models.empty()) {
+    // Default set: the clean subsystem models — the deadlock-free /
+    // lost-wakeup-free property CI asserts on every push.
+    for (const sched::SchedModel& model : sched::AllSchedModels()) {
+      if (model.expect == sched::SchedModel::Expect::kClean) {
+        models.push_back(&model);
+      }
+    }
+  }
+  const uint64_t budget = ParseFlag(argc, argv, "--budget", 256);
+  sched::ExploreOptions options;
+  options.random_budget = std::max<uint64_t>(budget / 4, 1);
+  options.dfs_budget = budget > options.random_budget
+                           ? budget - options.random_budget
+                           : 1;
+  options.preempt_bound =
+      static_cast<int>(ParseFlag(argc, argv, "--preempt", 2));
+  options.seed = ParseFlag(argc, argv, "--seed", 1);
+
+  bool any_findings = false;
+  for (const sched::SchedModel* model : models) {
+    const sched::ExploreReport report = sched::Explore(model->body, options);
+    if (!report.findings.empty()) any_findings = true;
+    if (json) {
+      std::printf(
+          "{\"model\":\"%s\",\"expect\":\"%s\",\"runs\":%llu,"
+          "\"dfs_runs\":%llu,\"random_runs\":%llu,\"dfs_exhausted\":%s,"
+          "\"preempt_bound\":%d,\"findings\":%s}\n",
+          model->name, sched::ExpectName(model->expect),
+          static_cast<unsigned long long>(report.runs),
+          static_cast<unsigned long long>(report.dfs_runs),
+          static_cast<unsigned long long>(report.random_runs),
+          report.dfs_exhausted ? "true" : "false", options.preempt_bound,
+          SchedFindingsJson(report.findings).c_str());
+      continue;
+    }
+    std::printf("sched explore: %s: %llu runs (%llu dfs%s, %llu random), "
+                "%zu finding%s\n",
+                model->name, static_cast<unsigned long long>(report.runs),
+                static_cast<unsigned long long>(report.dfs_runs),
+                report.dfs_exhausted ? " [space exhausted]" : "",
+                static_cast<unsigned long long>(report.random_runs),
+                report.findings.size(),
+                report.findings.size() == 1 ? "" : "s");
+    for (const sched::SchedFinding& finding : report.findings) {
+      std::printf("  [%s] %s\n", sched::FindingKindName(finding.kind),
+                  finding.message.c_str());
+      // Unindented so CI scripts can lift the schedule with a plain sed.
+      std::printf("DDR_SCHED=%s\n", finding.schedule.c_str());
+      std::printf("  replay: ddr-trace sched replay %s --sched '%s'\n",
+                  model->name, finding.schedule.c_str());
+    }
+  }
+  return any_findings ? 2 : 0;
+}
+
+int SchedReplay(int argc, char** argv) {
+  bool json = false;
+  if (!SchedWantsJson(argc, argv, &json)) return 1;
+  const std::vector<std::string> positionals =
+      PositionalArgs(argc, argv, /*start=*/2, kSchedReplayFlags);
+  const char* schedule = FlagValue(argc, argv, "--sched");
+  if (positionals.size() != 2 || schedule == nullptr) {
+    std::fprintf(stderr,
+                 "ddr-trace: sched replay needs a model and --sched "
+                 "<string>\n");
+    PrintUsage();
+    return 1;
+  }
+  const sched::SchedModel* model = sched::FindSchedModel(positionals[1]);
+  if (model == nullptr) {
+    std::fprintf(stderr,
+                 "ddr-trace: unknown sched model '%s' (see: ddr-trace sched "
+                 "list)\n",
+                 positionals[1].c_str());
+    return 1;
+  }
+  const Result<sched::RunResult> run =
+      sched::RunWithSchedule(model->body, schedule);
+  if (!run.ok()) {
+    std::fprintf(stderr, "ddr-trace: sched replay failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::string events = "[";
+    for (size_t i = 0; i < run->events.size(); ++i) {
+      if (i > 0) events += ",";
+      events += "\"" + JsonEscape(run->events[i]) + "\"";
+    }
+    events += "]";
+    std::printf(
+        "{\"model\":\"%s\",\"schedule\":\"%s\",\"decisions\":%zu,"
+        "\"preemptions\":%d,\"events\":%s,\"findings\":%s}\n",
+        model->name, JsonEscape(run->schedule).c_str(),
+        run->decisions.size(), run->preemptions, events.c_str(),
+        SchedFindingsJson(run->findings).c_str());
+  } else {
+    std::printf("sched replay: %s with %s: %zu events, %zu decisions, "
+                "%d preemption%s, %zu finding%s\n",
+                model->name, run->schedule.c_str(), run->events.size(),
+                run->decisions.size(), run->preemptions,
+                run->preemptions == 1 ? "" : "s", run->findings.size(),
+                run->findings.size() == 1 ? "" : "s");
+    for (const std::string& event : run->events) {
+      std::printf("  %s\n", event.c_str());
+    }
+    for (const sched::SchedFinding& finding : run->findings) {
+      std::printf("  [%s] %s\n", sched::FindingKindName(finding.kind),
+                  finding.message.c_str());
+      std::printf("DDR_SCHED=%s\n", finding.schedule.c_str());
+    }
+  }
+  return run->findings.empty() ? 0 : 2;
+}
+
+int SchedMain(int argc, char** argv) {
+  const std::string subcommand = argv[2];
+  if (subcommand == "list") {
+    RequireKnownFlags(argc, argv, kSchedListFlags);
+    return SchedList(argc, argv);
+  }
+  if (subcommand == "explore") {
+    RequireKnownFlags(argc, argv, kSchedExploreFlags);
+    return SchedExplore(argc, argv);
+  }
+  if (subcommand == "replay") {
+    RequireKnownFlags(argc, argv, kSchedReplayFlags);
+    return SchedReplay(argc, argv);
+  }
+  PrintUsage();
+  return 1;
+}
+
 int CorpusMain(int argc, char** argv) {
   if (argc < 4) {
     PrintUsage();
@@ -1056,6 +1276,9 @@ int Main(int argc, char** argv) {
   if (command == "query") {
     RequireKnownFlags(argc, argv, kQueryFlags);
     return Query(argc, argv);
+  }
+  if (command == "sched") {
+    return SchedMain(argc, argv);
   }
   const std::string path = argv[2];
   if (command == "serve") {
